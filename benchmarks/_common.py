@@ -1,0 +1,39 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper
+(see DESIGN.md's experiment index).  Conventions:
+
+* sweeps run once, module-scoped, and their paper-style tables are both
+  printed and written to ``benchmarks/results/<name>.txt`` so the
+  regenerated experiment survives pytest's output capturing;
+* each file exposes at least one ``test_..._benchmark`` using the
+  pytest-benchmark fixture on a representative configuration, so
+  ``pytest benchmarks/ --benchmark-only`` produces comparable timings;
+* qualitative assertions (slope bands, who-wins ordering, error
+  ceilings) make regressions fail loudly rather than silently skewing
+  the tables.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist one experiment's regenerated table and echo it."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print(f"\n[{name}] written to {path}\n{text}")
+
+
+def timed(fn: Callable[[], object]) -> tuple[object, float]:
+    """Run once under a monotonic clock."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start

@@ -1,0 +1,101 @@
+"""Ablation A2: the leaf occupancy beta of Eq. (2).
+
+Sec. III-C.2 sets the tree height so each leaf holds about beta
+particles, with beta "slightly greater than 4 in 2D (8 for 3D) since
+the CPU cost of resolving two cells is higher than computing the
+distance between two points".  This ablation sweeps the tree height
+(equivalently beta across a 4x range per step) and records the
+resolve/distance operation split and wall time, exposing the trade-off
+the paper describes: too-shallow trees degenerate toward brute force
+(all distances), too-deep trees drown in cell-resolution calls.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table, make_dataset
+from repro.core import SDHStats, UniformBuckets, dm_sdh_grid
+from repro.quadtree import GridPyramid, tree_height
+
+from _common import timed, write_result
+
+N = 24000
+NUM_BUCKETS = 8
+
+
+@pytest.fixture(scope="module")
+def beta_data():
+    data = make_dataset("uniform", N, dim=2, seed=23)
+    spec = UniformBuckets.with_count(data.max_possible_distance, NUM_BUCKETS)
+    default_height = tree_height(N, 2)
+    results = {}
+    rows = []
+    for height in range(
+        max(2, default_height - 2), default_height + 2
+    ):
+        pyramid = GridPyramid(data, height=height)
+        occupancy = N / 4 ** (height - 1)
+        stats = SDHStats()
+        _hist, seconds = timed(
+            lambda: dm_sdh_grid(pyramid, spec=spec, stats=stats)
+        )
+        results[height] = {
+            "occupancy": occupancy,
+            "seconds": seconds,
+            "resolve_calls": stats.total_resolve_calls,
+            "distances": stats.distance_computations,
+        }
+        rows.append(
+            [
+                height,
+                f"{occupancy:.1f}",
+                f"{seconds:.3f}",
+                stats.total_resolve_calls,
+                stats.distance_computations,
+            ]
+        )
+    text = format_table(
+        ["height H", "leaf occupancy", "time [s]", "resolve calls",
+         "distances computed"],
+        rows,
+        title=(
+            f"Ablation: tree height / Eq. (2) beta sweep "
+            f"(N={N}, 2D, l={NUM_BUCKETS}; Eq. (2) gives "
+            f"H={default_height})"
+        ),
+    )
+    write_result("ablation_beta", text)
+    return results, default_height
+
+
+class TestBetaAblation:
+    def test_shallower_trees_compute_more_distances(self, beta_data):
+        results, _default = beta_data
+        heights = sorted(results)
+        distances = [results[h]["distances"] for h in heights]
+        assert distances == sorted(distances, reverse=True)
+
+    def test_deeper_trees_resolve_more(self, beta_data):
+        results, _default = beta_data
+        heights = sorted(results)
+        calls = [results[h]["resolve_calls"] for h in heights]
+        assert calls == sorted(calls)
+
+    def test_default_height_is_near_optimal(self, beta_data):
+        """Eq. (2)'s height should be within 40% of the sweep's best
+        wall time (the paper tuned beta for exactly this balance)."""
+        results, default = beta_data
+        best = min(r["seconds"] for r in results.values())
+        assert results[default]["seconds"] <= 1.4 * best
+
+
+def test_benchmark_default_height(benchmark, beta_data):
+    data = make_dataset("uniform", 12000, dim=2, seed=23)
+    pyramid = GridPyramid(data)
+    spec = UniformBuckets.with_count(
+        data.max_possible_distance, NUM_BUCKETS
+    )
+    benchmark.pedantic(
+        lambda: dm_sdh_grid(pyramid, spec=spec), rounds=3, iterations=1
+    )

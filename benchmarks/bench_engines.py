@@ -1,0 +1,102 @@
+"""Ablation A3: engine comparison (tree-recursive vs grid vs brute).
+
+Not a paper figure, but the honest accounting DESIGN.md promises: the
+node-recursive reference engine pays Python-interpreter costs per
+RESOLVETWOCELLS call (the paper's C implementation did not), the
+vectorized engine amortizes them, and the numpy brute force sets the
+baseline.  All three must return identical histograms — re-checked
+here on every run — and the benchmark records their speed ratios.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table, make_dataset
+from repro.core import (
+    UniformBuckets,
+    brute_force_sdh,
+    dm_sdh_grid,
+    dm_sdh_tree,
+)
+from repro.quadtree import DensityMapTree, GridPyramid
+
+from _common import timed, write_result
+
+N = 4000
+NUM_BUCKETS = 8
+
+
+@pytest.fixture(scope="module")
+def engine_data():
+    data = make_dataset("uniform", N, dim=2, seed=25)
+    spec = UniformBuckets.with_count(
+        data.max_possible_distance, NUM_BUCKETS
+    )
+    pyramid = GridPyramid(data)
+    tree = DensityMapTree(data)
+
+    runs = {}
+    hist_brute, t_brute = timed(lambda: brute_force_sdh(data, spec=spec))
+    runs["brute (numpy)"] = t_brute
+    hist_grid, t_grid = timed(lambda: dm_sdh_grid(pyramid, spec=spec))
+    runs["DM-SDH grid"] = t_grid
+    hist_tree, t_tree = timed(lambda: dm_sdh_tree(tree, spec=spec))
+    runs["DM-SDH tree"] = t_tree
+
+    np.testing.assert_array_equal(hist_brute.counts, hist_grid.counts)
+    np.testing.assert_array_equal(hist_brute.counts, hist_tree.counts)
+
+    rows = [
+        [name, f"{seconds:.3f}", f"{seconds / t_grid:.2f}x"]
+        for name, seconds in runs.items()
+    ]
+    text = format_table(
+        ["engine", "time [s]", "vs grid"],
+        rows,
+        title=f"Engine comparison (N={N}, 2D, l={NUM_BUCKETS})",
+    )
+    write_result("engines", text)
+    return runs
+
+
+class TestEngineComparison:
+    def test_grid_faster_than_tree(self, engine_data):
+        """The vectorized engine must beat the per-node recursion."""
+        assert engine_data["DM-SDH grid"] < engine_data["DM-SDH tree"]
+
+    def test_all_engines_ran(self, engine_data):
+        assert set(engine_data) == {
+            "brute (numpy)",
+            "DM-SDH grid",
+            "DM-SDH tree",
+        }
+
+
+def test_benchmark_tree_engine(benchmark, engine_data):
+    data = make_dataset("uniform", 2000, dim=2, seed=25)
+    tree = DensityMapTree(data)
+    spec = UniformBuckets.with_count(
+        data.max_possible_distance, NUM_BUCKETS
+    )
+    benchmark.pedantic(
+        lambda: dm_sdh_tree(tree, spec=spec), rounds=3, iterations=1
+    )
+
+
+def test_benchmark_grid_engine(benchmark, engine_data):
+    data = make_dataset("uniform", 2000, dim=2, seed=25)
+    pyramid = GridPyramid(data)
+    spec = UniformBuckets.with_count(
+        data.max_possible_distance, NUM_BUCKETS
+    )
+    benchmark.pedantic(
+        lambda: dm_sdh_grid(pyramid, spec=spec), rounds=3, iterations=1
+    )
+
+
+def test_benchmark_index_build(benchmark, engine_data):
+    """One-off indexing cost (the database scenario pays this once)."""
+    data = make_dataset("uniform", 16000, dim=2, seed=25)
+    benchmark.pedantic(lambda: GridPyramid(data), rounds=3, iterations=1)

@@ -1,0 +1,182 @@
+"""Figure 11: running time and error of the approximate ADM-SDH.
+
+Paper panels:
+
+* (a) running time vs N for m = 1..5 levels and 'unlimited' (exact):
+  flat in N once the tree is tall enough; for larger m the time grows
+  at small N (short tree) then saturates;
+* (b)-(d) error rates vs N for heuristics 1 / 2 / 3 with m = 1..5:
+  everything below ~3 %, heuristic 1 clearly worst, heuristic 3 nearly
+  exact, and errors shrinking as N grows.
+
+Scaled down: N from 4,000 to 64,000; query l = 16.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    doubling_series,
+    format_series,
+    loglog_chart,
+    make_dataset,
+)
+from repro.core import (
+    SDHStats,
+    UniformBuckets,
+    adm_sdh,
+    dm_sdh_grid,
+)
+from repro.quadtree import GridPyramid
+
+from _common import timed, write_result
+
+N_SERIES = doubling_series(4000, 5)  # 4k .. 64k
+LEVELS = (1, 2, 3, 4, 5)
+HEURISTICS = (1, 2, 3)
+NUM_BUCKETS = 16
+
+
+@pytest.fixture(scope="module")
+def fig11_data():
+    times: dict[str, list[float]] = {f"m={m}": [] for m in LEVELS}
+    times["unlimited"] = []
+    errors: dict[tuple[int, int], list[float]] = {
+        (h, m): [] for h in HEURISTICS for m in LEVELS
+    }
+
+    for n in N_SERIES:
+        data = make_dataset("uniform", n, dim=2, seed=11)
+        pyramid = GridPyramid(data)
+        spec = UniformBuckets.with_count(
+            data.max_possible_distance, NUM_BUCKETS
+        )
+        exact, exact_seconds = timed(
+            lambda: dm_sdh_grid(pyramid, spec=spec)
+        )
+        times["unlimited"].append(exact_seconds)
+        for m in LEVELS:
+            # Timing panel uses heuristic 2, matching Fig. 11a's caption
+            # ("time for heuristic 2").
+            _h, seconds = timed(
+                lambda: adm_sdh(
+                    pyramid, spec=spec, levels=m, heuristic=2, rng=0
+                )
+            )
+            times[f"m={m}"].append(seconds)
+            for h in HEURISTICS:
+                approx = adm_sdh(
+                    pyramid, spec=spec, levels=m, heuristic=h, rng=0
+                )
+                errors[(h, m)].append(approx.error_rate(exact))
+
+    sections = [
+        format_series(
+            "N",
+            N_SERIES,
+            {k: [f"{v:.3f}" for v in vals] for k, vals in times.items()},
+            title="Fig 11a: ADM-SDH running time [s] (heuristic 2)",
+        )
+    ]
+    for h in HEURISTICS:
+        series = {
+            f"m={m}": [f"{100 * v:.3f}%" for v in errors[(h, m)]]
+            for m in LEVELS
+        }
+        sections.append(
+            format_series(
+                "N",
+                N_SERIES,
+                series,
+                title=f"Fig 11{'bcd'[h - 1]}: error rate, heuristic {h}",
+            )
+        )
+    sections.append(
+        loglog_chart(
+            N_SERIES,
+            times,
+            title="Fig 11a as a log-log chart (flat = constant in N)",
+        )
+    )
+    write_result("fig11_approximate", "\n\n".join(sections))
+    return {"times": times, "errors": errors}
+
+
+class TestFig11Claims:
+    def test_time_flat_in_n_for_small_m(self, fig11_data):
+        """Fig 11a: 'the running time does not change with the increase
+        of dataset size for m = 1, 2, 3' — once the tree is deep
+        enough.  We compare the largest two N (tree height equal or
+        +1): growth must be far below the exact engine's."""
+        for m in (1, 2):
+            series = fig11_data["times"][f"m={m}"]
+            growth = series[-1] / series[-2]
+            exact_growth = (
+                fig11_data["times"]["unlimited"][-1]
+                / fig11_data["times"]["unlimited"][-2]
+            )
+            assert growth < exact_growth, m
+
+    def test_approx_much_faster_than_exact_at_large_n(self, fig11_data):
+        idx = -1
+        for m in (1, 2, 3):
+            approx = fig11_data["times"][f"m={m}"][idx]
+            exact = fig11_data["times"]["unlimited"][idx]
+            assert approx < exact / 2, m
+
+    @pytest.mark.parametrize("h", (2, 3))
+    def test_error_rates_below_paper_ceiling(self, fig11_data, h):
+        """'All experiments have error rates under 3%': holds verbatim
+        for heuristics 2 and 3 even on our scaled-down trees."""
+        for m in LEVELS:
+            series = fig11_data["errors"][(h, m)]
+            assert max(series) < 0.03, (h, m, series)
+
+    def test_heuristic1_bounded_and_improving(self, fig11_data):
+        """Heuristic 1 is the paper's worst case; our trees are much
+        shorter than the paper's (N is 100x smaller), so its absolute
+        errors are larger — but bounded, and falling as the tree
+        deepens with N."""
+        for m in LEVELS:
+            series = fig11_data["errors"][(1, m)]
+            assert max(series) < 0.15, (m, series)
+        deep = fig11_data["errors"][(1, 5)]
+        assert deep[-1] < deep[0]
+
+    def test_heuristic1_worst(self, fig11_data):
+        """'The correctness achieved by heuristic 1 is significantly
+        lower than those by heuristic 2 and 3.'"""
+        for m in (1, 2):
+            e1 = np.mean(fig11_data["errors"][(1, m)])
+            e2 = np.mean(fig11_data["errors"][(2, m)])
+            e3 = np.mean(fig11_data["errors"][(3, m)])
+            assert e1 > e2, m
+            assert e1 > e3, m
+
+    def test_heuristic3_very_accurate(self, fig11_data):
+        """'Heuristic 3 achieves very low error rates even ... small m.'"""
+        for m in LEVELS:
+            series = fig11_data["errors"][(3, m)]
+            assert max(series) < 0.01, (m, series)
+
+    def test_error_shrinks_with_n_for_deep_m(self, fig11_data):
+        """'When m >= 2, the error rate approaches zero with the
+        dataset becoming larger.'"""
+        for h in (2, 3):
+            series = fig11_data["errors"][(h, 3)]
+            assert series[-1] <= series[0] + 1e-4, h
+
+
+def test_benchmark_adm_sdh_representative(benchmark, fig11_data):
+    data = make_dataset("uniform", 32000, dim=2, seed=11)
+    pyramid = GridPyramid(data)
+    spec = UniformBuckets.with_count(
+        data.max_possible_distance, NUM_BUCKETS
+    )
+    benchmark.pedantic(
+        lambda: adm_sdh(pyramid, spec=spec, levels=3, heuristic=3, rng=0),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,205 @@
+"""Figure 8: 2D running time of DM-SDH vs brute force.
+
+Paper: three panels (uniform / Zipf / real membrane data), running time
+against a doubling series of N on log-log axes.  Claims reproduced:
+
+* the brute-force curve ("Dist") has log-log slope ~2;
+* DM-SDH curves have slope ~1.5 for every bucket count l, with larger
+  l shifted upward;
+* for large l the curve starts near the brute-force one at small N and
+  bends toward slope 1.5 once the tree grows tall enough;
+* Zipf-skewed data runs *faster* than uniform (empty cells).
+
+Scaled down for the pure-Python substrate (see DESIGN.md): N runs over
+a doubling series from 2,000 to 64,000 instead of 100,000 to 6,400,000.
+Wall-clock slopes carry Python-allocator noise, so the assertions also
+check *operation counts* (resolve calls + distance computations), which
+are exact and machine independent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    doubling_series,
+    fit_loglog_slope,
+    format_series,
+    loglog_chart,
+    make_dataset,
+    tail_slope,
+)
+from repro.core import SDHStats, UniformBuckets, brute_force_sdh, dm_sdh_grid
+from repro.quadtree import GridPyramid
+
+from _common import timed, write_result
+
+N_SERIES = doubling_series(2000, 6)  # 2k .. 64k
+BUCKET_COUNTS = (2, 4, 16, 64)
+BRUTE_MAX_N = 32000
+#: The finest-bucket curve is the most expensive (the paper's l=256
+#: case); it is measured on the lower half of the series only.
+L64_MAX_N = 16000
+FAMILIES = ("uniform", "zipf", "membrane")
+
+
+def _sweep_family(family: str) -> dict:
+    """Run one panel of Fig. 8; returns timings and operation counts."""
+    times: dict[str, list[float]] = {f"l={l}": [] for l in BUCKET_COUNTS}
+    times["Dist (brute)"] = []
+    ops: dict[str, list[float]] = {f"l={l}": [] for l in BUCKET_COUNTS}
+    ops["Dist (brute)"] = []
+
+    for n in N_SERIES:
+        data = make_dataset(family, n, dim=2, seed=8)
+        pyramid = GridPyramid(data)
+        for l in BUCKET_COUNTS:
+            if l == 64 and n > L64_MAX_N:
+                times[f"l={l}"].append(float("nan"))
+                ops[f"l={l}"].append(float("nan"))
+                continue
+            spec = UniformBuckets.with_count(
+                data.max_possible_distance, l
+            )
+            stats = SDHStats()
+            _result, seconds = timed(
+                lambda: dm_sdh_grid(pyramid, spec=spec, stats=stats)
+            )
+            times[f"l={l}"].append(seconds)
+            ops[f"l={l}"].append(stats.total_operations)
+        if n <= BRUTE_MAX_N:
+            spec = UniformBuckets.with_count(
+                data.max_possible_distance, 16
+            )
+            stats = SDHStats()
+            _result, seconds = timed(
+                lambda: brute_force_sdh(data, spec=spec, stats=stats)
+            )
+            times["Dist (brute)"].append(seconds)
+            ops["Dist (brute)"].append(stats.distance_computations)
+        else:
+            times["Dist (brute)"].append(float("nan"))
+            ops["Dist (brute)"].append(float("nan"))
+    return {"times": times, "ops": ops}
+
+
+@pytest.fixture(scope="module")
+def fig8_data():
+    results = {}
+    sections = []
+    for family in FAMILIES:
+        results[family] = _sweep_family(family)
+        times = {
+            key: [f"{v:.3f}" if v == v else "-" for v in values]
+            for key, values in results[family]["times"].items()
+        }
+        sections.append(
+            format_series(
+                "N",
+                N_SERIES,
+                times,
+                title=f"Fig 8 ({family}): running time [s], 2D",
+            )
+        )
+        # Slopes, paper-style commentary.
+        lines = []
+        for l in BUCKET_COUNTS:
+            series = np.asarray(results[family]["times"][f"l={l}"])
+            ns = np.asarray(N_SERIES, float)
+            valid = ~np.isnan(series)
+            slope_t = fit_loglog_slope(ns[valid], series[valid])
+            ops_arr = np.asarray(results[family]["ops"][f"l={l}"], float)
+            slope_o = fit_loglog_slope(ns[valid], ops_arr[valid])
+            lines.append(
+                f"  l={l}: time slope {slope_t:.2f}, "
+                f"operation slope {slope_o:.2f} (paper: ~1.5)"
+            )
+        brute = np.asarray(results[family]["times"]["Dist (brute)"])
+        valid = ~np.isnan(brute)
+        slope_b = fit_loglog_slope(
+            np.asarray(N_SERIES, float)[valid], brute[valid]
+        )
+        lines.append(f"  Dist: time slope {slope_b:.2f} (paper: 2.0)")
+        sections.append("\n".join(lines))
+        sections.append(
+            loglog_chart(
+                N_SERIES,
+                results[family]["times"],
+                title=f"Fig 8 ({family}) as a log-log chart",
+                guide_slope=1.5,
+            )
+        )
+    write_result("fig8_2d_runtime", "\n\n".join(sections))
+    return results
+
+
+class TestFig8Claims:
+    def test_brute_force_slope_quadratic(self, fig8_data):
+        ops = np.asarray(
+            fig8_data["uniform"]["ops"]["Dist (brute)"], float
+        )
+        ns = np.asarray(N_SERIES, float)
+        valid = ~np.isnan(ops)
+        slope = fit_loglog_slope(ns[valid], ops[valid])
+        assert slope == pytest.approx(2.0, abs=0.02)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_dm_sdh_operations_subquadratic(self, fig8_data, family):
+        """Theorem 3's Theta(N^1.5): operation-count slope well below 2
+        and near 1.5 for small l."""
+        ns = np.asarray(N_SERIES, float)
+        for l in (2, 4, 16):
+            ops = np.asarray(fig8_data[family]["ops"][f"l={l}"], float)
+            slope = tail_slope(ns, ops, points=4)
+            assert slope < 1.85, (family, l, slope)
+
+    def test_small_l_time_slope_near_paper(self, fig8_data):
+        ns = np.asarray(N_SERIES, float)
+        times = np.asarray(fig8_data["uniform"]["times"]["l=4"], float)
+        slope = tail_slope(ns, times, points=4)
+        assert 1.0 < slope < 1.9
+
+    def test_dm_sdh_beats_brute_force_at_large_n_small_l(self, fig8_data):
+        """The crossover: for small l and the largest common N, DM-SDH
+        wins against the quadratic baseline."""
+        idx = N_SERIES.index(BRUTE_MAX_N)
+        for family in FAMILIES:
+            dm = fig8_data[family]["times"]["l=4"][idx]
+            brute = fig8_data[family]["times"]["Dist (brute)"][idx]
+            assert dm < brute, family
+
+    def test_larger_l_costs_more(self, fig8_data):
+        """'When bucket size decreases, it takes more time' — at the
+        largest N common to all curves the times are ordered in l."""
+        idx = N_SERIES.index(L64_MAX_N)
+        times = fig8_data["uniform"]["times"]
+        ordered = [times[f"l={l}"][idx] for l in BUCKET_COUNTS]
+        assert ordered == sorted(ordered)
+
+    def test_zipf_not_slower_than_uniform(self, fig8_data):
+        """Skewed data is faster thanks to empty cells (Sec. VI-A);
+        allow a small tolerance for timer noise."""
+        idx = -1
+        for l in (4, 16):
+            zipf = fig8_data["zipf"]["times"][f"l={l}"][idx]
+            flat = fig8_data["uniform"]["times"][f"l={l}"][idx]
+            assert zipf < 1.25 * flat, l
+
+
+def test_benchmark_dm_sdh_2d_representative(benchmark, fig8_data):
+    """pytest-benchmark hook: one representative Fig. 8 configuration."""
+    data = make_dataset("uniform", 16000, dim=2, seed=8)
+    pyramid = GridPyramid(data)
+    spec = UniformBuckets.with_count(data.max_possible_distance, 16)
+    benchmark.pedantic(
+        lambda: dm_sdh_grid(pyramid, spec=spec), rounds=3, iterations=1
+    )
+
+
+def test_benchmark_brute_force_2d_representative(benchmark, fig8_data):
+    data = make_dataset("uniform", 16000, dim=2, seed=8)
+    spec = UniformBuckets.with_count(data.max_possible_distance, 16)
+    benchmark.pedantic(
+        lambda: brute_force_sdh(data, spec=spec), rounds=3, iterations=1
+    )

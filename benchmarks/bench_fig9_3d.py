@@ -1,0 +1,165 @@
+"""Figure 9: 3D running time of DM-SDH vs brute force.
+
+Paper: same three panels as Fig. 8 but for 3D data; the DM-SDH curves
+have log-log slope ~5/3 (Theorem 3 with d = 3), the brute-force curve
+slope 2, and for larger l the curve runs quadratically until N is large
+enough for the (octree) density maps to gain levels — including the
+zigzag growth pattern on skewed data the paper remarks on (running time
+multiplying by 2, 4, 4 across consecutive doublings).
+
+Scaled down: N from 1,000 to 16,000 (the paper used 100,000 to
+6,400,000 on its C implementation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    doubling_series,
+    fit_loglog_slope,
+    format_series,
+    loglog_chart,
+    make_dataset,
+    tail_slope,
+)
+from repro.core import SDHStats, UniformBuckets, brute_force_sdh, dm_sdh_grid
+from repro.quadtree import GridPyramid
+
+from _common import timed, write_result
+
+N_SERIES = doubling_series(1000, 5)  # 1k .. 16k
+BUCKET_COUNTS = (2, 4, 8)
+FAMILIES = ("uniform", "zipf", "membrane")
+
+
+def _sweep_family(family: str) -> dict:
+    times: dict[str, list[float]] = {f"l={l}": [] for l in BUCKET_COUNTS}
+    times["Dist (brute)"] = []
+    ops: dict[str, list[float]] = {f"l={l}": [] for l in BUCKET_COUNTS}
+    ops["Dist (brute)"] = []
+    for n in N_SERIES:
+        data = make_dataset(family, n, dim=3, seed=9)
+        pyramid = GridPyramid(data)
+        for l in BUCKET_COUNTS:
+            spec = UniformBuckets.with_count(
+                data.max_possible_distance, l
+            )
+            stats = SDHStats()
+            _result, seconds = timed(
+                lambda: dm_sdh_grid(pyramid, spec=spec, stats=stats)
+            )
+            times[f"l={l}"].append(seconds)
+            ops[f"l={l}"].append(stats.total_operations)
+        spec = UniformBuckets.with_count(data.max_possible_distance, 8)
+        stats = SDHStats()
+        _result, seconds = timed(
+            lambda: brute_force_sdh(data, spec=spec, stats=stats)
+        )
+        times["Dist (brute)"].append(seconds)
+        ops["Dist (brute)"].append(stats.distance_computations)
+    return {"times": times, "ops": ops}
+
+
+@pytest.fixture(scope="module")
+def fig9_data():
+    results = {}
+    sections = []
+    for family in FAMILIES:
+        results[family] = _sweep_family(family)
+        formatted = {
+            key: [f"{v:.3f}" for v in values]
+            for key, values in results[family]["times"].items()
+        }
+        sections.append(
+            format_series(
+                "N",
+                N_SERIES,
+                formatted,
+                title=f"Fig 9 ({family}): running time [s], 3D",
+            )
+        )
+        lines = []
+        ns = np.asarray(N_SERIES, float)
+        for l in BUCKET_COUNTS:
+            ops_arr = np.asarray(results[family]["ops"][f"l={l}"], float)
+            lines.append(
+                f"  l={l}: operation slope "
+                f"{fit_loglog_slope(ns, ops_arr):.2f} (paper: ~1.67)"
+            )
+        brute = np.asarray(
+            results[family]["times"]["Dist (brute)"], float
+        )
+        lines.append(
+            f"  Dist: time slope {fit_loglog_slope(ns, brute):.2f} "
+            f"(paper: 2.0)"
+        )
+        sections.append("\n".join(lines))
+        sections.append(
+            loglog_chart(
+                N_SERIES,
+                results[family]["times"],
+                title=f"Fig 9 ({family}) as a log-log chart",
+                guide_slope=5.0 / 3.0,
+            )
+        )
+    write_result("fig9_3d_runtime", "\n\n".join(sections))
+    return results
+
+
+class TestFig9Claims:
+    def test_brute_force_quadratic(self, fig9_data):
+        ns = np.asarray(N_SERIES, float)
+        ops = np.asarray(
+            fig9_data["uniform"]["ops"]["Dist (brute)"], float
+        )
+        assert fit_loglog_slope(ns, ops) == pytest.approx(2.0, abs=0.02)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_dm_sdh_subquadratic_operations(self, fig9_data, family):
+        """Theorem 3 in 3D: slope ~5/3 < 2 for the small-l curves."""
+        ns = np.asarray(N_SERIES, float)
+        for l in (2, 4):
+            ops = np.asarray(fig9_data[family]["ops"][f"l={l}"], float)
+            slope = tail_slope(ns, ops, points=3)
+            assert slope < 1.95, (family, l, slope)
+
+    def test_small_l_beats_brute_at_largest_n(self, fig9_data):
+        idx = -1
+        for family in FAMILIES:
+            dm = fig9_data[family]["times"]["l=2"][idx]
+            brute = fig9_data[family]["times"]["Dist (brute)"][idx]
+            assert dm < brute, family
+
+    def test_larger_l_costs_more(self, fig9_data):
+        idx = -1
+        times = fig9_data["uniform"]["times"]
+        ordered = [times[f"l={l}"][idx] for l in BUCKET_COUNTS]
+        assert ordered == sorted(ordered)
+
+    def test_growth_pattern_is_stepwise(self, fig9_data):
+        """The paper's zigzag: per-doubling growth factors of the
+        operation count vary with tree-level additions (8-fold N in 3D
+        adds one octree level), instead of a constant 4x of a clean
+        quadratic."""
+        ops = np.asarray(fig9_data["zipf"]["ops"]["l=4"], float)
+        factors = ops[1:] / ops[:-1]
+        assert factors.max() / factors.min() > 1.3
+
+
+def test_benchmark_dm_sdh_3d_representative(benchmark, fig9_data):
+    data = make_dataset("uniform", 8000, dim=3, seed=9)
+    pyramid = GridPyramid(data)
+    spec = UniformBuckets.with_count(data.max_possible_distance, 4)
+    benchmark.pedantic(
+        lambda: dm_sdh_grid(pyramid, spec=spec), rounds=3, iterations=1
+    )
+
+
+def test_benchmark_brute_force_3d_representative(benchmark, fig9_data):
+    data = make_dataset("uniform", 8000, dim=3, seed=9)
+    spec = UniformBuckets.with_count(data.max_possible_distance, 4)
+    benchmark.pedantic(
+        lambda: brute_force_sdh(data, spec=spec), rounds=3, iterations=1
+    )

@@ -1,0 +1,113 @@
+"""Extension benchmark: incremental SDH over trajectory frames.
+
+The paper's future work (Sec. VIII) calls for incremental solutions
+that exploit the similarity between neighbouring frames.  Our
+:mod:`repro.incremental` implements the exact delta-update; this
+benchmark quantifies the win: maintaining the histogram across T frames
+where a fraction f of particles moves per frame costs O(f N^2) distance
+computations per frame instead of O(N^2) for recomputation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table, make_dataset
+from repro.core import UniformBuckets, brute_force_sdh
+from repro.data import random_walk_trajectory
+from repro.incremental import IncrementalSDH
+
+from _common import timed, write_result
+
+N = 6000
+FRAMES = 6
+NUM_BUCKETS = 16
+MOVE_FRACTIONS = (0.01, 0.05, 0.2)
+
+
+@pytest.fixture(scope="module")
+def incremental_data():
+    initial = make_dataset("uniform", N, dim=2, seed=27)
+    spec = UniformBuckets.with_count(
+        initial.max_possible_distance, NUM_BUCKETS
+    )
+    results = {}
+    rows = []
+
+    # Baseline: recompute every frame from scratch.
+    trajectory = random_walk_trajectory(
+        initial, FRAMES, move_fraction=0.05, rng=27
+    )
+    _h, recompute_seconds = timed(
+        lambda: [
+            brute_force_sdh(frame, spec=spec) for frame in trajectory
+        ]
+    )
+    rows.append(
+        ["recompute (any f)", f"{recompute_seconds:.3f}", "1.00x"]
+    )
+
+    for fraction in MOVE_FRACTIONS:
+        trajectory = random_walk_trajectory(
+            initial, FRAMES, move_fraction=fraction, rng=27
+        )
+
+        def run_incremental(traj=trajectory):
+            inc = IncrementalSDH(spec, traj[0])
+            for frame in traj.frames[1:]:
+                inc.advance(frame)
+            return inc.histogram
+
+        final, seconds = timed(run_incremental)
+        reference = brute_force_sdh(trajectory.frames[-1], spec=spec)
+        np.testing.assert_allclose(
+            final.counts, reference.counts, atol=1e-9
+        )
+        results[fraction] = seconds
+        rows.append(
+            [
+                f"incremental f={fraction:g}",
+                f"{seconds:.3f}",
+                f"{recompute_seconds / seconds:.2f}x",
+            ]
+        )
+
+    text = format_table(
+        ["strategy", "time for all frames [s]", "speedup"],
+        rows,
+        title=(
+            f"Incremental SDH over {FRAMES} frames "
+            f"(N={N}, 2D, l={NUM_BUCKETS})"
+        ),
+    )
+    write_result("incremental", text)
+    return results, recompute_seconds
+
+
+class TestIncrementalClaims:
+    def test_incremental_beats_recomputation_for_small_deltas(
+        self, incremental_data
+    ):
+        results, recompute = incremental_data
+        assert results[0.01] < recompute / 4
+
+    def test_cost_grows_with_move_fraction(self, incremental_data):
+        results, _recompute = incremental_data
+        ordered = [results[f] for f in MOVE_FRACTIONS]
+        assert ordered == sorted(ordered)
+
+
+def test_benchmark_incremental_frame_update(benchmark, incremental_data):
+    initial = make_dataset("uniform", N, dim=2, seed=27)
+    spec = UniformBuckets.with_count(
+        initial.max_possible_distance, NUM_BUCKETS
+    )
+    trajectory = random_walk_trajectory(
+        initial, 2, move_fraction=0.05, rng=28
+    )
+    inc = IncrementalSDH(spec, trajectory[0])
+
+    benchmark.pedantic(
+        lambda: inc.advance(trajectory[1]), rounds=3, iterations=1
+    )

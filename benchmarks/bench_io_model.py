@@ -1,0 +1,148 @@
+"""Sec. IV-B: I/O cost of DM-SDH vs the blocked nested-loop baseline.
+
+The paper's claim: a straightforward DM-SDH implementation has I/O
+complexity ``O((N/b)^{(2d-1)/d})`` — one data page pairs with
+``O(sqrt(N))`` other pages in 2D — while computing all distances with a
+block-based nested-loop self-join costs a quadratic number of page
+pairs.  We measure both with the simulated storage stack: deterministic
+buffer-miss counts over a doubling series of N.
+
+The paper gives no I/O figure; this benchmark materializes the
+asymptotic discussion so the claim is checkable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    doubling_series,
+    fit_loglog_slope,
+    format_series,
+    make_dataset,
+    tail_slope,
+)
+from repro.core import UniformBuckets
+from repro.storage import blocked_join_io, dm_sdh_io, dm_sdh_io_bound
+
+from _common import write_result
+
+N_SERIES = doubling_series(2000, 5)  # 2k .. 32k
+PAGE_SIZE = 16
+BUFFER_PAGES = 32
+NUM_BUCKETS = 4
+
+
+@pytest.fixture(scope="module")
+def io_data():
+    join_reads = []
+    join_pairs = []
+    dm_reads = []
+    dm_pairs = []
+    pages = []
+    bounds = []
+    for n in N_SERIES:
+        data = make_dataset("uniform", n, dim=2, seed=15)
+        spec = UniformBuckets.with_count(
+            data.max_possible_distance, NUM_BUCKETS
+        )
+        num_pages = -(-n // PAGE_SIZE)
+        pages.append(num_pages)
+        join_reads.append(
+            blocked_join_io(num_pages, BUFFER_PAGES).page_reads
+        )
+        join_pairs.append(num_pages * (num_pages + 1) // 2)
+        report = dm_sdh_io(data, spec, PAGE_SIZE, BUFFER_PAGES)
+        dm_reads.append(report.page_reads)
+        dm_pairs.append(report.page_pairs)
+        bounds.append(dm_sdh_io_bound(n, PAGE_SIZE, 2))
+
+    text = format_series(
+        "pages",
+        pages,
+        {
+            "join reads": join_reads,
+            "join page pairs": join_pairs,
+            "DM reads (LRU)": dm_reads,
+            "DM page pairs": dm_pairs,
+            "bound (N/b)^1.5": [f"{b:.0f}" for b in bounds],
+        },
+        title=(
+            f"Sec IV-B I/O: page costs (page={PAGE_SIZE} records, "
+            f"buffer={BUFFER_PAGES} pages, l={NUM_BUCKETS})"
+        ),
+    )
+    slopes = (
+        "  join-pairs slope "
+        f"{fit_loglog_slope(np.asarray(pages, float), np.asarray(join_pairs, float)):.2f}"
+        " (paper: 2.0)   DM page-pairs slope "
+        f"{fit_loglog_slope(np.asarray(pages, float), np.asarray(dm_pairs, float)):.2f}"
+        " (paper: ~1.5)"
+    )
+    write_result("io_model", text + "\n" + slopes)
+    return {
+        "pages": pages,
+        "join": join_reads,
+        "join_pairs": join_pairs,
+        "dm": dm_reads,
+        "dm_pairs": dm_pairs,
+        "bounds": bounds,
+    }
+
+
+class TestIOClaims:
+    def test_join_is_quadratic_in_pages(self, io_data):
+        slope = fit_loglog_slope(
+            np.asarray(io_data["pages"], float),
+            np.asarray(io_data["join"], float),
+        )
+        assert slope == pytest.approx(2.0, abs=0.15)
+
+    def test_dm_page_pairs_subquadratic(self, io_data):
+        """The paper's claim: each data page pairs with O(sqrt(N))
+        others, so distinct page pairs grow ~(N/b)^1.5 while the join's
+        grow quadratically."""
+        pages = np.asarray(io_data["pages"], float)
+        dm_slope = fit_loglog_slope(
+            pages, np.asarray(io_data["dm_pairs"], float)
+        )
+        assert dm_slope < 1.8
+
+    def test_dm_touches_fewer_page_pairs_than_join(self, io_data):
+        for dm, join in zip(io_data["dm_pairs"], io_data["join_pairs"]):
+            assert dm <= join
+
+    def test_pair_fraction_shrinks_with_n(self, io_data):
+        """The fraction of all page pairs DM-SDH touches must fall as
+        N grows — the operational form of the asymptotic separation."""
+        fractions = [
+            dm / join
+            for dm, join in zip(io_data["dm_pairs"], io_data["join_pairs"])
+        ]
+        assert fractions[-1] < fractions[0]
+        assert fractions[-1] < 0.5
+
+    def test_counts_positive_and_finite(self, io_data):
+        assert all(v > 0 for v in io_data["join"])
+        assert all(v >= 0 for v in io_data["dm"])
+
+
+def test_benchmark_dm_sdh_io_replay(benchmark, io_data):
+    data = make_dataset("uniform", 8000, dim=2, seed=15)
+    spec = UniformBuckets.with_count(
+        data.max_possible_distance, NUM_BUCKETS
+    )
+    benchmark.pedantic(
+        lambda: dm_sdh_io(data, spec, PAGE_SIZE, BUFFER_PAGES),
+        rounds=2,
+        iterations=1,
+    )
+
+
+def test_benchmark_blocked_join_replay(benchmark, io_data):
+    benchmark.pedantic(
+        lambda: blocked_join_io(256, BUFFER_PAGES),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,106 @@
+"""Table II: the Fig. 1 case study, regenerated digit for digit.
+
+The paper's Table II lists the min/max inter-cell distance ranges of
+the sixteen (XA sub-cell, ZB sub-cell) pairs of the Fig. 1b density
+map, starring the six that resolve into width-3 buckets.  This
+benchmark regenerates the table from the library's cell geometry and
+cross-checks the case-study arithmetic of Sec. III-B (the 91 intra-cell
+pairs of XA, the 5 x 4 = 20 pair credit of X0A0-Z0B0).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table
+from repro.core import UniformBuckets, brute_force_sdh, dm_sdh_tree
+from repro.data import (
+    FIG1_BUCKET_WIDTH,
+    FIG1_COARSE_COUNTS,
+    FIG1_FINE_COUNTS,
+    figure1_dataset,
+    table2_expected,
+)
+
+from _common import timed, write_result
+
+
+@pytest.fixture(scope="module")
+def table2():
+    entries = table2_expected()
+    rows = []
+    for (xa, zb), (u, v, resolvable) in sorted(entries.items()):
+        rows.append(
+            [
+                f"{xa}-{zb}",
+                f"[{u:.4f}, {v:.4f}]",
+                f"[sqrt({u * u:.0f}), sqrt({v * v:.0f})]",
+                "*" if resolvable else "",
+            ]
+        )
+    text = format_table(
+        ["pair", "range", "as radicals", "resolvable"],
+        rows,
+        title=(
+            "Table II: inter-cell distance ranges on the Fig. 1b map "
+            f"(bucket width {FIG1_BUCKET_WIDTH:g})"
+        ),
+    )
+    write_result("table2_casestudy", text)
+    return entries
+
+
+class TestTable2:
+    def test_six_starred_entries(self, table2):
+        assert sum(1 for v in table2.values() if v[2]) == 6
+
+    def test_radicals_are_integers(self, table2):
+        """Every published bound is the square root of an integer."""
+        for u, v, _resolvable in table2.values():
+            assert abs(u * u - round(u * u)) < 1e-9
+            assert abs(v * v - round(v * v)) < 1e-9
+
+    def test_published_example_values(self, table2):
+        u, v, resolvable = table2[("X0A0", "Z0B0")]
+        assert (u, v) == pytest.approx(
+            (math.sqrt(10), math.sqrt(34))
+        )
+        assert resolvable
+
+    def test_case_study_credits(self, table2):
+        # 'increase the count of the first bucket by 14 x 13 / 2 = 91'
+        n_xa = FIG1_COARSE_COUNTS["XA"]
+        assert n_xa * (n_xa - 1) // 2 == 91
+        # 'increment the count of the second bucket by 5 x 4 = 20'
+        assert (
+            FIG1_FINE_COUNTS["X0A0"] * FIG1_FINE_COUNTS["Z0B0"] == 20
+        )
+
+    def test_dataset_roundtrip_through_engines(self, table2):
+        data = figure1_dataset(rng=0)
+        spec = UniformBuckets.cover(
+            data.max_possible_distance, FIG1_BUCKET_WIDTH
+        )
+        exact = brute_force_sdh(data, spec=spec)
+        via_tree = dm_sdh_tree(data, spec=spec)
+        np.testing.assert_array_equal(exact.counts, via_tree.counts)
+
+
+def test_benchmark_table2_generation(benchmark, table2):
+    """Regenerating the table is cheap; benchmarked for completeness."""
+    benchmark.pedantic(table2_expected, rounds=5, iterations=2)
+
+
+def test_benchmark_figure1_sdh(benchmark, table2):
+    data = figure1_dataset(rng=0)
+    spec = UniformBuckets.cover(
+        data.max_possible_distance, FIG1_BUCKET_WIDTH
+    )
+    result, _seconds = timed(lambda: dm_sdh_tree(data, spec=spec))
+    assert result.total == data.num_pairs
+    benchmark.pedantic(
+        lambda: dm_sdh_tree(data, spec=spec), rounds=5, iterations=1
+    )

@@ -1,0 +1,66 @@
+"""Periodic-boundary analysis: SDH and g(r) under minimum image.
+
+Production molecular dynamics uses periodic boundary conditions; a
+distance histogram that ignores them misplaces every pair that wraps
+around the box.  This example shows the library's periodic mode:
+
+* the same DM-SDH machinery with torus cell-distance bounds;
+* exact agreement with a minimum-image brute force;
+* the textbook consequence for g(r): a jittered crystal analysed
+  periodically shows clean coordination-shell peaks, while the
+  non-periodic analysis distorts the large-r structure.
+
+Run:  python examples/periodic_md_analysis.py
+"""
+
+import numpy as np
+
+from repro import (
+    UniformBuckets,
+    brute_force_sdh,
+    compute_sdh,
+    lattice,
+)
+from repro.physics import rdf_from_histogram
+
+
+def main() -> None:
+    # A jittered square crystal: 30 x 30 sites in a unit box.
+    crystal = lattice(30, dim=2, jitter=0.08, rng=13)
+    spacing = 1.0 / 30
+    print(f"crystal: {crystal} (lattice constant {spacing:.4f})")
+
+    spec = UniformBuckets.with_count(crystal.max_periodic_distance, 120)
+
+    wrapped = compute_sdh(crystal, spec=spec, periodic=True)
+    check = brute_force_sdh(crystal, spec=spec, periodic=True)
+    assert np.array_equal(wrapped.counts, check.counts)
+    print(f"periodic SDH: {wrapped.total:,.0f} pairs "
+          f"(matches min-image brute force exactly)")
+
+    plain = compute_sdh(crystal, num_buckets=120)
+    moved = np.abs(
+        wrapped.counts - plain.counts[: len(wrapped.counts)]
+    ).sum() / wrapped.total
+    print(f"fraction of pair mass moved by wrapping: {moved:.1%}")
+
+    # g(r) with the exact torus normalization.
+    rdf = rdf_from_histogram(wrapped, crystal, finite_size="periodic")
+    shells = []
+    for multiple in (1.0, np.sqrt(2.0), 2.0):
+        target = multiple * spacing
+        window = rdf.truncated(1.25 * target)
+        idx = int(np.argmin(np.abs(window.r - target)))
+        shells.append((multiple, window.r[idx], window.g[idx]))
+    print("\ncoordination shells (periodic g(r)):")
+    for multiple, r, g in shells:
+        print(f"  r = {multiple:.3f} x spacing -> g({r:.4f}) = {g:.2f}")
+    assert shells[0][2] > 2.0, "nearest-neighbour peak missing?"
+
+    neighbours = rdf.coordination_number(1.3 * spacing)
+    print(f"\ncoordination number within 1.3 spacings: "
+          f"{neighbours:.2f} (square lattice: 4)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The environment has setuptools but no ``wheel`` package, so PEP-660
+editable installs (which build a wheel) fail offline.  This shim lets
+``pip install -e . --no-use-pep517`` / ``python setup.py develop`` work;
+all real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,140 @@
+"""repro — spatial distance histograms for scientific databases.
+
+A production-quality reproduction of
+
+    Yi-Cheng Tu, Shaoping Chen, Sagar Pandit.
+    "Computing Distance Histograms Efficiently in Scientific Databases."
+    ICDE 2009.
+
+The library computes the Spatial Distance Histogram (SDH) of particle
+datasets with the paper's density-map algorithms:
+
+>>> from repro import compute_sdh, uniform
+>>> data = uniform(2000, dim=2, rng=0)
+>>> hist = compute_sdh(data, num_buckets=16)
+>>> hist.total == data.num_pairs
+True
+
+Key entry points: :func:`compute_sdh` (one call, any engine),
+:class:`SDHQuery` (index once, query many times), :func:`adm_sdh`
+(constant-time approximate histograms), and :mod:`repro.physics` for
+the RDF/thermodynamics layer built on top.
+"""
+
+from .core import (
+    AllocationContext,
+    Allocator,
+    BucketSpec,
+    CustomBuckets,
+    DistanceHistogram,
+    GridSDHEngine,
+    OverflowPolicy,
+    SDHQuery,
+    SDHStats,
+    TreeSDHEngine,
+    UniformBuckets,
+    adm_sdh,
+    brute_force_cross_sdh,
+    brute_force_sdh,
+    choose_levels_for_error,
+    compute_sdh,
+    covering_factor,
+    covering_factor_model,
+    dm_sdh_exponent,
+    dm_sdh_grid,
+    dm_sdh_tree,
+    make_allocator,
+    non_covering_factor,
+    predict_error,
+)
+from .data import (
+    ParticleSet,
+    Trajectory,
+    figure1_dataset,
+    gaussian_clusters,
+    lattice,
+    load_particles,
+    load_xyz,
+    random_types,
+    random_walk_trajectory,
+    save_particles,
+    save_xyz,
+    synthetic_bilayer,
+    uniform,
+    zipf_clustered,
+)
+from .errors import (
+    BucketSpecError,
+    DatasetError,
+    DistanceOverflowError,
+    GeometryError,
+    QueryError,
+    ReproError,
+    StorageError,
+    TreeError,
+)
+from .geometry import AABB, BallRegion, RectRegion, Region, UnionRegion
+from .partition import KDPartition, kd_sdh
+from .quadtree import DensityMapTree, GridPyramid, tree_height
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AABB",
+    "AllocationContext",
+    "Allocator",
+    "BallRegion",
+    "BucketSpec",
+    "BucketSpecError",
+    "CustomBuckets",
+    "DatasetError",
+    "DensityMapTree",
+    "DistanceHistogram",
+    "DistanceOverflowError",
+    "GeometryError",
+    "GridPyramid",
+    "GridSDHEngine",
+    "KDPartition",
+    "OverflowPolicy",
+    "ParticleSet",
+    "QueryError",
+    "RectRegion",
+    "Region",
+    "ReproError",
+    "SDHQuery",
+    "SDHStats",
+    "StorageError",
+    "Trajectory",
+    "TreeError",
+    "TreeSDHEngine",
+    "UniformBuckets",
+    "UnionRegion",
+    "adm_sdh",
+    "brute_force_cross_sdh",
+    "brute_force_sdh",
+    "choose_levels_for_error",
+    "compute_sdh",
+    "covering_factor",
+    "covering_factor_model",
+    "dm_sdh_exponent",
+    "dm_sdh_grid",
+    "dm_sdh_tree",
+    "figure1_dataset",
+    "gaussian_clusters",
+    "kd_sdh",
+    "lattice",
+    "load_particles",
+    "load_xyz",
+    "make_allocator",
+    "non_covering_factor",
+    "predict_error",
+    "random_types",
+    "random_walk_trajectory",
+    "save_particles",
+    "save_xyz",
+    "synthetic_bilayer",
+    "tree_height",
+    "uniform",
+    "zipf_clustered",
+    "__version__",
+]

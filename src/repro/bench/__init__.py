@@ -1,0 +1,26 @@
+"""Benchmark harness utilities: workloads, timing, slope fits, tables."""
+
+from .plots import loglog_chart
+from .reporting import banner, format_series, format_table
+from .timing import Measurement, fit_loglog_slope, measure, tail_slope
+from .workloads import (
+    BASE_MEMBRANE_ATOMS,
+    DATASET_FAMILIES,
+    doubling_series,
+    make_dataset,
+)
+
+__all__ = [
+    "BASE_MEMBRANE_ATOMS",
+    "DATASET_FAMILIES",
+    "Measurement",
+    "banner",
+    "doubling_series",
+    "fit_loglog_slope",
+    "format_series",
+    "format_table",
+    "loglog_chart",
+    "make_dataset",
+    "measure",
+    "tail_slope",
+]

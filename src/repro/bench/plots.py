@@ -1,0 +1,125 @@
+"""ASCII chart rendering for figure-style benchmark output.
+
+The paper's evaluation is figures, not tables; the benchmark harness
+regenerates the numbers, and this module draws them — dependency-free
+log-log scatter charts with per-series markers and a reference-slope
+guide line — so ``benchmarks/results/*.txt`` contains something a
+reader can eyeball against the published plots.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from ..errors import QueryError
+
+__all__ = ["loglog_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def loglog_chart(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 64,
+    height: int = 20,
+    title: str | None = None,
+    guide_slope: float | None = None,
+) -> str:
+    """Render series on log-log axes as ASCII art.
+
+    Parameters
+    ----------
+    x_values:
+        Shared x coordinates (must be positive).
+    series:
+        Mapping from label to y values; ``NaN`` entries are skipped
+        (benchmarks use them for capped configurations).
+    width / height:
+        Plot area size in characters.
+    title:
+        Optional heading line.
+    guide_slope:
+        Draw a dashed reference line of this log-log slope through the
+        lower-right data region (the paper draws ``T = O(N^1.5)``
+        guides the same way).
+    """
+    if width < 16 or height < 6:
+        raise QueryError("chart too small to be readable")
+    points: list[tuple[float, float, int]] = []
+    labels = list(series)
+    for series_idx, label in enumerate(labels):
+        ys = series[label]
+        if len(ys) != len(x_values):
+            raise QueryError(f"series {label!r} length mismatch")
+        for x, y in zip(x_values, ys):
+            y = float(y)
+            if y != y:  # NaN -> skipped point
+                continue
+            if x <= 0 or y <= 0:
+                raise QueryError("log-log chart needs positive data")
+            points.append((math.log10(x), math.log10(y), series_idx))
+    if not points:
+        raise QueryError("nothing to plot")
+
+    lx = [p[0] for p in points]
+    ly = [p[1] for p in points]
+    x_lo, x_hi = min(lx), max(lx)
+    y_lo, y_hi = min(ly), max(ly)
+    x_span = max(x_hi - x_lo, 1e-9)
+    y_span = max(y_hi - y_lo, 1e-9)
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(lx_val: float, ly_val: float, char: str) -> None:
+        col = int(round((lx_val - x_lo) / x_span * (width - 1)))
+        row = int(round((ly_val - y_lo) / y_span * (height - 1)))
+        row = height - 1 - row
+        if 0 <= row < height and 0 <= col < width:
+            if grid[row][col] == " " or grid[row][col] == ".":
+                grid[row][col] = char
+
+    if guide_slope is not None:
+        # Anchor the guide through the largest-x point of the first
+        # series, like the paper's dotted O(N^k) lines.
+        anchor_x, anchor_y = max(
+            ((p[0], p[1]) for p in points), key=lambda t: t[0]
+        )
+        for col in range(width):
+            gx = x_lo + col / (width - 1) * x_span
+            gy = anchor_y + guide_slope * (gx - anchor_x)
+            place(gx, gy, ".")
+
+    for px, py, series_idx in points:
+        place(px, py, _MARKERS[series_idx % len(_MARKERS)])
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{10 ** y_hi:.3g}"
+    bottom_label = f"{10 ** y_lo:.3g}"
+    margin = max(len(top_label), len(bottom_label)) + 1
+    for row_idx, row in enumerate(grid):
+        if row_idx == 0:
+            prefix = top_label.rjust(margin)
+        elif row_idx == height - 1:
+            prefix = bottom_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(prefix + "|" + "".join(row))
+    axis = " " * margin + "+" + "-" * width
+    lines.append(axis)
+    lines.append(
+        " " * margin
+        + f" {10 ** x_lo:.3g}"
+        + f"{10 ** x_hi:.3g}".rjust(width - len(f"{10 ** x_lo:.3g}"))
+    )
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {label}"
+        for i, label in enumerate(labels)
+    )
+    if guide_slope is not None:
+        legend += f"  . guide slope {guide_slope:g}"
+    lines.append(legend)
+    return "\n".join(lines)

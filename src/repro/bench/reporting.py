@@ -1,0 +1,64 @@
+"""ASCII table/series rendering for the benchmark harness.
+
+Every benchmark prints the same rows/series the paper's table or figure
+reports, in plain monospace tables, so the regenerated experiment can
+be compared side by side with the publication (EXPERIMENTS.md records
+those comparisons).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series", "banner"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a right-aligned monospace table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render figure-style data: one x column, one column per series."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [values[i] for values in series.values()])
+    return format_table(headers, rows, title=title)
+
+
+def banner(text: str) -> str:
+    """A visually separated section heading."""
+    bar = "=" * max(len(text), 8)
+    return f"\n{bar}\n{text}\n{bar}"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,68 @@
+"""Timing helpers and log-log slope fitting.
+
+The paper's Figs. 8-9 plot running time against N on doubled log axes,
+so "the gradient of the lines reflects the time complexity": ~2 for
+brute force, ~1.5 for 2D DM-SDH, ~5/3 for 3D.  :func:`fit_loglog_slope`
+recovers that gradient from measured series; :func:`measure` is a small
+monotonic-clock stopwatch used by the harness.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+import numpy as np
+
+from ..errors import QueryError
+
+__all__ = ["Measurement", "measure", "fit_loglog_slope", "tail_slope"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One timed call: its result and elapsed wall-clock seconds."""
+
+    result: object
+    seconds: float
+
+
+def measure(fn: Callable[[], T]) -> Measurement:
+    """Run ``fn`` once under a monotonic clock."""
+    start = time.perf_counter()
+    result = fn()
+    return Measurement(result, time.perf_counter() - start)
+
+
+def fit_loglog_slope(x: np.ndarray, y: np.ndarray) -> float:
+    """Least-squares slope of ``log y`` against ``log x``.
+
+    This is the "gradient of the line" the paper reads off its log-log
+    plots; for a power law ``y ~ x^k`` it returns ``k``.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.size != y.size or x.size < 2:
+        raise QueryError("need at least two matching samples")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise QueryError("log-log fit needs positive samples")
+    slope, _intercept = np.polyfit(np.log(x), np.log(y), 1)
+    return float(slope)
+
+
+def tail_slope(x: np.ndarray, y: np.ndarray, points: int = 3) -> float:
+    """Slope fitted over only the largest ``points`` samples.
+
+    Asymptotic behaviour often emerges late (the paper's l=256 curves
+    bend from gradient 2 toward 1.5 only once N is large); fitting the
+    tail avoids averaging the pre-asymptotic regime in.
+    """
+    if points < 2:
+        raise QueryError("tail_slope needs at least two points")
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    order = np.argsort(x)
+    return fit_loglog_slope(x[order][-points:], y[order][-points:])

@@ -1,0 +1,80 @@
+"""Standard benchmark workloads mirroring the paper's experiments.
+
+The paper's Sec. VI evaluates on doubling series of N over three data
+families (uniform, Zipf, real membrane data) in 2D and 3D.  This module
+centralizes those workloads — scaled for a pure-Python substrate, see
+DESIGN.md — so every benchmark file speaks the same vocabulary.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..data import synthetic_bilayer, uniform, zipf_clustered
+from ..data.particles import ParticleSet
+from ..errors import QueryError
+
+__all__ = [
+    "DATASET_FAMILIES",
+    "doubling_series",
+    "make_dataset",
+    "BASE_MEMBRANE_ATOMS",
+]
+
+#: The membrane stand-in is generated once at this size and then
+#: duplication-scaled, exactly like the paper scales its 286,000-atom
+#: real dataset.
+BASE_MEMBRANE_ATOMS = 4000
+
+#: Dataset family names, matching the panels of Figs. 8 and 9.
+DATASET_FAMILIES: tuple[str, ...] = ("uniform", "zipf", "membrane")
+
+_membrane_cache: dict[tuple[int, int], ParticleSet] = {}
+
+
+def doubling_series(start: int, count: int) -> list[int]:
+    """``count`` doubling values of N starting at ``start``.
+
+    The paper uses 100,000 ... 6,400,000 (7 doublings); the scaled-down
+    benchmarks keep the doubling structure so log-log slopes remain
+    well-defined.
+    """
+    if start < 1 or count < 1:
+        raise QueryError("start and count must be positive")
+    return [start * (1 << i) for i in range(count)]
+
+
+def make_dataset(
+    family: str,
+    n: int,
+    dim: int,
+    seed: int = 0,
+) -> ParticleSet:
+    """One benchmark dataset: family in :data:`DATASET_FAMILIES`.
+
+    * ``uniform`` — Fig. 8a / 9a;
+    * ``zipf`` — Fig. 8b / 9b (order-one Zipf clustering);
+    * ``membrane`` — Fig. 8c / 9c (synthetic bilayer, duplication-scaled
+      from a fixed base configuration like the paper's real data).
+    """
+    rng = np.random.default_rng(seed)
+    if family == "uniform":
+        return uniform(n, dim=dim, rng=rng)
+    if family == "zipf":
+        return zipf_clustered(n, dim=dim, rng=rng)
+    if family == "membrane":
+        key = (dim, seed)
+        base = _membrane_cache.get(key)
+        if base is None:
+            base = synthetic_bilayer(
+                BASE_MEMBRANE_ATOMS, dim=dim, rng=np.random.default_rng(seed)
+            )
+            _membrane_cache[key] = base
+        if n == base.size:
+            return base
+        return base.scale_to(n, rng=rng)
+    raise QueryError(
+        f"unknown family {family!r}; pick from {DATASET_FAMILIES}"
+    )

@@ -1,0 +1,207 @@
+"""Command-line front end: ``repro-sdh`` / ``python -m repro``.
+
+Subcommands:
+
+* ``generate`` — write a synthetic dataset (uniform / zipf / membrane)
+  to a ``.npz`` or ``.xyz`` file;
+* ``sdh`` — compute a histogram for a dataset file and print it;
+* ``rdf`` — compute and print g(r);
+* ``info`` — dataset and density-map summary.
+
+The CLI is a thin veneer over the public API; anything serious should
+import :mod:`repro` directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from .core import SDHStats, compute_sdh
+from .data import (
+    ParticleSet,
+    load_particles,
+    load_xyz,
+    save_particles,
+    save_xyz,
+    synthetic_bilayer,
+    uniform,
+    zipf_clustered,
+)
+from .errors import ReproError
+from .physics import rdf_from_histogram
+from .quadtree import GridPyramid
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree of the CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sdh",
+        description=(
+            "Spatial distance histograms via density maps "
+            "(Tu, Chen & Pandit, ICDE 2009)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write a synthetic dataset")
+    gen.add_argument("output", help="target file (.npz or .xyz)")
+    gen.add_argument(
+        "--family",
+        choices=("uniform", "zipf", "membrane"),
+        default="uniform",
+    )
+    gen.add_argument("--n", type=int, default=10000, help="particle count")
+    gen.add_argument("--dim", type=int, choices=(2, 3), default=3)
+    gen.add_argument("--seed", type=int, default=0)
+
+    sdh = sub.add_parser("sdh", help="compute a distance histogram")
+    sdh.add_argument("input", help="dataset file (.npz or .xyz)")
+    group = sdh.add_mutually_exclusive_group(required=True)
+    group.add_argument("--width", type=float, help="bucket width p")
+    group.add_argument("--buckets", type=int, help="total bucket count l")
+    sdh.add_argument(
+        "--engine",
+        choices=("auto", "grid", "tree", "brute"),
+        default="auto",
+    )
+    sdh.add_argument(
+        "--error-bound",
+        type=float,
+        default=None,
+        help="run approximate ADM-SDH with this error bound",
+    )
+    sdh.add_argument(
+        "--heuristic", type=int, choices=(1, 2, 3, 4), default=3
+    )
+    sdh.add_argument("--mbr", action="store_true", help="use node MBRs")
+    sdh.add_argument(
+        "--periodic",
+        action="store_true",
+        help="minimum-image distances over the simulation box",
+    )
+    sdh.add_argument(
+        "--stats", action="store_true", help="print operation counters"
+    )
+
+    rdf = sub.add_parser("rdf", help="compute g(r) from a dataset")
+    rdf.add_argument("input", help="dataset file (.npz or .xyz)")
+    rdf.add_argument("--buckets", type=int, default=100)
+    rdf.add_argument(
+        "--periodic",
+        action="store_true",
+        help="minimum-image distances and torus normalization",
+    )
+
+    info = sub.add_parser("info", help="summarize a dataset")
+    info.add_argument("input", help="dataset file (.npz or .xyz)")
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "generate":
+            return _cmd_generate(args)
+        if args.command == "sdh":
+            return _cmd_sdh(args)
+        if args.command == "rdf":
+            return _cmd_rdf(args)
+        return _cmd_info(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _load(path: str) -> ParticleSet:
+    if path.endswith(".xyz"):
+        return load_xyz(path)
+    return load_particles(path)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    if args.family == "uniform":
+        data = uniform(args.n, dim=args.dim, rng=rng)
+    elif args.family == "zipf":
+        data = zipf_clustered(args.n, dim=args.dim, rng=rng)
+    else:
+        data = synthetic_bilayer(args.n, dim=args.dim, rng=rng)
+    if args.output.endswith(".xyz"):
+        save_xyz(args.output, data)
+    else:
+        save_particles(args.output, data)
+    print(f"wrote {data.size} particles ({args.family}, {args.dim}D) "
+          f"to {args.output}")
+    return 0
+
+
+def _cmd_sdh(args: argparse.Namespace) -> int:
+    data = _load(args.input)
+    stats = SDHStats()
+    histogram = compute_sdh(
+        data,
+        bucket_width=args.width,
+        num_buckets=args.buckets,
+        engine=args.engine,
+        use_mbr=args.mbr,
+        error_bound=args.error_bound,
+        heuristic=args.heuristic,
+        stats=stats,
+        periodic=args.periodic,
+    )
+    print(histogram.to_text())
+    print(f"total pairs: {histogram.total:.0f}")
+    if args.stats:
+        print(f"start level:       {stats.start_level}")
+        print(f"resolve calls:     {stats.total_resolve_calls}")
+        print(f"resolved pairs:    {stats.total_resolved_pairs}")
+        print(f"distances computed:{stats.distance_computations}")
+        if stats.approximated_distances:
+            print(f"approximated:      {stats.approximated_distances:.0f}")
+    return 0
+
+
+def _cmd_rdf(args: argparse.Namespace) -> int:
+    data = _load(args.input)
+    histogram = compute_sdh(
+        data, num_buckets=args.buckets, periodic=args.periodic
+    )
+    rdf = rdf_from_histogram(
+        histogram,
+        data,
+        finite_size="periodic" if args.periodic else "corrected",
+    )
+    for r, g in zip(rdf.r, rdf.g):
+        print(f"{r:12.6f} {g:12.6f}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    data = _load(args.input)
+    pyramid = GridPyramid(data)
+    print(f"particles:  {data.size}")
+    print(f"dimensions: {data.dim}")
+    print(f"box:        {data.box}")
+    if data.types is not None:
+        names = data.type_names
+        for code in np.unique(data.types):
+            label = names.get(int(code), str(code))
+            count = int(np.count_nonzero(data.types == code))
+            print(f"  type {label}: {count}")
+    print(f"tree height (Eq. 2): {pyramid.height}")
+    finest = pyramid.counts(pyramid.leaf_level)
+    print(f"leaf cells: {finest.size} ({np.count_nonzero(finest)} occupied)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

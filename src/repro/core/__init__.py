@@ -1,0 +1,90 @@
+"""The paper's contribution: DM-SDH, ADM-SDH, and their analysis.
+
+Modules:
+
+* :mod:`~repro.core.buckets`, :mod:`~repro.core.histogram` — the query
+  and result types;
+* :mod:`~repro.core.brute_force` — the quadratic baseline;
+* :mod:`~repro.core.dm_sdh` — the node-recursive reference engine
+  (paper Fig. 2, with region/type varieties and MBR);
+* :mod:`~repro.core.dm_sdh_grid` — the vectorized engine with identical
+  output;
+* :mod:`~repro.core.approximate`, :mod:`~repro.core.heuristics` —
+  ADM-SDH and the Sec.-V distribution heuristics;
+* :mod:`~repro.core.analysis` — covering factors, Table III, cost model;
+* :mod:`~repro.core.query` — the high-level front door.
+"""
+
+from .analysis import (
+    PAPER_TABLE3,
+    approximate_cost,
+    choose_levels_for_error,
+    covering_factor,
+    covering_factor_model,
+    dm_sdh_exponent,
+    geometric_progression_cost,
+    lemma1_ratios,
+    non_covering_factor,
+)
+from .approximate import adm_sdh, levels_for_error
+from .brute_force import brute_force_cross_sdh, brute_force_sdh
+from .buckets import BucketSpec, CustomBuckets, OverflowPolicy, UniformBuckets
+from .dm_sdh import TreeSDHEngine, dm_sdh_tree
+from .error_model import (
+    PredictedError,
+    heuristic_binning_error,
+    predict_error,
+    survivor_population,
+)
+from .dm_sdh_grid import GridSDHEngine, dm_sdh_grid
+from .heuristics import (
+    AllocationContext,
+    Allocator,
+    DistributionModelAllocator,
+    EvenSplitAllocator,
+    ProportionalAllocator,
+    SingleBucketAllocator,
+    make_allocator,
+)
+from .histogram import DistanceHistogram
+from .instrumentation import SDHStats
+from .query import SDHQuery, compute_sdh
+
+__all__ = [
+    "PAPER_TABLE3",
+    "AllocationContext",
+    "Allocator",
+    "BucketSpec",
+    "CustomBuckets",
+    "DistanceHistogram",
+    "DistributionModelAllocator",
+    "EvenSplitAllocator",
+    "GridSDHEngine",
+    "OverflowPolicy",
+    "PredictedError",
+    "ProportionalAllocator",
+    "SDHQuery",
+    "SDHStats",
+    "SingleBucketAllocator",
+    "TreeSDHEngine",
+    "UniformBuckets",
+    "adm_sdh",
+    "approximate_cost",
+    "brute_force_cross_sdh",
+    "brute_force_sdh",
+    "choose_levels_for_error",
+    "compute_sdh",
+    "covering_factor",
+    "covering_factor_model",
+    "dm_sdh_exponent",
+    "dm_sdh_grid",
+    "dm_sdh_tree",
+    "geometric_progression_cost",
+    "heuristic_binning_error",
+    "lemma1_ratios",
+    "levels_for_error",
+    "make_allocator",
+    "non_covering_factor",
+    "predict_error",
+    "survivor_population",
+]

@@ -1,0 +1,375 @@
+"""The paper's analytical model: covering factors and cost equations.
+
+Sec. IV of the paper analyzes DM-SDH through the *covering factor*: the
+fraction of cell-pair (equivalently, under reasonable data
+distributions, particle-pair) mass resolved after visiting ``m``
+density-map levels below the start map ``DM_1``.  Its complement, the
+*non-covering factor* ``alpha(m)``, obeys Lemma 1::
+
+    lim_{p -> 0} alpha(m + 1) / alpha(m) = 1/2
+
+which drives both the ``Theta(N^{(2d-1)/d})`` runtime of the exact
+algorithm (Theorems 1-3) and the error bound of the approximate one
+(Sec. V: visiting ``m ~ log2(1/epsilon)`` levels leaves less than an
+``epsilon`` fraction of distances unresolved).
+
+This module provides:
+
+* :data:`PAPER_TABLE3` — the paper's published Table III (computed by
+  the authors with Mathematica 6.0), used as the production model for
+  :func:`choose_levels_for_error`;
+* :func:`covering_factor_model` — an independent numerical recomputation
+  of the covering factor from first principles (simulating the pure
+  cell-pair geometry on an idealized density-map hierarchy), used by the
+  Table III benchmark to validate the published numbers;
+* the cost equations (3)-(5) and the complexity exponents.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import QueryError
+
+__all__ = [
+    "PAPER_TABLE3",
+    "TABLE3_BUCKET_COUNTS",
+    "non_covering_factor",
+    "covering_factor",
+    "choose_levels_for_budget",
+    "choose_levels_for_error",
+    "covering_factor_model",
+    "dm_sdh_exponent",
+    "geometric_progression_cost",
+    "approximate_cost",
+    "lemma1_ratios",
+]
+
+#: Bucket counts (columns) of the paper's Table III.
+TABLE3_BUCKET_COUNTS: tuple[int, ...] = (2, 4, 8, 16, 32, 64, 128, 256)
+
+#: The paper's Table III: expected percentage of cell pairs resolvable
+#: after visiting m levels (rows m = 1..10) for each total bucket count
+#: (columns).  Values are percentages, verbatim from the paper.
+PAPER_TABLE3: dict[int, tuple[float, ...]] = {
+    1: (50.6565, 52.1591, 52.5131, 52.5969, 52.6167, 52.6214, 52.6225, 52.6227),
+    2: (74.8985, 75.9917, 76.2390, 76.2951, 76.3078, 76.3106, 76.3112, 76.3114),
+    3: (87.3542, 87.9794, 88.1171, 88.1473, 88.1539, 88.1553, 88.1556, 88.1557),
+    4: (93.6550, 93.9863, 94.0582, 94.0737, 94.0770, 94.0777, 94.0778, 94.0778),
+    5: (96.8222, 96.9924, 97.0290, 97.0369, 97.0385, 97.0388, 97.0389, 97.0389),
+    6: (98.4098, 98.4960, 98.5145, 98.5184, 98.5193, 98.5194, 98.5195, 98.5195),
+    7: (99.2046, 99.2480, 99.2572, 99.2592, 99.2596, 99.2597, 99.2597, 99.2597),
+    8: (99.6022, 99.6240, 99.6286, 99.6296, 99.6298, 99.6299, 99.6299, 99.6299),
+    9: (99.8011, 99.8120, 99.8143, 99.8148, 99.8149, 99.8149, 99.8149, 99.8149),
+    10: (99.9005, 99.9060, 99.9072, 99.9074, 99.9075, 99.9075, 99.9075, 99.9075),
+}
+
+
+def _column_for(num_buckets: int) -> int:
+    """Index of the Table III column to use for a bucket count.
+
+    The table's values converge rapidly in ``l``; the nearest column
+    with ``l' >= l`` is used (clamped at 256, since the values are flat
+    there to all published digits).
+    """
+    for idx, l in enumerate(TABLE3_BUCKET_COUNTS):
+        if num_buckets <= l:
+            return idx
+    return len(TABLE3_BUCKET_COUNTS) - 1
+
+
+def covering_factor(m: int, num_buckets: int = 256) -> float:
+    """Published covering factor ``1 - alpha(m)`` as a fraction in [0, 1].
+
+    For ``m`` beyond the table's 10 rows, ``alpha`` is extrapolated by
+    Lemma 1's halving.  ``m = 0`` returns 0 (nothing below the start map
+    has been visited yet).
+    """
+    if m < 0:
+        raise QueryError(f"m must be >= 0, got {m}")
+    if m == 0:
+        return 0.0
+    column = _column_for(num_buckets)
+    max_m = max(PAPER_TABLE3)
+    if m <= max_m:
+        return PAPER_TABLE3[m][column] / 100.0
+    alpha_last = 1.0 - PAPER_TABLE3[max_m][column] / 100.0
+    return 1.0 - alpha_last * 0.5 ** (m - max_m)
+
+
+def non_covering_factor(m: int, num_buckets: int = 256) -> float:
+    """Published non-covering factor ``alpha(m)`` as a fraction."""
+    return 1.0 - covering_factor(m, num_buckets)
+
+
+def choose_levels_for_error(
+    error_bound: float,
+    num_buckets: int = 256,
+    dim: int = 2,
+) -> int:
+    """Smallest ``m`` with ``alpha(m) <= error_bound``.
+
+    This is the Sec.-V procedure: "given a user-specified error bound
+    epsilon, we can find the appropriate levels of density maps to
+    visit" by consulting Table III.  The paper's 3D analysis also obeys
+    Lemma 1, so the same table (a slightly conservative stand-in, since
+    the paper gives no 3D table) is used for ``dim == 3``; the
+    rule-of-thumb ``m = log2(1/epsilon)`` is the same in both cases.
+    """
+    if not 0 < error_bound < 1:
+        raise QueryError(
+            f"error_bound must be in (0, 1), got {error_bound}"
+        )
+    if dim not in (2, 3):
+        raise QueryError(f"dim must be 2 or 3, got {dim}")
+    m = 1
+    # Lemma 1 guarantees alpha shrinks geometrically, so this terminates.
+    while non_covering_factor(m, num_buckets) > error_bound:
+        m += 1
+    return m
+
+
+# ----------------------------------------------------------------------
+# Cost equations (Sec. IV-A and Sec. V)
+# ----------------------------------------------------------------------
+def dm_sdh_exponent(dim: int) -> float:
+    """The exponent of Theorem 3: DM-SDH runs in Theta(N^{(2d-1)/d}).
+
+    1.5 for 2D data, 5/3 for 3D.
+    """
+    if dim not in (2, 3):
+        raise QueryError(f"dim must be 2 or 3, got {dim}")
+    return (2 * dim - 1) / dim
+
+
+def geometric_progression_cost(
+    start_pairs: float, levels: int, dim: int
+) -> float:
+    """Equation (3): total cell-resolution operations.
+
+    ``T_c = I * (2^{(2d-1)(n+1)} - 1) / (2^{2d-1} - 1)`` where ``I`` is
+    the number of cell pairs on the start map and ``n`` the number of
+    density maps visited below it.
+    """
+    if levels < 0:
+        raise QueryError(f"levels must be >= 0, got {levels}")
+    base = 2 ** (2 * dim - 1)
+    return start_pairs * (base ** (levels + 1) - 1) / (base - 1)
+
+
+def approximate_cost(
+    start_pairs: float,
+    error_bound: float | None = None,
+    levels: int | None = None,
+    dim: int = 2,
+) -> float:
+    """Equation (5): ADM-SDH cost, independent of the dataset size.
+
+    ``T(N) ~ I * 2^{(2d-1) m} = I * (1/epsilon)^{2d-1}`` with
+    ``m = log2(1/epsilon)``.  Provide either ``levels`` (m) or
+    ``error_bound`` (epsilon).
+    """
+    if (levels is None) == (error_bound is None):
+        raise QueryError("provide exactly one of levels / error_bound")
+    if levels is None:
+        assert error_bound is not None
+        if not 0 < error_bound < 1:
+            raise QueryError("error_bound must be in (0, 1)")
+        levels = math.log2(1.0 / error_bound)
+    return start_pairs * 2.0 ** ((2 * dim - 1) * levels)
+
+
+def choose_levels_for_budget(
+    start_pairs: float, budget: float, dim: int = 2
+) -> int:
+    """Deepest ``m`` whose Eq.-(3) resolution cost fits the budget.
+
+    The anytime knob: given an operation budget (cell-resolution calls
+    the caller is willing to spend), invert the geometric-progression
+    cost model to find how many density-map levels ADM-SDH can afford
+    to visit.  Returns 0 when even the start map alone exceeds the
+    budget (the engine still answers, distributing everything
+    heuristically after one map).
+    """
+    if start_pairs < 0 or budget <= 0:
+        raise QueryError("start_pairs must be >= 0 and budget positive")
+    if dim not in (2, 3):
+        raise QueryError(f"dim must be 2 or 3, got {dim}")
+    m = 0
+    while (
+        geometric_progression_cost(start_pairs, m + 1, dim) <= budget
+        and m < 64
+    ):
+        m += 1
+    return m
+
+
+def lemma1_ratios(alphas: list[float] | np.ndarray) -> np.ndarray:
+    """Successive ratios ``alpha(m+1) / alpha(m)`` (Lemma 1 says -> 1/2)."""
+    arr = np.asarray(alphas, dtype=float)
+    if arr.size < 2:
+        return np.empty(0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return arr[1:] / arr[:-1]
+
+
+# ----------------------------------------------------------------------
+# Independent numerical recomputation of the covering factor
+# ----------------------------------------------------------------------
+def covering_factor_model(
+    m: int,
+    num_buckets: int,
+    dim: int = 2,
+    samples: int = 64,
+    rng: np.random.Generator | int | None = 0,
+    max_tracked_pairs: int = 50_000_000,
+) -> float:
+    """Recompute the covering factor from the cell-pair geometry.
+
+    The model simulates exactly what DM-SDH's resolution phase does, on
+    an idealized hierarchy where the start map ``DM_1`` has cell
+    diagonal exactly equal to the bucket width ``p`` (the theoretical
+    setting of Sec. IV):
+
+    * a reference start-map cell ``A`` is fixed; a level-``m`` sub-cell
+      ``a`` of ``A`` is chosen (averaged over ``samples`` draws — the
+      published table is the expectation over all sub-cells);
+    * every start-map cell ``B`` whose distance range from ``A`` lies
+      within the histogram (``v <= l*p``) starts one pair ``(A, B)``;
+    * pairs resolve when their min/max distance bounds share a bucket;
+      unresolved pairs split into the ``2^d`` children of the ``B`` side
+      (the ``a`` side follows the fixed sub-cell's ancestor path), each
+      child carrying ``2^-d`` of the parent's mass;
+    * the covering factor after ``m`` levels is the resolved mass
+      fraction.
+
+    For 2D this reproduces the paper's Table III to within ~2 points at
+    m=1 and well under 1 point from m=3 on (the residual difference is
+    the boundary convention: the paper integrates idealized region
+    areas, we count actual cells), and the Lemma-1 halving of the
+    non-covering factor emerges exactly.  For 3D — where the paper
+    reports only that numerical results obey Lemma 1 — it supplies
+    those numbers.
+
+    Labeling note: matching the published rows requires counting ``m``
+    from one subdivision round below the idealized diagonal-equals-p
+    map (on that map itself no pair can resolve, because every pair's
+    min/max distance window is wider than a bucket).  The function
+    follows the paper's labeling, so ``covering_factor_model(m, l)``
+    is directly comparable with ``PAPER_TABLE3[m]``.
+    """
+    if m < 0:
+        raise QueryError(f"m must be >= 0, got {m}")
+    if dim not in (2, 3):
+        raise QueryError(f"dim must be 2 or 3, got {dim}")
+    if num_buckets < 1:
+        raise QueryError("num_buckets must be >= 1")
+    if m == 0:
+        return 0.0
+    if isinstance(rng, np.random.Generator):
+        generator = rng
+    else:
+        generator = np.random.default_rng(rng)
+
+    # Paper row m == m+1 subdivision rounds below the diag==p map (see
+    # the labeling note in the docstring).
+    m = m + 1
+
+    # Work in units of the level-m cell side.  The start cell has side
+    # 2^m and diagonal p, so p = sqrt(d) * 2^m in these units.
+    scale = 1 << m
+    p = math.sqrt(dim) * scale
+    high = num_buckets * p
+
+    # Start-map cells B within range: offsets (in start-map cells) whose
+    # max distance to A stays within the histogram.
+    reach = int(math.ceil(num_buckets * math.sqrt(dim))) + 1
+    axes = [np.arange(-reach, reach + 1)] * dim
+    mesh = np.meshgrid(*axes, indexing="ij")
+    offsets0 = np.stack([g.ravel() for g in mesh], axis=1)  # start cells
+    # v for start-map pairs (cell side = scale in fine units).
+    span0 = (np.abs(offsets0) + 1) * float(scale)
+    v0 = np.sqrt(np.einsum("ij,ij->i", span0, span0))
+    in_scope = v0 <= high * (1 + 1e-12)
+    offsets0 = offsets0[in_scope]
+    # Drop the intra-cell pair (A, A): handled by the bucket-0 shortcut,
+    # not by RESOLVETWOCELLS.
+    keep = np.any(offsets0 != 0, axis=1)
+    offsets0 = offsets0[keep]
+    denom = float(offsets0.shape[0])
+    if denom == 0:
+        return 1.0
+
+    resolved_mass = 0.0
+    for _ in range(samples):
+        # The fixed sub-cell a, in fine units within A = [0, scale)^d.
+        a_fine = generator.integers(0, scale, size=dim)
+        resolved_mass += _fixed_subcell_run(
+            a_fine, offsets0 * scale, m, dim, p, num_buckets,
+            max_tracked_pairs,
+        )
+    return resolved_mass / (samples * denom)
+
+
+def _fixed_subcell_run(
+    a_fine: np.ndarray,
+    b_fine0: np.ndarray,
+    m: int,
+    dim: int,
+    p: float,
+    num_buckets: int,
+    max_tracked_pairs: int,
+) -> float:
+    """Resolved mass (in start-map pair units) for one fixed sub-cell.
+
+    ``b_fine0``: start-map B cells, lower corners in fine units.
+    The B side refines by 2x per level; the a side follows the ancestors
+    of ``a_fine``.
+    """
+    resolved = 0.0
+    b_cells = b_fine0  # lower corners, fine units
+    for level in range(0, m + 1):
+        side = 1 << (m - level)  # cell side in fine units at this level
+        a_lo = (a_fine // side) * side
+        diff = np.abs(b_cells - a_lo)
+        gap = np.maximum(diff - side, 0).astype(float)
+        span = (diff + side).astype(float)
+        u = np.sqrt(np.einsum("ij,ij->i", gap, gap))
+        v = np.sqrt(np.einsum("ij,ij->i", span, span))
+        bu = np.floor(u / p).astype(np.int64)
+        bv = np.floor(v / p).astype(np.int64)
+        # Closed last bucket: v == l*p belongs to bucket l-1.
+        bv[np.isclose(v, num_buckets * p, rtol=1e-12, atol=0)] = (
+            num_buckets - 1
+        )
+        res = bu == bv
+        # Mass units: each level-`level` pair carries 2^{-d*level} of a
+        # start-map pair.
+        resolved += float(res.sum()) / (2 ** (dim * level))
+        if level == m:
+            break
+        survivors = b_cells[~res]
+        if survivors.shape[0] == 0:
+            break
+        child_side = side // 2
+        shifts = _child_shifts(dim) * child_side
+        b_cells = (
+            survivors[:, None, :] + shifts[None, :, :]
+        ).reshape(-1, dim)
+        if b_cells.shape[0] > max_tracked_pairs:
+            raise QueryError(
+                f"covering-factor model would track {b_cells.shape[0]} "
+                f"pairs (> {max_tracked_pairs}); reduce m or num_buckets"
+            )
+    return resolved
+
+
+def _child_shifts(dim: int) -> np.ndarray:
+    """The 2^d child-corner offsets in units of the child cell side."""
+    shifts = np.zeros((2**dim, dim), dtype=np.int64)
+    for code in range(2**dim):
+        for axis in range(dim):
+            shifts[code, axis] = (code >> axis) & 1
+    return shifts

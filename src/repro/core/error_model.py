@@ -1,0 +1,237 @@
+"""A statistical model of ADM-SDH's real error (paper Sec. VI-C).
+
+The paper observes that its Table-III bound is loose — "the real error
+bound should be described as ``epsilon = epsilon_1 * epsilon_2`` where
+``epsilon_1`` is the percentage given by Table III and ``epsilon_2`` is
+the error rate created by the heuristic binning" — and calls for
+statistical models of that bound as future work.  This module builds
+one:
+
+* ``epsilon_1 = alpha(m)`` — the unresolved pair-mass fraction, from
+  the covering-factor machinery of :mod:`repro.core.analysis`;
+* ``epsilon_2`` — the *net* misbinning rate of a heuristic over the
+  population of pairs that actually survive to the stop level.  The
+  population is simulated exactly like the covering-factor model
+  (idealized diag == p hierarchy); for each surviving cell-pair offset
+  class, the true distance distribution (Monte-Carlo, uniform points in
+  the two cells) is compared with the heuristic's allocation, and the
+  *signed* per-bucket differences are accumulated — capturing the
+  cancellation effect the paper highlights ("the effects of this
+  mistake could be cancelled out by a subsequent mistake").
+
+The predicted histogram error rate is ``alpha(m) * epsilon_2``;
+``benchmarks/bench_error_model.py`` compares it against measured
+ADM-SDH errors.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import QueryError
+from .analysis import _child_shifts, non_covering_factor
+from .buckets import UniformBuckets
+from .heuristics import AllocationContext, Allocator, make_allocator
+
+__all__ = [
+    "PredictedError",
+    "survivor_population",
+    "heuristic_binning_error",
+    "predict_error",
+]
+
+
+@dataclass(frozen=True)
+class PredictedError:
+    """Decomposition of the predicted ADM-SDH error."""
+
+    #: Unresolved pair-mass fraction after m levels (Table III's alpha).
+    alpha: float
+    #: Net misbinning rate of the heuristic over the unresolved mass.
+    epsilon2: float
+
+    @property
+    def total(self) -> float:
+        """Predicted histogram error rate ``alpha * epsilon2``."""
+        return self.alpha * self.epsilon2
+
+
+def survivor_population(
+    m: int,
+    num_buckets: int,
+    dim: int = 2,
+    samples: int = 8,
+    rng: np.random.Generator | int | None = 0,
+    max_tracked_pairs: int = 20_000_000,
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Offset classes of pairs still unresolved after m levels.
+
+    Returns ``(offsets, weights, cell_scale)`` where ``offsets`` is an
+    ``(k, d)`` integer array of per-axis cell offsets (in level-m cell
+    units, deduplicated), ``weights`` the pair-mass share of each class
+    within the unresolved population, and ``cell_scale`` the bucket
+    width measured in level-m cell sides (``p / delta_m``).
+
+    Labeling matches the published Table III (see
+    :func:`~repro.core.analysis.covering_factor_model`).
+    """
+    if m < 1:
+        raise QueryError(f"m must be >= 1, got {m}")
+    if dim not in (2, 3):
+        raise QueryError(f"dim must be 2 or 3, got {dim}")
+    if isinstance(rng, np.random.Generator):
+        generator = rng
+    else:
+        generator = np.random.default_rng(rng)
+
+    # Paper row m == m+1 subdivision rounds below the diag==p map.
+    rounds = m + 1
+    scale = 1 << rounds
+    p = math.sqrt(dim) * scale
+    high = num_buckets * p
+
+    reach = int(math.ceil(num_buckets * math.sqrt(dim))) + 1
+    axes = [np.arange(-reach, reach + 1)] * dim
+    mesh = np.meshgrid(*axes, indexing="ij")
+    offsets0 = np.stack([g.ravel() for g in mesh], axis=1)
+    span0 = (np.abs(offsets0) + 1) * float(scale)
+    v0 = np.sqrt(np.einsum("ij,ij->i", span0, span0))
+    offsets0 = offsets0[v0 <= high * (1 + 1e-12)]
+    offsets0 = offsets0[np.any(offsets0 != 0, axis=1)]
+    if offsets0.shape[0] == 0:
+        raise QueryError("no in-scope start pairs; increase num_buckets")
+
+    collected: dict[tuple[int, ...], float] = {}
+    shifts = _child_shifts(dim)
+    for _ in range(samples):
+        a_fine = generator.integers(0, scale, size=dim)
+        b_cells = offsets0 * scale
+        survived = None
+        for level in range(0, rounds + 1):
+            side = 1 << (rounds - level)
+            a_lo = (a_fine // side) * side
+            diff = np.abs(b_cells - a_lo)
+            gap = np.maximum(diff - side, 0).astype(float)
+            span = (diff + side).astype(float)
+            u = np.sqrt(np.einsum("ij,ij->i", gap, gap))
+            v = np.sqrt(np.einsum("ij,ij->i", span, span))
+            bu = np.floor(u / p).astype(np.int64)
+            bv = np.floor(v / p).astype(np.int64)
+            bv[np.isclose(v, num_buckets * p, rtol=1e-12, atol=0)] = (
+                num_buckets - 1
+            )
+            res = bu == bv
+            if level == rounds:
+                survived = b_cells[~res]
+                break
+            survivors = b_cells[~res]
+            if survivors.shape[0] == 0:
+                survived = survivors
+                break
+            child_side = side // 2
+            b_cells = (
+                survivors[:, None, :] + shifts[None, :, :] * child_side
+            ).reshape(-1, dim)
+            if b_cells.shape[0] > max_tracked_pairs:
+                raise QueryError(
+                    "survivor population too large; reduce m or "
+                    "num_buckets"
+                )
+        assert survived is not None
+        for offset in np.abs(survived - a_fine):
+            key = tuple(int(o) for o in offset)
+            collected[key] = collected.get(key, 0.0) + 1.0
+
+    if not collected:
+        return (
+            np.empty((0, dim), dtype=np.int64),
+            np.empty(0),
+            p,
+        )
+    offsets = np.asarray(sorted(collected), dtype=np.int64)
+    weights = np.asarray([collected[tuple(o)] for o in offsets])
+    weights = weights / weights.sum()
+    return offsets, weights, p
+
+
+def heuristic_binning_error(
+    heuristic: int | str | Allocator,
+    m: int,
+    num_buckets: int,
+    dim: int = 2,
+    samples: int = 8,
+    mc_samples: int = 2048,
+    rng: np.random.Generator | int | None = 0,
+) -> float:
+    """``epsilon_2``: net misbinning rate of a heuristic at level m.
+
+    For each surviving offset class, the heuristic's allocation of one
+    unit of pair mass is compared against the Monte-Carlo truth; the
+    *signed* differences are summed over the whole population per
+    bucket, then their absolute values added up — exactly how the
+    paper's error metric treats an actual histogram, so cancellation
+    between classes (and within buckets) is accounted for.
+    """
+    if isinstance(rng, np.random.Generator):
+        generator = rng
+    else:
+        generator = np.random.default_rng(rng)
+    offsets, weights, p = survivor_population(
+        m, num_buckets, dim=dim, samples=samples, rng=generator
+    )
+    if offsets.shape[0] == 0:
+        return 0.0
+
+    allocator = make_allocator(heuristic)
+    spec = UniformBuckets(p, num_buckets)
+    net = np.zeros(num_buckets)
+    context = AllocationContext(rng=generator)
+    for offset, weight in zip(offsets, weights):
+        # Truth: sampled distance distribution of the two unit cells.
+        a = generator.uniform(size=(mc_samples, dim))
+        b = generator.uniform(size=(mc_samples, dim)) + offset
+        delta = a - b
+        d = np.sqrt(np.einsum("ij,ij->i", delta, delta))
+        idx = np.clip(
+            spec.bucket_of(d), 0, num_buckets - 1
+        )
+        truth = np.bincount(idx, minlength=num_buckets) / mc_samples
+
+        # Heuristic allocation of the same unit mass.
+        gap = np.maximum(np.abs(offset) - 1, 0).astype(float)
+        span = (np.abs(offset) + 1).astype(float)
+        u = float(np.sqrt((gap * gap).sum()))
+        v = float(np.sqrt((span * span).sum()))
+        context_local = AllocationContext(
+            offsets=offset[None, :].astype(np.int64),
+            cell_sides=np.ones(dim),
+            rng=context.rng,
+        )
+        alloc = allocator.allocate(
+            spec,
+            np.asarray([u]),
+            np.asarray([v]),
+            np.asarray([1.0]),
+            context_local,
+        )
+        net += weight * (alloc - truth)
+    return float(np.abs(net).sum())
+
+
+def predict_error(
+    heuristic: int | str | Allocator,
+    m: int,
+    num_buckets: int,
+    dim: int = 2,
+    samples: int = 8,
+    rng: np.random.Generator | int | None = 0,
+) -> PredictedError:
+    """The full decomposition ``epsilon = alpha(m) * epsilon_2``."""
+    alpha = non_covering_factor(m, num_buckets)
+    epsilon2 = heuristic_binning_error(
+        heuristic, m, num_buckets, dim=dim, samples=samples, rng=rng
+    )
+    return PredictedError(alpha=alpha, epsilon2=epsilon2)

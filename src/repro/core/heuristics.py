@@ -1,0 +1,326 @@
+"""Distribution heuristics for unresolved cell pairs (paper Sec. V).
+
+When the approximate algorithm stops descending the tree, each
+surviving cell pair carries ``n1 * n2`` distances known only to lie in
+the range ``[u, v]``, which may span several buckets (Fig. 7).  The
+paper proposes four heuristics, "ordered in their expected
+correctness", to distribute those counts:
+
+1. put all counts into one overlapped bucket;
+2. split the counts evenly over the overlapped buckets;
+3. split proportionally to the overlap length of ``[u, v]`` with each
+   bucket (assumes uniformly distributed distances);
+4. derive the distance distribution from a spatial model of the
+   particles within the cells (here: uniform-in-cell Monte Carlo,
+   computed once per cell-offset class and cached — the paper notes the
+   distribution "can be derived offline").
+
+All allocators are vectorized over the pair arrays and preserve total
+mass exactly: the histogram gains ``sum(weights)`` counts.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import QueryError
+from .buckets import BucketSpec
+
+__all__ = [
+    "AllocationContext",
+    "Allocator",
+    "SingleBucketAllocator",
+    "EvenSplitAllocator",
+    "ProportionalAllocator",
+    "DistributionModelAllocator",
+    "make_allocator",
+]
+
+
+@dataclass
+class AllocationContext:
+    """Extra geometry the engine knows about the unresolved pairs.
+
+    Only :class:`DistributionModelAllocator` needs it; the simpler
+    heuristics work from ``[u, v]`` alone.
+    """
+
+    #: Per-pair absolute per-axis cell index offsets, shape ``(n, d)``.
+    offsets: np.ndarray | None = None
+    #: Per-axis cell side lengths at the level the pairs live on.
+    cell_sides: np.ndarray | None = None
+    #: Random generator for sampled models (seeded by the engine).
+    rng: np.random.Generator = field(
+        default_factory=np.random.default_rng
+    )
+
+
+class Allocator(ABC):
+    """Interface: distribute pair counts over the histogram buckets."""
+
+    @abstractmethod
+    def allocate(
+        self,
+        spec: BucketSpec,
+        u: np.ndarray,
+        v: np.ndarray,
+        weights: np.ndarray,
+        context: AllocationContext | None = None,
+    ) -> np.ndarray:
+        """Per-bucket counts for pairs with ranges ``[u, v]``.
+
+        Returns a float array of length ``spec.num_buckets`` whose sum
+        equals ``weights.sum()``.
+        """
+
+    # Helper shared by the subclasses ----------------------------------
+    @staticmethod
+    def _clipped_span(
+        spec: BucketSpec, u: np.ndarray, v: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """First/last overlapped bucket index per pair, clipped valid."""
+        l = spec.num_buckets
+        lo = np.clip(spec.bucket_of(u), 0, l - 1)
+        hi = np.clip(spec.bucket_of(v), 0, l - 1)
+        return lo, hi
+
+
+class SingleBucketAllocator(Allocator):
+    """Heuristic 1: all counts into one bucket.
+
+    ``choice='first'`` uses the first overlapped bucket (the "chosen
+    arbitrarily beforehand" variant); ``choice='random'`` picks one of
+    the overlapped buckets uniformly at runtime.
+    """
+
+    def __init__(self, choice: str = "first"):
+        if choice not in ("first", "random"):
+            raise QueryError(f"unknown choice {choice!r}")
+        self.choice = choice
+
+    def allocate(self, spec, u, v, weights, context=None):
+        lo, hi = self._clipped_span(spec, u, v)
+        if self.choice == "first":
+            target = lo
+        else:
+            rng = (context or AllocationContext()).rng
+            span = hi - lo + 1
+            target = lo + (rng.random(lo.shape) * span).astype(np.int64)
+            target = np.minimum(target, hi)
+        return np.bincount(
+            target, weights=weights, minlength=spec.num_buckets
+        ).astype(float)
+
+
+class EvenSplitAllocator(Allocator):
+    """Heuristic 2: equal shares for every overlapped bucket.
+
+    Implemented with a difference array so the cost is
+    ``O(pairs + buckets)`` regardless of how many buckets each range
+    spans.
+    """
+
+    def allocate(self, spec, u, v, weights, context=None):
+        lo, hi = self._clipped_span(spec, u, v)
+        l = spec.num_buckets
+        share = np.asarray(weights, dtype=float) / (hi - lo + 1)
+        diff = np.zeros(l + 1, dtype=float)
+        np.add.at(diff, lo, share)
+        np.add.at(diff, hi + 1, -share)
+        return np.cumsum(diff)[:l]
+
+
+class ProportionalAllocator(Allocator):
+    """Heuristic 3: shares proportional to bucket overlap with [u, v].
+
+    Equivalent to assuming the distances of each pair are uniformly
+    distributed over their feasible range.  Interior buckets receive
+    ``w * width_j / (v - u)``; the two boundary buckets receive the
+    partial overlaps.  Degenerate ranges (``v == u``) collapse to
+    heuristic 1.
+    """
+
+    def allocate(self, spec, u, v, weights, context=None):
+        u = np.asarray(u, dtype=float)
+        v = np.asarray(v, dtype=float)
+        weights = np.asarray(weights, dtype=float)
+        lo, hi = self._clipped_span(spec, u, v)
+        l = spec.num_buckets
+        edges = spec.edges
+        out = np.zeros(l, dtype=float)
+
+        length = v - u
+        degenerate = length <= 0
+        if degenerate.any():
+            out += np.bincount(
+                lo[degenerate], weights=weights[degenerate], minlength=l
+            )
+        live = ~degenerate
+        if not live.any():
+            return out
+        u, v = u[live], v[live]
+        weights, lo, hi = weights[live], lo[live], hi[live]
+        length = length[live]
+
+        # Clip the range into the histogram domain; out-of-domain mass
+        # is squeezed into the boundary buckets, preserving totals.
+        single = lo == hi
+        if single.any():
+            out += np.bincount(
+                lo[single], weights=weights[single], minlength=l
+            )
+        multi = ~single
+        if not multi.any():
+            return out
+        u, v = u[multi], v[multi]
+        weights, lo, hi = weights[multi], lo[multi], hi[multi]
+        length = length[multi]
+
+        rate = weights / length
+        # First bucket: overlap from u to its upper edge.
+        first_overlap = np.maximum(edges[lo + 1] - np.maximum(u, edges[lo]), 0.0)
+        out += np.bincount(lo, weights=rate * first_overlap, minlength=l)
+        # Last bucket: overlap from its lower edge to v.
+        last_overlap = np.maximum(np.minimum(v, edges[hi + 1]) - edges[hi], 0.0)
+        out += np.bincount(hi, weights=rate * last_overlap, minlength=l)
+        # Interior buckets: rate * bucket width, via difference array.
+        interior = hi - lo >= 2
+        if interior.any():
+            diff = np.zeros(l + 1, dtype=float)
+            np.add.at(diff, lo[interior] + 1, rate[interior])
+            np.add.at(diff, hi[interior], -rate[interior])
+            out += np.cumsum(diff)[:l] * spec.widths
+
+        # Mass that fell outside the domain (u below low / v above high)
+        # is re-normalized into the allocated buckets per pair.
+        allocated = (
+            rate * (first_overlap + last_overlap)
+        )
+        if interior.any():
+            # per-pair interior mass = rate * (edges[hi] - edges[lo+1])
+            inner = np.zeros_like(rate)
+            inner[interior] = rate[interior] * (
+                edges[hi[interior]] - edges[lo[interior] + 1]
+            )
+            allocated = allocated + inner
+        missing = weights - allocated
+        tiny = np.abs(missing) <= 1e-9 * np.maximum(weights, 1.0)
+        if not tiny.all():
+            # Ranges extending past the domain boundaries: put the
+            # out-of-domain share into the nearest boundary bucket.
+            below = np.maximum(np.minimum(v, edges[lo]) - u, 0.0)
+            above = np.maximum(v - np.maximum(u, edges[hi + 1]), 0.0)
+            out += np.bincount(lo, weights=rate * below, minlength=l)
+            out += np.bincount(hi, weights=rate * above, minlength=l)
+        return out
+
+
+class DistributionModelAllocator(Allocator):
+    """Heuristic 4: Monte-Carlo distance model of uniform cells.
+
+    For each distinct *offset class* (the per-axis integer offset of the
+    two cells, which fully determines their relative geometry on a given
+    level) the allocator samples ``samples`` point pairs uniformly from
+    the two cells, bins the sampled distances, and uses the resulting
+    empirical distribution as the allocation profile for every pair in
+    the class.  Profiles are cached, so the marginal cost per additional
+    pair is one table lookup — constant time per pair, as the paper
+    requires.
+    """
+
+    def __init__(self, samples: int = 512):
+        if samples < 1:
+            raise QueryError("samples must be >= 1")
+        self.samples = int(samples)
+        self._cache: dict[tuple, np.ndarray] = {}
+
+    def allocate(self, spec, u, v, weights, context=None):
+        if (
+            context is None
+            or context.offsets is None
+            or context.cell_sides is None
+        ):
+            # Fall back to the proportional heuristic when the engine
+            # cannot supply cell geometry (e.g. MBR-shaped cells).
+            return ProportionalAllocator().allocate(spec, u, v, weights)
+        offsets = np.abs(np.asarray(context.offsets, dtype=np.int64))
+        # Geometry is invariant under axis permutation only for square
+        # cells; keep axes as-is and let the cache key include sides.
+        sides = tuple(float(s) for s in np.asarray(context.cell_sides))
+        weights = np.asarray(weights, dtype=float)
+        l = spec.num_buckets
+        out = np.zeros(l, dtype=float)
+
+        classes, inverse = np.unique(offsets, axis=0, return_inverse=True)
+        class_weights = np.bincount(
+            inverse, weights=weights, minlength=classes.shape[0]
+        )
+        rng = context.rng
+        for class_id in range(classes.shape[0]):
+            key = (
+                sides,
+                tuple(int(o) for o in classes[class_id]),
+                spec.edges.tobytes(),
+            )
+            profile = self._cache.get(key)
+            if profile is None:
+                profile = self._sample_profile(
+                    spec, classes[class_id], np.asarray(sides), rng
+                )
+                self._cache[key] = profile
+            out += class_weights[class_id] * profile
+        return out
+
+    def _sample_profile(
+        self,
+        spec: BucketSpec,
+        offset: np.ndarray,
+        sides: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Empirical bucket distribution for one cell-offset class."""
+        dim = offset.shape[0]
+        a = rng.uniform(0.0, 1.0, size=(self.samples, dim)) * sides
+        b = (
+            rng.uniform(0.0, 1.0, size=(self.samples, dim)) + offset
+        ) * sides
+        delta = a - b
+        distances = np.sqrt(np.einsum("ij,ij->i", delta, delta))
+        idx = np.clip(
+            spec.bucket_of(distances), 0, spec.num_buckets - 1
+        )
+        counts = np.bincount(idx, minlength=spec.num_buckets).astype(float)
+        total = counts.sum()
+        if total == 0:  # pragma: no cover - cannot happen with samples>=1
+            counts[0] = 1.0
+            total = 1.0
+        return counts / total
+
+
+def make_allocator(heuristic: int | str | Allocator, **kwargs) -> Allocator:
+    """Factory mapping the paper's heuristic numbers to allocators.
+
+    Accepts 1-4 (or the names ``"single"``, ``"even"``,
+    ``"proportional"``, ``"model"``) and forwards keyword options to the
+    chosen class.  An :class:`Allocator` instance passes through.
+    """
+    if isinstance(heuristic, Allocator):
+        return heuristic
+    table: dict[int | str, type[Allocator]] = {
+        1: SingleBucketAllocator,
+        2: EvenSplitAllocator,
+        3: ProportionalAllocator,
+        4: DistributionModelAllocator,
+        "single": SingleBucketAllocator,
+        "even": EvenSplitAllocator,
+        "proportional": ProportionalAllocator,
+        "model": DistributionModelAllocator,
+    }
+    try:
+        cls = table[heuristic]
+    except KeyError:
+        raise QueryError(f"unknown heuristic {heuristic!r}") from None
+    return cls(**kwargs)

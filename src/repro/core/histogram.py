@@ -1,0 +1,169 @@
+"""The distance-histogram result container.
+
+The output of every SDH engine is a :class:`DistanceHistogram`: the
+bucket spec it was computed against plus one (possibly fractional, for
+the approximate algorithm) count per bucket.  The class also carries the
+error metric of the paper's Sec. VI-B (``sum |h_i - h'_i| / sum h_i``)
+and the conversion hooks the physics layer builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import QueryError
+from .buckets import BucketSpec
+
+__all__ = ["DistanceHistogram"]
+
+
+@dataclass
+class DistanceHistogram:
+    """Counts of pairwise distances per bucket.
+
+    Attributes
+    ----------
+    spec:
+        The bucket specification the counts refer to.
+    counts:
+        Float array of length ``spec.num_buckets``.  Exact engines
+        produce integral values; the approximate engine may distribute
+        fractional shares (heuristics 2 and 3 of Sec. V).
+    """
+
+    spec: BucketSpec
+    counts: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.counts is None:
+            self.counts = np.zeros(self.spec.num_buckets, dtype=float)
+        else:
+            self.counts = np.asarray(self.counts, dtype=float).copy()
+            if self.counts.shape != (self.spec.num_buckets,):
+                raise QueryError(
+                    f"counts shape {self.counts.shape} does not match "
+                    f"{self.spec.num_buckets} buckets"
+                )
+
+    # ------------------------------------------------------------------
+    # Mutation (used by the engines while accumulating)
+    # ------------------------------------------------------------------
+    def add(self, bucket: int, amount: float) -> None:
+        """Add ``amount`` pair-counts to one bucket."""
+        self.counts[bucket] += amount
+
+    def add_counts(self, counts: np.ndarray) -> None:
+        """Accumulate a whole per-bucket count array."""
+        counts = np.asarray(counts, dtype=float)
+        if counts.shape != self.counts.shape:
+            raise QueryError("count array shape mismatch")
+        self.counts += counts
+
+    def merge(self, other: "DistanceHistogram") -> "DistanceHistogram":
+        """Sum of two histograms over the same spec (new object)."""
+        if self.spec != other.spec:
+            raise QueryError("cannot merge histograms with different specs")
+        return DistanceHistogram(self.spec, self.counts + other.counts)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> float:
+        """Total number of pair-distances recorded."""
+        return float(self.counts.sum())
+
+    @property
+    def edges(self) -> np.ndarray:
+        """Bucket edges, forwarded from the spec."""
+        return self.spec.edges
+
+    @property
+    def centers(self) -> np.ndarray:
+        """Bucket mid-points (useful for plotting and for the RDF)."""
+        edges = self.spec.edges
+        return (edges[:-1] + edges[1:]) / 2.0
+
+    def as_integers(self) -> np.ndarray:
+        """Counts rounded to exact integers.
+
+        Raises :class:`QueryError` when the histogram holds genuinely
+        fractional counts (i.e. it came from the approximate engine with
+        a fractional heuristic), to prevent silently presenting an
+        approximation as exact.
+        """
+        rounded = np.rint(self.counts)
+        if not np.allclose(self.counts, rounded, rtol=0, atol=1e-6):
+            raise QueryError("histogram holds fractional counts")
+        return rounded.astype(np.int64)
+
+    def density(self) -> np.ndarray:
+        """Counts normalized to a probability density over distance."""
+        total = self.total
+        if total == 0:
+            return np.zeros_like(self.counts)
+        return self.counts / (total * self.spec.widths)
+
+    # ------------------------------------------------------------------
+    # Comparison (paper Sec. VI-B)
+    # ------------------------------------------------------------------
+    def error_rate(self, reference: "DistanceHistogram") -> float:
+        """The paper's error metric ``sum_i |h_i - h'_i| / sum_i h_i``.
+
+        ``self`` plays the role of the approximate histogram ``h'`` and
+        ``reference`` the exact one ``h``.
+        """
+        if self.spec != reference.spec:
+            raise QueryError("error_rate requires identical bucket specs")
+        denom = reference.counts.sum()
+        if denom == 0:
+            return 0.0
+        return float(np.abs(reference.counts - self.counts).sum() / denom)
+
+    def max_bucket_deviation(self, reference: "DistanceHistogram") -> float:
+        """Largest single-bucket absolute deviation, as a fraction of total."""
+        if self.spec != reference.spec:
+            raise QueryError("comparison requires identical bucket specs")
+        denom = reference.counts.sum()
+        if denom == 0:
+            return 0.0
+        return float(np.abs(reference.counts - self.counts).max() / denom)
+
+    def allclose(self, other: "DistanceHistogram", atol: float = 1e-9) -> bool:
+        """Near-equality of counts over the same spec."""
+        return self.spec == other.spec and bool(
+            np.allclose(self.counts, other.counts, rtol=0, atol=atol)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DistanceHistogram):
+            return NotImplemented
+        return self.spec == other.spec and bool(
+            np.array_equal(self.counts, other.counts)
+        )
+
+    def __iter__(self) -> Iterator[tuple[float, float, float]]:
+        """Yield ``(lower_edge, upper_edge, count)`` per bucket."""
+        edges = self.spec.edges
+        for i, count in enumerate(self.counts):
+            yield float(edges[i]), float(edges[i + 1]), float(count)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DistanceHistogram(l={self.spec.num_buckets}, "
+            f"total={self.total:g})"
+        )
+
+    def to_text(self, width: int = 50) -> str:
+        """A small ASCII rendering, handy in examples and the CLI."""
+        lines = []
+        peak = self.counts.max() if self.counts.size else 0.0
+        for lo, hi, count in self:
+            bar = ""
+            if peak > 0:
+                bar = "#" * int(round(width * count / peak))
+            lines.append(f"[{lo:10.4f}, {hi:10.4f})  {count:14.1f}  {bar}")
+        return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Run statistics collected by the SDH engines.
+
+The paper's complexity analysis (Sec. IV) counts two operations:
+
+1. *resolving two cells* (line 0 of ``RESOLVETWOCELLS``) — constant time
+   each, ``Theta(N^{(2d-1)/d})`` in total (Theorem 1);
+2. *distance calculations* for cells unresolved on the finest map —
+   also ``Theta(N^{(2d-1)/d})`` (Theorem 2).
+
+:class:`SDHStats` counts both, per density-map level, so tests and
+benchmarks can verify the theorems (and Lemma 1's halving of the
+non-covering factor) directly from operation counts — a machine- and
+implementation-independent complement to wall-clock measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SDHStats"]
+
+
+@dataclass
+class SDHStats:
+    """Operation counters for one SDH computation.
+
+    Per-level dictionaries are keyed by tree level (0 = coarsest map).
+    """
+
+    #: Level DM-SDH started on (Fig. 2 line 2), None when brute force.
+    start_level: int | None = None
+    #: Cell pairs examined per level (calls to RESOLVETWOCELLS).
+    resolve_calls: dict[int, int] = field(default_factory=dict)
+    #: Cell pairs that resolved per level.
+    resolved_pairs: dict[int, int] = field(default_factory=dict)
+    #: Particle pair-distances credited via cell resolution, per level.
+    resolved_distances: dict[int, float] = field(default_factory=dict)
+    #: Point-to-point distances actually computed.
+    distance_computations: int = 0
+    #: Pair-distances handed to an approximation heuristic (ADM-SDH).
+    approximated_distances: float = 0.0
+    #: Cell pairs handed to an approximation heuristic (ADM-SDH).
+    approximated_pairs: int = 0
+    #: Number of density-map levels visited (start level included).
+    levels_visited: int = 0
+
+    # ------------------------------------------------------------------
+    def record_batch(
+        self,
+        level: int,
+        examined: int,
+        resolved: int,
+        resolved_distances: float,
+    ) -> None:
+        """Accumulate one batch of resolution attempts at a level."""
+        self.resolve_calls[level] = self.resolve_calls.get(level, 0) + examined
+        self.resolved_pairs[level] = (
+            self.resolved_pairs.get(level, 0) + resolved
+        )
+        self.resolved_distances[level] = (
+            self.resolved_distances.get(level, 0.0) + resolved_distances
+        )
+
+    @property
+    def total_resolve_calls(self) -> int:
+        """Operation-1 count: all cell-pair resolution attempts."""
+        return sum(self.resolve_calls.values())
+
+    @property
+    def total_resolved_pairs(self) -> int:
+        """Cell pairs that resolved, across levels."""
+        return sum(self.resolved_pairs.values())
+
+    @property
+    def total_operations(self) -> int:
+        """Operations 1 + 2 combined — the quantity of Theorem 3."""
+        return self.total_resolve_calls + self.distance_computations
+
+    def resolution_rate(self, level: int) -> float:
+        """Fraction of the level's examined pairs that resolved.
+
+        Lemma 1 predicts this tends to 1/2 on every level below the
+        start map (of the pairs *examined there*, i.e. the children of
+        unresolved parents, about half resolve).
+        """
+        examined = self.resolve_calls.get(level, 0)
+        if examined == 0:
+            return 0.0
+        return self.resolved_pairs.get(level, 0) / examined
+
+    def per_level_summary(self) -> list[tuple[int, int, int, float]]:
+        """Rows of ``(level, examined, resolved, rate)`` sorted by level."""
+        rows = []
+        for level in sorted(self.resolve_calls):
+            examined = self.resolve_calls[level]
+            resolved = self.resolved_pairs.get(level, 0)
+            rate = resolved / examined if examined else 0.0
+            rows.append((level, examined, resolved, rate))
+        return rows
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SDHStats(start={self.start_level}, "
+            f"resolve_calls={self.total_resolve_calls}, "
+            f"distances={self.distance_computations}, "
+            f"approx={self.approximated_distances:g})"
+        )

@@ -1,0 +1,398 @@
+"""High-level SDH query interface.
+
+:func:`compute_sdh` is the one-call front door of the library: pick a
+dataset, a bucket width (or a full spec), optionally an engine, an
+approximation budget, a query region or a type restriction — and get a
+:class:`~repro.core.histogram.DistanceHistogram` back.  It dispatches to
+
+* the brute-force baseline (``engine="brute"``),
+* the node-recursive reference engine (``engine="tree"``, the paper's
+  in-index pruning for region- and type-restricted queries),
+* the vectorized engine (``engine="grid"``, the default; restricted
+  queries run on it by subsetting the qualifying particles), or
+* ADM-SDH (when ``error_bound``, ``levels`` or ``op_budget`` is given).
+
+:class:`SDHQuery` is the reusable-plan variant: build the density maps
+once, then answer many queries against them (the scenario the paper's
+storage discussion assumes, where the quadtree is a persistent index).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.particles import ParticleSet
+from ..errors import QueryError
+from ..geometry import Region
+from ..quadtree.grid import GridPyramid
+from ..quadtree.tree import DensityMapTree
+from .approximate import adm_sdh
+from .brute_force import brute_force_sdh
+from .buckets import BucketSpec, OverflowPolicy, UniformBuckets
+from .dm_sdh import dm_sdh_tree
+from .dm_sdh_grid import dm_sdh_grid
+from .heuristics import Allocator
+from .histogram import DistanceHistogram
+from .instrumentation import SDHStats
+
+__all__ = ["compute_sdh", "SDHQuery"]
+
+_ENGINES = ("auto", "grid", "tree", "brute")
+
+
+def compute_sdh(
+    particles: ParticleSet,
+    bucket_width: float | None = None,
+    spec: BucketSpec | None = None,
+    num_buckets: int | None = None,
+    engine: str = "auto",
+    use_mbr: bool = False,
+    region: Region | None = None,
+    type_filter: int | str | None = None,
+    type_pair: tuple[int | str, int | str] | None = None,
+    error_bound: float | None = None,
+    levels: int | None = None,
+    heuristic: int | str | Allocator = 3,
+    policy: OverflowPolicy = OverflowPolicy.RAISE,
+    stats: SDHStats | None = None,
+    rng: np.random.Generator | int | None = None,
+    periodic: bool = False,
+) -> DistanceHistogram:
+    """Compute a spatial distance histogram.
+
+    Parameters
+    ----------
+    particles:
+        The dataset.
+    bucket_width / spec / num_buckets:
+        The query: give a width ``p`` (standard query covering the box
+        diagonal), a total bucket count ``l`` (the paper's experimental
+        parameterization, ``p = diagonal / l``), or a full spec.
+    engine:
+        ``"auto"`` (the vectorized grid engine, with restricted queries
+        answered by subsetting), ``"grid"``, ``"tree"`` (the paper's
+        in-index pruning) or ``"brute"``.
+    use_mbr:
+        Resolve cells via particle MBRs (Sec. III-C.3 optimization).
+    region / type_filter / type_pair:
+        The query varieties of Sec. III-C.3.
+    error_bound / levels / heuristic:
+        Switch to approximate ADM-SDH (Sec. V): visit ``levels`` maps or
+        as many as the covering-factor model needs for ``error_bound``,
+        then distribute remaining counts with the chosen heuristic.
+    policy:
+        Overflow handling for distances past the last edge.
+    stats / rng:
+        Operation counters and randomness for sampled heuristics.
+    periodic:
+        Measure distances under the minimum-image convention over the
+        simulation box (grid/brute engines and ADM-SDH; the in-index
+        tree engine is non-periodic).
+    """
+    resolved_spec = _resolve_query_spec(
+        particles, bucket_width, spec, num_buckets, periodic=periodic
+    )
+    approx = error_bound is not None or levels is not None
+    restricted = (
+        region is not None or type_filter is not None or type_pair is not None
+    )
+    chosen = _choose_engine(engine, approx, restricted)
+    if periodic and chosen == "tree":
+        raise QueryError(
+            "the node-tree engine does not support periodic boundaries; "
+            "use engine='grid' or 'brute'"
+        )
+
+    if chosen == "brute":
+        filtered = _filter_brute(particles, region, type_filter, type_pair)
+        if filtered is not None:
+            particles_a, particles_b = filtered
+            if particles_b is not None:
+                from .brute_force import brute_force_cross_sdh
+
+                return brute_force_cross_sdh(
+                    particles_a, particles_b, resolved_spec, policy=policy,
+                    stats=stats or SDHStats(), periodic=periodic,
+                )
+            particles = particles_a
+        return brute_force_sdh(
+            particles, spec=resolved_spec, policy=policy,
+            stats=stats or SDHStats(), periodic=periodic,
+        )
+
+    if approx:
+        return adm_sdh(
+            particles,
+            spec=resolved_spec,
+            levels=levels,
+            error_bound=error_bound,
+            heuristic=heuristic,
+            use_mbr=use_mbr,
+            policy=policy,
+            stats=stats,
+            rng=rng,
+            periodic=periodic,
+        )
+
+    if chosen == "tree":
+        tree = DensityMapTree(particles, with_mbr=use_mbr)
+        return dm_sdh_tree(
+            tree,
+            spec=resolved_spec,
+            use_mbr=use_mbr,
+            region=region,
+            type_filter=type_filter,
+            type_pair=type_pair,
+            policy=policy,
+            stats=stats,
+        )
+
+    if restricted:
+        return _restricted_via_grid(
+            particles, resolved_spec, region, type_filter, type_pair,
+            use_mbr, policy, stats, periodic=periodic,
+        )
+
+    return dm_sdh_grid(
+        particles,
+        spec=resolved_spec,
+        use_mbr=use_mbr,
+        policy=policy,
+        stats=stats,
+        periodic=periodic,
+    )
+
+
+def _restricted_via_grid(
+    particles: ParticleSet,
+    spec: BucketSpec,
+    region: Region | None,
+    type_filter: int | str | None,
+    type_pair: tuple[int | str, int | str] | None,
+    use_mbr: bool,
+    policy: OverflowPolicy,
+    stats: SDHStats | None,
+    periodic: bool = False,
+) -> DistanceHistogram:
+    """Restricted queries on the vectorized engine via subsetting.
+
+    The paper's in-index approach (engine="tree") prunes inside the
+    prebuilt quadtree; materializing the qualifying subset and running
+    the plain algorithm is equivalent and, in this implementation,
+    usually faster.  Cross-type histograms use the exact identity
+    ``h(A x B) = h(A u B) - h(A) - h(B)`` for disjoint A, B.
+    """
+    current = particles
+    if region is not None:
+        mask = region.contains_points(current.positions)
+        if not mask.any():
+            raise QueryError("query region contains no particles")
+        current = current.select(mask)
+
+    def run(subset: ParticleSet) -> DistanceHistogram:
+        if subset.size < 2:
+            return DistanceHistogram(spec)
+        return dm_sdh_grid(
+            subset, spec=spec, use_mbr=use_mbr, policy=policy,
+            stats=stats, periodic=periodic,
+        )
+
+    if type_filter is not None:
+        return run(current.of_type(type_filter))
+    if type_pair is not None:
+        subset_a = current.of_type(type_pair[0])
+        subset_b = current.of_type(type_pair[1])
+        both = current.select(
+            (current.types == current.resolve_type(type_pair[0]))
+            | (current.types == current.resolve_type(type_pair[1]))
+        )
+        union_hist = run(both)
+        cross = union_hist.counts - run(subset_a).counts - run(
+            subset_b
+        ).counts
+        return DistanceHistogram(spec, cross)
+    return run(current)
+
+
+class SDHQuery:
+    """Reusable query plan: build the density maps once, query many times.
+
+    The paper's setting is a scientific *database*: the quadtree is a
+    persistent index over a static dataset (Sec. III-C.1 even drops the
+    parent pointers because the data never changes), and SDH queries
+    with different bucket widths arrive over time.  This class captures
+    that usage: construction pays the indexing cost, each
+    :meth:`histogram` call only pays query time.
+    """
+
+    def __init__(
+        self,
+        particles: ParticleSet,
+        use_mbr: bool = False,
+        height: int | None = None,
+        beta: float | None = None,
+    ):
+        self._particles = particles
+        self._use_mbr = use_mbr
+        self._pyramid = GridPyramid(
+            particles, height=height, beta=beta, with_mbr=use_mbr
+        )
+        self._tree: DensityMapTree | None = None
+        self._height = height
+        self._beta = beta
+
+    @property
+    def particles(self) -> ParticleSet:
+        """The indexed dataset."""
+        return self._particles
+
+    @property
+    def pyramid(self) -> GridPyramid:
+        """The array-based density maps answering plain queries."""
+        return self._pyramid
+
+    @property
+    def tree(self) -> DensityMapTree:
+        """The node-based density maps (built lazily for restricted queries)."""
+        if self._tree is None:
+            self._tree = DensityMapTree(
+                self._particles,
+                height=self._height,
+                beta=self._beta,
+                with_mbr=self._use_mbr,
+            )
+        return self._tree
+
+    def histogram(
+        self,
+        bucket_width: float | None = None,
+        spec: BucketSpec | None = None,
+        num_buckets: int | None = None,
+        region: Region | None = None,
+        type_filter: int | str | None = None,
+        type_pair: tuple[int | str, int | str] | None = None,
+        error_bound: float | None = None,
+        levels: int | None = None,
+        heuristic: int | str | Allocator = 3,
+        policy: OverflowPolicy = OverflowPolicy.RAISE,
+        stats: SDHStats | None = None,
+        rng: np.random.Generator | int | None = None,
+        in_index: bool = False,
+    ) -> DistanceHistogram:
+        """Answer one SDH query against the prebuilt density maps.
+
+        Parameters are as in :func:`compute_sdh` minus the engine knob:
+        approximate queries run ADM-SDH on the pyramid, everything else
+        the vectorized exact engine.  Restricted queries default to
+        subset-then-grid (see ``_restricted_via_grid``); pass
+        ``in_index=True`` for the paper's Sec. III-C.3 in-index pruning
+        on the node tree instead.
+        """
+        resolved_spec = _resolve_query_spec(
+            self._particles, bucket_width, spec, num_buckets
+        )
+        restricted = (
+            region is not None
+            or type_filter is not None
+            or type_pair is not None
+        )
+        approx = error_bound is not None or levels is not None
+        if restricted:
+            if approx:
+                raise QueryError(
+                    "restricted queries are exact-only in this version"
+                )
+            if in_index:
+                return dm_sdh_tree(
+                    self.tree,
+                    spec=resolved_spec,
+                    use_mbr=self._use_mbr,
+                    region=region,
+                    type_filter=type_filter,
+                    type_pair=type_pair,
+                    policy=policy,
+                    stats=stats,
+                )
+            return _restricted_via_grid(
+                self._particles, resolved_spec, region, type_filter,
+                type_pair, False, policy, stats,
+            )
+        if approx:
+            return adm_sdh(
+                self._pyramid,
+                spec=resolved_spec,
+                levels=levels,
+                error_bound=error_bound,
+                heuristic=heuristic,
+                use_mbr=self._use_mbr,
+                policy=policy,
+                stats=stats,
+                rng=rng,
+            )
+        return dm_sdh_grid(
+            self._pyramid,
+            spec=resolved_spec,
+            use_mbr=self._use_mbr,
+            policy=policy,
+            stats=stats,
+        )
+
+
+def _resolve_query_spec(
+    particles: ParticleSet,
+    bucket_width: float | None,
+    spec: BucketSpec | None,
+    num_buckets: int | None,
+    periodic: bool = False,
+) -> BucketSpec:
+    given = sum(
+        value is not None for value in (bucket_width, spec, num_buckets)
+    )
+    if given != 1:
+        raise QueryError(
+            "provide exactly one of bucket_width / spec / num_buckets"
+        )
+    if spec is not None:
+        return spec
+    if periodic:
+        reach = particles.max_periodic_distance
+    else:
+        reach = particles.max_possible_distance
+    if bucket_width is not None:
+        return UniformBuckets.cover(reach, bucket_width)
+    assert num_buckets is not None
+    return UniformBuckets.with_count(reach, num_buckets)
+
+
+def _choose_engine(engine: str, approx: bool, restricted: bool) -> str:
+    if engine not in _ENGINES:
+        raise QueryError(f"unknown engine {engine!r}; pick from {_ENGINES}")
+    if approx and restricted:
+        raise QueryError("approximate restricted queries are not supported")
+    if engine == "auto":
+        return "grid"
+    if approx and engine in ("tree", "brute"):
+        raise QueryError("approximate mode runs on the grid engine")
+    return engine
+
+
+def _filter_brute(
+    particles: ParticleSet,
+    region: Region | None,
+    type_filter: int | str | None,
+    type_pair: tuple[int | str, int | str] | None,
+) -> tuple[ParticleSet, ParticleSet | None] | None:
+    """Materialize restrictions for the brute-force baseline."""
+    if region is None and type_filter is None and type_pair is None:
+        return None
+    current = particles
+    if region is not None:
+        mask = region.contains_points(current.positions)
+        if not mask.any():
+            raise QueryError("query region contains no particles")
+        current = current.select(mask)
+    if type_filter is not None:
+        return current.of_type(type_filter), None
+    if type_pair is not None:
+        return current.of_type(type_pair[0]), current.of_type(type_pair[1])
+    return current, None

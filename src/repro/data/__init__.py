@@ -1,0 +1,62 @@
+"""Particle datasets: container, generators, example data, persistence.
+
+This package supplies everything the SDH engines consume: the
+:class:`~repro.data.particles.ParticleSet` container, the synthetic
+workload generators matching the paper's experimental datasets
+(uniform, Zipf-clustered, synthetic bilayer membrane), the exact Fig. 1
+example data, file I/O, and multi-frame trajectories.
+"""
+
+from .figures import (
+    FIG1_BUCKET_WIDTH,
+    FIG1_COARSE_COUNTS,
+    FIG1_FINE_COUNTS,
+    fig1_cell,
+    fig1_fine_cell,
+    figure1_dataset,
+    table2_expected,
+)
+from .generators import (
+    gaussian_clusters,
+    lattice,
+    random_types,
+    uniform,
+    zipf_clustered,
+)
+from .io import (
+    load_particles,
+    load_trajectory,
+    load_xyz,
+    save_particles,
+    save_trajectory,
+    save_xyz,
+)
+from .membrane import MEMBRANE_TYPES, synthetic_bilayer
+from .particles import ParticleSet
+from .trajectory import Trajectory, random_walk_trajectory
+
+__all__ = [
+    "FIG1_BUCKET_WIDTH",
+    "FIG1_COARSE_COUNTS",
+    "FIG1_FINE_COUNTS",
+    "MEMBRANE_TYPES",
+    "ParticleSet",
+    "Trajectory",
+    "fig1_cell",
+    "fig1_fine_cell",
+    "figure1_dataset",
+    "gaussian_clusters",
+    "lattice",
+    "load_particles",
+    "load_trajectory",
+    "load_xyz",
+    "random_types",
+    "random_walk_trajectory",
+    "save_particles",
+    "save_trajectory",
+    "save_xyz",
+    "synthetic_bilayer",
+    "table2_expected",
+    "uniform",
+    "zipf_clustered",
+]

@@ -1,0 +1,147 @@
+"""The paper's worked example: Fig. 1 density maps and Table II.
+
+Fig. 1 of the paper shows two density maps of one dataset:
+
+* the low-resolution map (Fig. 1a) divides the space into six cells of
+  side 2, labelled by row (X, Y, Z top to bottom) and column (A, B left
+  to right), with particle counts::
+
+        XA=14  XB=26
+        YA= 8  YB=12
+        ZA=29  ZB=15
+
+* the high-resolution map (Fig. 1b) splits each cell into four of side
+  1, labelled e.g. ``X0A0`` (sub-row 0 = upper half, sub-column 0 = left
+  half), with the counts listed in :data:`FIG1_FINE_COUNTS`.
+
+Table II lists the min/max inter-cell distance ranges between the four
+``XA`` sub-cells and the four ``ZB`` sub-cells, six of which resolve
+into buckets of width 3.  This module reconstructs the exact geometry so
+tests and the Table II benchmark can verify the library reproduces the
+paper's numbers digit for digit, and materializes a concrete particle
+set realizing the published counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import AABB
+from .particles import ParticleSet
+
+__all__ = [
+    "FIG1_COARSE_COUNTS",
+    "FIG1_FINE_COUNTS",
+    "FIG1_BUCKET_WIDTH",
+    "fig1_cell",
+    "fig1_fine_cell",
+    "figure1_dataset",
+    "table2_expected",
+]
+
+#: Coarse-map (side-2 cells) counts of Fig. 1a, keyed by row+column label.
+FIG1_COARSE_COUNTS: dict[str, int] = {
+    "XA": 14, "XB": 26,
+    "YA": 8, "YB": 12,
+    "ZA": 29, "ZB": 15,
+}
+
+#: Fine-map (side-1 cells) counts of Fig. 1b.  Key format ``<row><r><col><c>``
+#: where ``r``/``c`` are the sub-row (0 = upper half) and sub-column
+#: (0 = left half) indices, e.g. ``X0A0``.
+FIG1_FINE_COUNTS: dict[str, int] = {
+    "X0A0": 5, "X0A1": 4, "X0B0": 4, "X0B1": 0,
+    "X1A0": 3, "X1A1": 2, "X1B0": 9, "X1B1": 13,
+    "Y0A0": 2, "Y0A1": 2, "Y0B0": 0, "Y0B1": 5,
+    "Y1A0": 3, "Y1A1": 1, "Y1B0": 4, "Y1B1": 3,
+    "Z0A0": 5, "Z0A1": 3, "Z0B0": 4, "Z0B1": 1,
+    "Z1A0": 9, "Z1A1": 12, "Z1B0": 3, "Z1B1": 7,
+}
+
+#: The case-study query uses buckets of width 3 ([0,3), [3,6), [6,9), ...).
+FIG1_BUCKET_WIDTH: float = 3.0
+
+# Row labels from the top of the figure downward; the coordinate system
+# puts y=0 at the bottom, so row X spans y in [4, 6].
+_ROW_Y = {"X": 4.0, "Y": 2.0, "Z": 0.0}
+_COL_X = {"A": 0.0, "B": 2.0}
+
+
+def fig1_cell(label: str) -> AABB:
+    """The side-2 cell of Fig. 1a for a label like ``"XA"``."""
+    row, col = label[0], label[1]
+    x0 = _COL_X[col]
+    y0 = _ROW_Y[row]
+    return AABB((x0, y0), (x0 + 2.0, y0 + 2.0))
+
+
+def fig1_fine_cell(label: str) -> AABB:
+    """The side-1 cell of Fig. 1b for a label like ``"X0A0"``.
+
+    Sub-row 0 is the *upper* half of the parent row (as drawn in the
+    figure, where row indices grow downward) and sub-column 0 the left
+    half.
+    """
+    row, sub_row, col, sub_col = label[0], int(label[1]), label[2], int(label[3])
+    x0 = _COL_X[col] + sub_col * 1.0
+    # sub-row 0 on top: its lower y edge is the parent's midline.
+    y0 = _ROW_Y[row] + (1 - sub_row) * 1.0
+    return AABB((x0, y0), (x0 + 1.0, y0 + 1.0))
+
+
+def figure1_dataset(
+    rng: np.random.Generator | int | None = 0,
+    square_box: bool = True,
+) -> ParticleSet:
+    """A concrete 104-particle dataset realizing the Fig. 1b counts.
+
+    Particles are placed uniformly at random inside their fine cells
+    (seeded, so the dataset is reproducible).  ``square_box=True``
+    embeds the 4x6 domain into a 6x6 square box so the dataset can be
+    fed to the quadtree engines, which subdivide a square space; the
+    particle coordinates are identical either way.
+    """
+    if isinstance(rng, np.random.Generator):
+        generator = rng
+    else:
+        generator = np.random.default_rng(rng)
+
+    sections = []
+    for label, count in FIG1_FINE_COUNTS.items():
+        if count == 0:
+            continue
+        cell = fig1_fine_cell(label)
+        lo = np.asarray(cell.lo)
+        hi = np.asarray(cell.hi)
+        coords = generator.uniform(lo, hi, size=(count, 2))
+        # Keep strictly inside the half-open cell.
+        coords = np.minimum(coords, np.nextafter(hi, lo))
+        sections.append(coords)
+    positions = np.vstack(sections)
+
+    if square_box:
+        box = AABB((0.0, 0.0), (6.0, 6.0))
+    else:
+        box = AABB((0.0, 0.0), (4.0, 6.0))
+    return ParticleSet(positions, box)
+
+
+def table2_expected() -> dict[tuple[str, str], tuple[float, float, bool]]:
+    """The 16 Table II entries, computed from the published geometry.
+
+    Returns a mapping ``(xa_label, zb_label) -> (min, max, resolvable)``
+    where *resolvable* means the range fits inside one width-3 bucket.
+    The six resolvable entries match the ones starred in the paper, and
+    the individual ranges match its radicals (e.g. ``X0A0 - Z0B0`` is
+    ``[sqrt(10), sqrt(34)]``).
+    """
+    xa_cells = ["X0A0", "X0A1", "X1A0", "X1A1"]
+    zb_cells = ["Z0B0", "Z0B1", "Z1B0", "Z1B1"]
+    width = FIG1_BUCKET_WIDTH
+    out: dict[tuple[str, str], tuple[float, float, bool]] = {}
+    for xa in xa_cells:
+        for zb in zb_cells:
+            u, v = fig1_fine_cell(xa).distance_bounds(fig1_fine_cell(zb))
+            resolvable = int(u // width) == int(v // width)
+            out[(xa, zb)] = (u, v, resolvable)
+    return out

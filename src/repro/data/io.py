@@ -1,0 +1,161 @@
+"""Dataset persistence: compact binary (``.npz``) and plain-text XYZ.
+
+Scientific groups exchange particle configurations either as raw binary
+arrays or as the venerable XYZ text format; both are supported so the
+example scripts and the CLI can operate on files rather than in-memory
+arrays only.  Trajectories (multi-frame datasets, Sec. VIII of the
+paper) are stored as one ``.npz`` with stacked frames.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..geometry import AABB
+from .particles import ParticleSet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .trajectory import Trajectory
+
+__all__ = [
+    "save_particles",
+    "load_particles",
+    "save_xyz",
+    "load_xyz",
+    "save_trajectory",
+    "load_trajectory",
+]
+
+
+def save_particles(path: str | os.PathLike, particles: ParticleSet) -> None:
+    """Write a particle set to a compressed ``.npz`` file."""
+    payload: dict[str, np.ndarray] = {
+        "positions": particles.positions,
+        "box_lo": np.asarray(particles.box.lo),
+        "box_hi": np.asarray(particles.box.hi),
+    }
+    if particles.types is not None:
+        payload["types"] = particles.types
+        names = particles.type_names
+        if names:
+            codes = np.asarray(sorted(names), dtype=np.int64)
+            labels = np.asarray([names[int(c)] for c in codes], dtype="U32")
+            payload["type_codes"] = codes
+            payload["type_labels"] = labels
+    np.savez_compressed(os.fspath(path), **payload)
+
+
+def load_particles(path: str | os.PathLike) -> ParticleSet:
+    """Read a particle set written by :func:`save_particles`."""
+    with np.load(os.fspath(path)) as data:
+        if "positions" not in data:
+            raise DatasetError(f"{path}: not a particle file")
+        positions = data["positions"]
+        box = AABB.from_arrays(data["box_lo"], data["box_hi"])
+        types = data["types"] if "types" in data else None
+        type_names = None
+        if "type_codes" in data:
+            type_names = {
+                int(code): str(label)
+                for code, label in zip(data["type_codes"], data["type_labels"])
+            }
+    return ParticleSet(positions, box, types, type_names)
+
+
+def save_xyz(path: str | os.PathLike, particles: ParticleSet) -> None:
+    """Write an XYZ-style text file.
+
+    Format: first line is the atom count, second line a comment carrying
+    the box corners, then one ``<type> <x> <y> [<z>]`` line per atom.
+    2D data writes two coordinates per line.
+    """
+    types = particles.types
+    names = particles.type_names
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(f"{particles.size}\n")
+        lo = " ".join(f"{v:.17g}" for v in particles.box.lo)
+        hi = " ".join(f"{v:.17g}" for v in particles.box.hi)
+        handle.write(f"box {lo} {hi}\n")
+        for i, row in enumerate(particles.positions):
+            if types is None:
+                label = "X"
+            else:
+                code = int(types[i])
+                label = names.get(code, str(code))
+            coords = " ".join(f"{v:.17g}" for v in row)
+            handle.write(f"{label} {coords}\n")
+
+
+def load_xyz(path: str | os.PathLike) -> ParticleSet:
+    """Read a file written by :func:`save_xyz`."""
+    with open(path, "r", encoding="ascii") as handle:
+        header = handle.readline()
+        try:
+            count = int(header.strip())
+        except ValueError as exc:
+            raise DatasetError(f"{path}: bad XYZ header {header!r}") from exc
+        comment = handle.readline().split()
+        box = None
+        if comment and comment[0] == "box":
+            values = [float(v) for v in comment[1:]]
+            dim = len(values) // 2
+            box = AABB.from_arrays(values[:dim], values[dim:])
+        labels: list[str] = []
+        rows: list[list[float]] = []
+        for line in handle:
+            parts = line.split()
+            if not parts:
+                continue
+            labels.append(parts[0])
+            rows.append([float(v) for v in parts[1:]])
+        if len(rows) != count:
+            raise DatasetError(
+                f"{path}: header promises {count} atoms, found {len(rows)}"
+            )
+    positions = np.asarray(rows, dtype=float)
+    unique = sorted(set(labels))
+    types = None
+    type_names = None
+    if unique != ["X"]:
+        code_of = {name: i for i, name in enumerate(unique)}
+        types = np.asarray([code_of[name] for name in labels], dtype=np.int32)
+        type_names = {i: name for name, i in code_of.items()}
+    return ParticleSet(positions, box, types, type_names)
+
+
+def save_trajectory(path: str | os.PathLike, trajectory: "Trajectory") -> None:
+    """Write a multi-frame trajectory to one ``.npz`` file.
+
+    All frames of a trajectory share particle count and box, so frames
+    are stacked into a single ``(T, N, d)`` array.
+    """
+    frames = np.stack([frame.positions for frame in trajectory.frames])
+    payload: dict[str, np.ndarray] = {
+        "frames": frames,
+        "box_lo": np.asarray(trajectory.box.lo),
+        "box_hi": np.asarray(trajectory.box.hi),
+    }
+    types = trajectory.frames[0].types
+    if types is not None:
+        payload["types"] = types
+    np.savez_compressed(os.fspath(path), **payload)
+
+
+def load_trajectory(path: str | os.PathLike) -> "Trajectory":
+    """Read a trajectory written by :func:`save_trajectory`."""
+    from .trajectory import Trajectory
+
+    with np.load(os.fspath(path)) as data:
+        if "frames" not in data:
+            raise DatasetError(f"{path}: not a trajectory file")
+        stacked = data["frames"]
+        box = AABB.from_arrays(data["box_lo"], data["box_hi"])
+        types = data["types"] if "types" in data else None
+    frames = [
+        ParticleSet(stacked[t], box, types) for t in range(stacked.shape[0])
+    ]
+    return Trajectory(frames)

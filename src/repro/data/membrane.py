@@ -1,0 +1,181 @@
+"""Synthetic stand-in for the paper's real molecular dataset.
+
+The paper's "real data" experiments (Fig. 8c, Fig. 9c) use a simulated
+hydrated dipalmitoylphosphatidylcholine (DPPC) bilayer in NaCl/KCl
+solution with 286,000 atoms (Fig. 10): *two layers of hydrophilic head
+groups (with higher atom density) connected to hydrophobic tails (lower
+atom density) are surrounded by water molecules that are almost
+uniformly distributed in space*.
+
+We do not have that trajectory, so :func:`synthetic_bilayer` builds the
+closest synthetic equivalent with exactly the structure the paper
+describes:
+
+* two dense slabs of *head-group* atoms (Gaussian-profiled around two
+  planes), facing the solvent;
+* a lower-density *tail* region between the head planes;
+* *water* filling the rest of the box almost uniformly;
+* a sprinkle of *ions* (Na/K/Cl stand-ins) dissolved in the water.
+
+Why this substitution preserves the relevant behaviour: the SDH
+algorithms consume only coordinates; what distinguishes Fig. 8c from the
+uniform/Zipf panels is a layered, non-uniform but "reasonable"
+(Theorem 2) density profile with both dense and sparse cells.  The
+synthetic bilayer reproduces that profile, its atom-count composition,
+and supports the same duplication-scaling protocol via
+:meth:`repro.data.particles.ParticleSet.scale_to`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..geometry import AABB
+from .particles import ParticleSet
+
+__all__ = ["synthetic_bilayer", "MEMBRANE_TYPES"]
+
+#: Type-code table of the synthetic membrane components.
+MEMBRANE_TYPES: dict[int, str] = {
+    0: "head",
+    1: "tail",
+    2: "water",
+    3: "ion",
+}
+
+# Composition fractions, loosely modeled on a hydrated DPPC patch where
+# roughly half the atoms are solvent.
+_FRACTIONS = {"head": 0.18, "tail": 0.27, "water": 0.52, "ion": 0.03}
+
+
+def synthetic_bilayer(
+    n: int = 10000,
+    dim: int = 3,
+    box_side: float = 1.0,
+    rng: np.random.Generator | int | None = None,
+) -> ParticleSet:
+    """Generate a synthetic bilayer-membrane particle set.
+
+    Parameters
+    ----------
+    n:
+        Total atom count.  The paper's source dataset has 286,000 atoms;
+        any ``n`` works here and the set can be re-scaled afterwards with
+        :meth:`~repro.data.particles.ParticleSet.scale_to` exactly like
+        the paper scales its real data.
+    dim:
+        2 produces a cross-section (layers along y), 3 the full slab
+        (layers along z).
+    box_side:
+        Side length of the cubic simulation box.
+    rng:
+        Seed or generator for reproducibility.
+    """
+    if n < 4:
+        raise DatasetError("a bilayer needs at least 4 atoms")
+    if dim not in (2, 3):
+        raise DatasetError(f"dim must be 2 or 3, got {dim}")
+    if isinstance(rng, np.random.Generator):
+        generator = rng
+    else:
+        generator = np.random.default_rng(rng)
+
+    box = AABB.cube(box_side, dim)
+    normal_axis = dim - 1  # y in 2D, z in 3D
+
+    counts = _component_counts(n)
+    sections: list[np.ndarray] = []
+    types: list[np.ndarray] = []
+
+    # Membrane geometry along the normal axis (fractions of box_side):
+    # tails occupy [0.38, 0.62]; head planes sit at 0.35 and 0.65.
+    head_planes = (0.35 * box_side, 0.65 * box_side)
+    head_sigma = 0.02 * box_side
+    tail_lo, tail_hi = 0.40 * box_side, 0.60 * box_side
+
+    # --- head groups: two dense Gaussian-profiled layers ---------------
+    n_head = counts["head"]
+    half = n_head // 2
+    for plane, m in ((head_planes[0], half), (head_planes[1], n_head - half)):
+        coords = generator.uniform(0.0, box_side, size=(m, dim))
+        coords[:, normal_axis] = generator.normal(plane, head_sigma, size=m)
+        sections.append(coords)
+        types.append(np.full(m, 0, dtype=np.int32))
+
+    # --- tails: lower-density slab between the head planes -------------
+    n_tail = counts["tail"]
+    coords = generator.uniform(0.0, box_side, size=(n_tail, dim))
+    coords[:, normal_axis] = generator.uniform(tail_lo, tail_hi, size=n_tail)
+    sections.append(coords)
+    types.append(np.full(n_tail, 1, dtype=np.int32))
+
+    # --- water: uniform outside the membrane slab ----------------------
+    n_water = counts["water"]
+    coords = generator.uniform(0.0, box_side, size=(n_water, dim))
+    normals = _sample_outside(
+        generator, n_water, box_side, tail_lo, tail_hi
+    )
+    coords[:, normal_axis] = normals
+    sections.append(coords)
+    types.append(np.full(n_water, 2, dtype=np.int32))
+
+    # --- ions: uniform in the water region ------------------------------
+    n_ion = counts["ion"]
+    coords = generator.uniform(0.0, box_side, size=(n_ion, dim))
+    coords[:, normal_axis] = _sample_outside(
+        generator, n_ion, box_side, tail_lo, tail_hi
+    )
+    sections.append(coords)
+    types.append(np.full(n_ion, 3, dtype=np.int32))
+
+    positions = np.vstack(sections)
+    codes = np.concatenate(types)
+    positions = np.clip(positions, 0.0, np.nextafter(box_side, 0.0))
+    # Shuffle so that slicing prefixes of the set stays representative.
+    order = generator.permutation(positions.shape[0])
+    return ParticleSet(
+        positions[order], box, codes[order], MEMBRANE_TYPES
+    )
+
+
+def _component_counts(n: int) -> dict[str, int]:
+    """Integer atom counts per component summing exactly to n."""
+    counts = {
+        name: int(round(frac * n)) for name, frac in _FRACTIONS.items()
+    }
+    # Fix rounding drift on the largest component.
+    drift = n - sum(counts.values())
+    counts["water"] += drift
+    # Guarantee at least one atom per component for small n.
+    for name in counts:
+        if counts[name] < 1:
+            counts["water"] -= 1 - counts[name]
+            counts[name] = 1
+    if counts["water"] < 1:
+        raise DatasetError(f"n={n} too small for a 4-component membrane")
+    return counts
+
+
+def _sample_outside(
+    rng: np.random.Generator,
+    m: int,
+    box_side: float,
+    lo: float,
+    hi: float,
+) -> np.ndarray:
+    """Uniform samples along the normal axis avoiding the slab [lo, hi].
+
+    The two solvent half-spaces are sampled proportionally to their
+    thickness so the water density is uniform, as in the paper's Fig. 10
+    description.
+    """
+    below = lo - 0.0
+    above = box_side - hi
+    p_below = below / (below + above)
+    pick_below = rng.uniform(size=m) < p_below
+    out = np.empty(m, dtype=float)
+    n_below = int(pick_below.sum())
+    out[pick_below] = rng.uniform(0.0, lo, size=n_below)
+    out[~pick_below] = rng.uniform(hi, box_side, size=m - n_below)
+    return out

@@ -1,0 +1,256 @@
+"""Particle dataset container.
+
+Particle simulation frames are, for the purposes of the SDH query, a set
+of coordinates plus (optionally) a type label per particle — the second
+query variety of Sec. III-C.3 restricts the histogram to particles of a
+given type (e.g. carbon atoms), so the container carries a compact
+integer-coded type array with a name table.
+
+:class:`ParticleSet` is deliberately simple: a ``(N, d)`` float64
+coordinate array, a simulation box, and optional types.  It also
+implements the *duplication scaling* protocol the paper uses to grow its
+real 286,000-atom dataset to arbitrary N ("we randomly choose and
+duplicate atoms in this dataset", Sec. VI-A).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..geometry import AABB
+
+__all__ = ["ParticleSet"]
+
+
+class ParticleSet:
+    """An immutable set of particles in a simulation box.
+
+    Parameters
+    ----------
+    positions:
+        ``(N, d)`` array of coordinates, ``d`` in {2, 3}.
+    box:
+        The simulation box.  Defaults to the tight bounding box of the
+        positions, expanded to a square/cube (density maps subdivide a
+        square domain, so a cubical box keeps cells square at all
+        levels).
+    types:
+        Optional length-N integer array of type codes.
+    type_names:
+        Optional mapping from type code to a human-readable name
+        (e.g. ``{0: "C", 1: "O"}``).
+    """
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        box: AABB | None = None,
+        types: np.ndarray | None = None,
+        type_names: Mapping[int, str] | None = None,
+    ):
+        positions = np.ascontiguousarray(positions, dtype=np.float64)
+        if positions.ndim != 2:
+            raise DatasetError(
+                f"positions must be (N, d), got shape {positions.shape}"
+            )
+        if positions.shape[1] not in (2, 3):
+            raise DatasetError(
+                f"only 2D and 3D data supported, got d={positions.shape[1]}"
+            )
+        if positions.shape[0] == 0:
+            raise DatasetError("a particle set cannot be empty")
+        if not np.all(np.isfinite(positions)):
+            raise DatasetError("positions must be finite")
+
+        if box is None:
+            box = _enclosing_cube(positions)
+        if box.dim != positions.shape[1]:
+            raise DatasetError("box dimensionality does not match positions")
+        if not bool(box.contains_points(positions, closed=True).all()):
+            raise DatasetError("some positions lie outside the declared box")
+
+        if types is not None:
+            types = np.ascontiguousarray(types, dtype=np.int32)
+            if types.shape != (positions.shape[0],):
+                raise DatasetError(
+                    "types must be a 1D array with one entry per particle"
+                )
+            if types.min(initial=0) < 0:
+                raise DatasetError("type codes must be non-negative")
+
+        self._positions = positions
+        self._positions.setflags(write=False)
+        self._box = box
+        self._types = types
+        if self._types is not None:
+            self._types.setflags(write=False)
+        self._type_names = dict(type_names) if type_names else {}
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def positions(self) -> np.ndarray:
+        """The read-only ``(N, d)`` coordinate array."""
+        return self._positions
+
+    @property
+    def box(self) -> AABB:
+        """The simulation box."""
+        return self._box
+
+    @property
+    def types(self) -> np.ndarray | None:
+        """Per-particle type codes, or None when untyped."""
+        return self._types
+
+    @property
+    def type_names(self) -> dict[int, str]:
+        """Mapping from type code to display name (may be empty)."""
+        return dict(self._type_names)
+
+    @property
+    def size(self) -> int:
+        """Number of particles N."""
+        return self._positions.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Spatial dimensionality d (2 or 3)."""
+        return self._positions.shape[1]
+
+    @property
+    def num_pairs(self) -> int:
+        """``N * (N - 1) / 2`` — the mass every exact SDH must conserve."""
+        n = self.size
+        return n * (n - 1) // 2
+
+    @property
+    def max_possible_distance(self) -> float:
+        """Diagonal of the simulation box — upper bound on any distance."""
+        return self._box.diagonal
+
+    @property
+    def max_periodic_distance(self) -> float:
+        """Largest minimum-image distance: half-diagonal of the box.
+
+        Under periodic boundaries no pair can be farther than
+        ``sqrt(sum (L_k / 2)^2)``.
+        """
+        return math.sqrt(sum((s / 2.0) ** 2 for s in self._box.sides))
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        typed = "" if self._types is None else ", typed"
+        return f"ParticleSet(N={self.size}, d={self.dim}{typed})"
+
+    # ------------------------------------------------------------------
+    # Derived sets
+    # ------------------------------------------------------------------
+    def select(self, mask: np.ndarray) -> "ParticleSet":
+        """Subset by boolean mask or index array (box preserved)."""
+        positions = self._positions[mask]
+        if positions.shape[0] == 0:
+            raise DatasetError("selection is empty")
+        types = None if self._types is None else self._types[mask]
+        return ParticleSet(positions, self._box, types, self._type_names)
+
+    def of_type(self, type_code: int | str) -> "ParticleSet":
+        """Particles of one type (by code or by registered name)."""
+        code = self.resolve_type(type_code)
+        return self.select(self._types == code)
+
+    def resolve_type(self, type_code: int | str) -> int:
+        """Translate a type name/code into a valid integer code."""
+        if self._types is None:
+            raise DatasetError("dataset has no type information")
+        if isinstance(type_code, str):
+            matches = [
+                code
+                for code, name in self._type_names.items()
+                if name == type_code
+            ]
+            if not matches:
+                raise DatasetError(f"unknown type name {type_code!r}")
+            return matches[0]
+        code = int(type_code)
+        if code not in np.unique(self._types):
+            raise DatasetError(f"no particles of type code {code}")
+        return code
+
+    def type_count(self, type_code: int | str) -> int:
+        """Number of particles of the given type."""
+        code = self.resolve_type(type_code)
+        return int(np.count_nonzero(self._types == code))
+
+    # ------------------------------------------------------------------
+    # The paper's duplication-scaling protocol (Sec. VI-A)
+    # ------------------------------------------------------------------
+    def scale_to(
+        self,
+        target_n: int,
+        rng: np.random.Generator | None = None,
+        jitter: float = 0.0,
+    ) -> "ParticleSet":
+        """Grow or shrink the dataset to ``target_n`` particles.
+
+        Growth randomly duplicates existing particles — exactly the
+        protocol the paper uses to scale its real membrane dataset for
+        Fig. 8c / 9c.  ``jitter`` optionally displaces duplicates by a
+        small uniform offset (fraction of the box side) so the duplicated
+        set does not contain exactly coincident points; the paper's
+        experiments used plain duplication, so it defaults to 0.
+
+        Shrinking takes a uniform random subset.
+        """
+        if target_n < 1:
+            raise DatasetError(f"target_n must be >= 1, got {target_n}")
+        rng = np.random.default_rng() if rng is None else rng
+        n = self.size
+        if target_n <= n:
+            keep = rng.choice(n, size=target_n, replace=False)
+            return self.select(np.sort(keep))
+        extra_idx = rng.choice(n, size=target_n - n, replace=True)
+        extra = self._positions[extra_idx]
+        if jitter > 0:
+            side = min(self._box.sides)
+            extra = extra + rng.uniform(
+                -jitter * side, jitter * side, size=extra.shape
+            )
+            lo = np.asarray(self._box.lo)
+            hi = np.asarray(self._box.hi)
+            extra = np.clip(extra, lo, np.nextafter(hi, lo))
+        positions = np.vstack([self._positions, extra])
+        types = None
+        if self._types is not None:
+            types = np.concatenate([self._types, self._types[extra_idx]])
+        return ParticleSet(positions, self._box, types, self._type_names)
+
+    def with_types(
+        self,
+        types: np.ndarray,
+        type_names: Mapping[int, str] | None = None,
+    ) -> "ParticleSet":
+        """A copy of this set with (new) type labels attached."""
+        return ParticleSet(self._positions, self._box, types, type_names)
+
+
+def _enclosing_cube(positions: np.ndarray) -> AABB:
+    """Smallest origin-anchored cube covering positions with slack.
+
+    A tiny relative margin is added above the max coordinate so every
+    particle satisfies the half-open cell membership at all tree levels.
+    """
+    low = positions.min(axis=0)
+    high = positions.max(axis=0)
+    side = float((high - low).max())
+    if side <= 0:
+        side = 1.0
+    side *= 1.0 + 1e-9
+    return AABB.from_arrays(low, low + side)

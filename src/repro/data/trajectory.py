@@ -1,0 +1,137 @@
+"""Multi-frame particle trajectories.
+
+Simulation output is a sequence of *frames* — continuous snapshots of
+the simulated system (paper Sec. VIII).  The incremental SDH extension
+(:mod:`repro.incremental`) exploits the similarity between neighbouring
+frames; this module provides the frame container and a synthetic
+dynamics generator that mimics that similarity: per step only a fraction
+of the particles move, by a bounded random displacement.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..geometry import AABB
+from .particles import ParticleSet
+
+__all__ = ["Trajectory", "random_walk_trajectory"]
+
+
+class Trajectory:
+    """An ordered sequence of frames sharing box, size and types."""
+
+    def __init__(self, frames: Sequence[ParticleSet]):
+        if not frames:
+            raise DatasetError("a trajectory needs at least one frame")
+        first = frames[0]
+        for t, frame in enumerate(frames):
+            if frame.size != first.size:
+                raise DatasetError(
+                    f"frame {t} has {frame.size} particles, expected "
+                    f"{first.size}"
+                )
+            if frame.dim != first.dim:
+                raise DatasetError(f"frame {t} dimensionality differs")
+            if frame.box != first.box:
+                raise DatasetError(f"frame {t} box differs")
+        self._frames = list(frames)
+
+    @property
+    def frames(self) -> list[ParticleSet]:
+        """The frames, in time order."""
+        return list(self._frames)
+
+    @property
+    def num_frames(self) -> int:
+        """Number of frames T."""
+        return len(self._frames)
+
+    @property
+    def box(self) -> AABB:
+        """The shared simulation box."""
+        return self._frames[0].box
+
+    @property
+    def size(self) -> int:
+        """Particle count N (identical across frames)."""
+        return self._frames[0].size
+
+    def __len__(self) -> int:
+        return self.num_frames
+
+    def __getitem__(self, index: int) -> ParticleSet:
+        return self._frames[index]
+
+    def __iter__(self) -> Iterator[ParticleSet]:
+        return iter(self._frames)
+
+    def moved_mask(self, t: int) -> np.ndarray:
+        """Mask of particles whose position changed from frame t-1 to t."""
+        if t < 1 or t >= self.num_frames:
+            raise DatasetError(f"frame index {t} out of range for deltas")
+        prev = self._frames[t - 1].positions
+        cur = self._frames[t].positions
+        return np.any(prev != cur, axis=1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Trajectory(T={self.num_frames}, N={self.size})"
+
+
+def random_walk_trajectory(
+    initial: ParticleSet,
+    num_frames: int,
+    move_fraction: float = 0.05,
+    step_scale: float = 0.01,
+    rng: np.random.Generator | int | None = None,
+) -> Trajectory:
+    """Synthetic dynamics: each step moves a random subset of particles.
+
+    Parameters
+    ----------
+    initial:
+        Frame 0.
+    num_frames:
+        Total number of frames (including the initial one).
+    move_fraction:
+        Fraction of particles displaced per step — the "similarity
+        between neighbouring frames" knob.  Real MD moves every atom a
+        little; moving few atoms a lot is the regime where incremental
+        SDH maintenance wins, which is what the extension benchmarks
+        explore.
+    step_scale:
+        Displacement scale as a fraction of the box side.
+    """
+    if num_frames < 1:
+        raise DatasetError("num_frames must be >= 1")
+    if not 0 < move_fraction <= 1:
+        raise DatasetError("move_fraction must be in (0, 1]")
+    if isinstance(rng, np.random.Generator):
+        generator = rng
+    else:
+        generator = np.random.default_rng(rng)
+
+    box = initial.box
+    lo = np.asarray(box.lo)
+    hi = np.asarray(box.hi)
+    side = float(min(box.sides))
+    frames = [initial]
+    current = initial.positions.copy()
+    n = initial.size
+    num_moving = max(1, int(round(move_fraction * n)))
+    for _step in range(num_frames - 1):
+        moving = generator.choice(n, size=num_moving, replace=False)
+        delta = generator.normal(
+            0.0, step_scale * side, size=(num_moving, initial.dim)
+        )
+        current = current.copy()
+        current[moving] = np.clip(
+            current[moving] + delta, lo, np.nextafter(hi, lo)
+        )
+        frames.append(
+            ParticleSet(current, box, initial.types, initial.type_names)
+        )
+    return Trajectory(frames)

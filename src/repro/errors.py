@@ -1,0 +1,70 @@
+"""Exception hierarchy for the SDH reproduction library.
+
+Every error raised on purpose by :mod:`repro` derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` etc.)
+propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GeometryError(ReproError):
+    """A geometric object was constructed or used inconsistently.
+
+    Examples: an axis-aligned box whose lower corner exceeds its upper
+    corner, or mixing 2D and 3D objects in one operation.
+    """
+
+
+class BucketSpecError(ReproError):
+    """A histogram bucket specification is invalid.
+
+    Examples: non-positive bucket width, unordered custom bucket edges,
+    or zero buckets.
+    """
+
+
+class DistanceOverflowError(ReproError):
+    """A pairwise distance fell outside the histogram's covered range.
+
+    Raised only when the active :class:`~repro.core.buckets.OverflowPolicy`
+    is ``RAISE``; other policies clamp or drop the offending distances.
+    """
+
+
+class DatasetError(ReproError):
+    """A particle dataset is malformed or incompatible with a request.
+
+    Examples: coordinates outside the declared simulation box, a type
+    array whose length does not match the coordinate array, or an
+    unknown particle-type label in a type-restricted query.
+    """
+
+
+class TreeError(ReproError):
+    """A density-map tree violates a structural invariant.
+
+    Raised by :meth:`repro.quadtree.tree.DensityMapTree.validate` and by
+    operations that require a level the tree does not have.
+    """
+
+
+class QueryError(ReproError):
+    """An SDH query is inconsistent with the dataset or engine.
+
+    Examples: a query region that does not intersect the simulation box,
+    an unknown engine name, or approximation parameters out of range.
+    """
+
+
+class StorageError(ReproError):
+    """The paged-storage simulator was used incorrectly.
+
+    Examples: reading a page id that was never allocated, or a buffer
+    pool with non-positive capacity.
+    """

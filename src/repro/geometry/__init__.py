@@ -1,0 +1,37 @@
+"""Geometric substrate: boxes, distance bounds, query regions.
+
+This package provides the geometry the density-map algorithms are built
+on: :class:`~repro.geometry.bounds.AABB` cells, vectorized min/max
+distance bounds between cells (the paper's Fig. 3 computation), and the
+query-region classification used by region-restricted SDH queries.
+"""
+
+from .bounds import AABB
+from .distance import (
+    box_pair_bounds,
+    cross_distances,
+    grid_pair_bounds,
+    iter_cross_distance_chunks,
+    iter_self_distance_chunks,
+    minimum_image,
+    pairwise_distances,
+    periodic_grid_pair_bounds,
+)
+from .regions import BallRegion, RectRegion, Region, Relation, UnionRegion
+
+__all__ = [
+    "AABB",
+    "BallRegion",
+    "RectRegion",
+    "Region",
+    "Relation",
+    "UnionRegion",
+    "box_pair_bounds",
+    "cross_distances",
+    "grid_pair_bounds",
+    "iter_cross_distance_chunks",
+    "iter_self_distance_chunks",
+    "minimum_image",
+    "pairwise_distances",
+    "periodic_grid_pair_bounds",
+]

@@ -1,0 +1,278 @@
+"""Axis-aligned bounding boxes in 2 or 3 dimensions.
+
+The density maps of the paper partition the simulated space into square
+(2D) or cubic (3D) cells; every tree node carries the coordinates of its
+cell (Sec. III-C.1 of the paper stores ``x1, x2, y1, y2`` per node).
+:class:`AABB` is the library-wide representation of such a cell, of a
+node's minimum bounding rectangle (MBR), and of the whole simulation box.
+
+Boxes are *half-open*: a point belongs to the box when
+``lo[k] <= x[k] < hi[k]`` on every axis.  This matches the binning rule
+used when particles are loaded into density-map cells, so a particle
+belongs to exactly one cell per level.  The one exception is the upper
+face of the overall simulation box, which :meth:`AABB.contains` can be
+asked to close via ``closed=True``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..errors import GeometryError
+
+__all__ = ["AABB"]
+
+
+@dataclass(frozen=True)
+class AABB:
+    """An axis-aligned box: ``lo[k] <= x[k] < hi[k]`` for each axis ``k``.
+
+    Parameters
+    ----------
+    lo, hi:
+        Tuples of per-axis lower / upper coordinates.  ``len(lo)`` is the
+        dimensionality and must be 2 or 3, matching the paper's scope.
+
+    The class is frozen (hashable, safe to share between tree nodes) and
+    all derived quantities are cheap to recompute.
+    """
+
+    lo: tuple[float, ...]
+    hi: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lo) != len(self.hi):
+            raise GeometryError(
+                f"lo has {len(self.lo)} axes but hi has {len(self.hi)}"
+            )
+        if len(self.lo) not in (2, 3):
+            raise GeometryError(
+                f"AABB supports 2 or 3 dimensions, got {len(self.lo)}"
+            )
+        for axis, (a, b) in enumerate(zip(self.lo, self.hi)):
+            if not (math.isfinite(a) and math.isfinite(b)):
+                raise GeometryError(f"non-finite bound on axis {axis}")
+            if a > b:
+                raise GeometryError(
+                    f"lo {a} exceeds hi {b} on axis {axis}"
+                )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_arrays(lo: Sequence[float], hi: Sequence[float]) -> "AABB":
+        """Build a box from any float sequences (numpy arrays included)."""
+        return AABB(tuple(float(v) for v in lo), tuple(float(v) for v in hi))
+
+    @staticmethod
+    def cube(side: float, dim: int, origin: Sequence[float] | None = None) -> "AABB":
+        """A square/cube of side length ``side`` anchored at ``origin``.
+
+        ``origin`` defaults to the coordinate origin.
+        """
+        if side <= 0:
+            raise GeometryError(f"cube side must be positive, got {side}")
+        if origin is None:
+            origin = (0.0,) * dim
+        if len(origin) != dim:
+            raise GeometryError("origin dimensionality mismatch")
+        lo = tuple(float(o) for o in origin)
+        hi = tuple(o + side for o in lo)
+        return AABB(lo, hi)
+
+    @staticmethod
+    def of_points(points: np.ndarray) -> "AABB":
+        """The tight MBR of a non-empty ``(n, d)`` coordinate array."""
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise GeometryError("of_points needs a non-empty (n, d) array")
+        return AABB.from_arrays(points.min(axis=0), points.max(axis=0))
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        """Number of spatial dimensions (2 or 3)."""
+        return len(self.lo)
+
+    @property
+    def sides(self) -> tuple[float, ...]:
+        """Per-axis edge lengths."""
+        return tuple(b - a for a, b in zip(self.lo, self.hi))
+
+    @property
+    def diagonal(self) -> float:
+        """Length of the main diagonal.
+
+        The paper's start-map criterion (Fig. 2 line 2) compares this to
+        the bucket width ``p``: the first density map whose cells have
+        ``diagonal <= p`` guarantees every intra-cell distance falls into
+        the first bucket.
+        """
+        return math.sqrt(sum(s * s for s in self.sides))
+
+    @property
+    def volume(self) -> float:
+        """Area (2D) or volume (3D) of the box."""
+        out = 1.0
+        for s in self.sides:
+            out *= s
+        return out
+
+    @property
+    def center(self) -> tuple[float, ...]:
+        """Geometric center of the box."""
+        return tuple((a + b) / 2.0 for a, b in zip(self.lo, self.hi))
+
+    def is_empty(self) -> bool:
+        """True when some axis has zero extent (degenerate box)."""
+        return any(b <= a for a, b in zip(self.lo, self.hi))
+
+    # ------------------------------------------------------------------
+    # Point / box predicates
+    # ------------------------------------------------------------------
+    def contains(self, point: Sequence[float], closed: bool = False) -> bool:
+        """Whether ``point`` lies inside the (half-open) box.
+
+        ``closed=True`` also accepts points exactly on the upper faces,
+        which is how the overall simulation box treats particles sitting
+        on its boundary.
+        """
+        if len(point) != self.dim:
+            raise GeometryError("point dimensionality mismatch")
+        for x, a, b in zip(point, self.lo, self.hi):
+            if x < a:
+                return False
+            if x > b or (x == b and not closed):
+                return False
+        return True
+
+    def contains_box(self, other: "AABB") -> bool:
+        """Whether ``other`` lies entirely within this box."""
+        self._check_same_dim(other)
+        return all(
+            a <= oa and ob <= b
+            for a, b, oa, ob in zip(self.lo, self.hi, other.lo, other.hi)
+        )
+
+    def intersects(self, other: "AABB") -> bool:
+        """Whether the closed hulls of the two boxes overlap."""
+        self._check_same_dim(other)
+        return all(
+            oa <= b and a <= ob
+            for a, b, oa, ob in zip(self.lo, self.hi, other.lo, other.hi)
+        )
+
+    def contains_points(self, points: np.ndarray, closed: bool = False) -> np.ndarray:
+        """Vectorized membership mask for an ``(n, d)`` coordinate array."""
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or points.shape[1] != self.dim:
+            raise GeometryError("points must be (n, d) with matching d")
+        lo = np.asarray(self.lo)
+        hi = np.asarray(self.hi)
+        inside = np.all(points >= lo, axis=1)
+        if closed:
+            inside &= np.all(points <= hi, axis=1)
+        else:
+            inside &= np.all(points < hi, axis=1)
+        return inside
+
+    # ------------------------------------------------------------------
+    # Distance bounds (the Fig. 3 computation for a single pair)
+    # ------------------------------------------------------------------
+    def min_distance(self, other: "AABB") -> float:
+        """Smallest possible distance between a point of each box.
+
+        Covers all three scenarios of the paper's Fig. 3: overlapping
+        boxes give 0; boxes offset along one axis give the face gap;
+        diagonal offsets give the corner-to-corner gap.
+        """
+        self._check_same_dim(other)
+        total = 0.0
+        for a, b, oa, ob in zip(self.lo, self.hi, other.lo, other.hi):
+            gap = max(oa - b, a - ob, 0.0)
+            total += gap * gap
+        return math.sqrt(total)
+
+    def max_distance(self, other: "AABB") -> float:
+        """Largest possible distance between a point of each box."""
+        self._check_same_dim(other)
+        total = 0.0
+        for a, b, oa, ob in zip(self.lo, self.hi, other.lo, other.hi):
+            span = max(ob - a, b - oa)
+            total += span * span
+        return math.sqrt(total)
+
+    def distance_bounds(self, other: "AABB") -> tuple[float, float]:
+        """``(min, max)`` point-to-point distance between the two boxes."""
+        return self.min_distance(other), self.max_distance(other)
+
+    # ------------------------------------------------------------------
+    # Subdivision (the density-map refinement step)
+    # ------------------------------------------------------------------
+    def subdivide(self) -> tuple["AABB", ...]:
+        """Split into the 4 (2D) / 8 (3D) equal child cells.
+
+        Children are ordered by the binary pattern of their offsets: for
+        2D the order is (lo,lo), (hi,lo), (lo,hi), (hi,hi) — i.e. the
+        x-axis toggles fastest.  The same ordering is used by the grid
+        pyramid so node-based and array-based engines agree on child
+        identity.
+        """
+        mid = self.center
+        children = []
+        for code in range(2 ** self.dim):
+            lo = []
+            hi = []
+            for axis in range(self.dim):
+                if (code >> axis) & 1:
+                    lo.append(mid[axis])
+                    hi.append(self.hi[axis])
+                else:
+                    lo.append(self.lo[axis])
+                    hi.append(mid[axis])
+            children.append(AABB(tuple(lo), tuple(hi)))
+        return tuple(children)
+
+    def iter_corners(self) -> Iterator[tuple[float, ...]]:
+        """Yield all 4/8 corner points of the box."""
+        for code in range(2 ** self.dim):
+            yield tuple(
+                self.hi[axis] if (code >> axis) & 1 else self.lo[axis]
+                for axis in range(self.dim)
+            )
+
+    def union(self, other: "AABB") -> "AABB":
+        """Smallest box containing both operands (MBR merge)."""
+        self._check_same_dim(other)
+        return AABB(
+            tuple(min(a, oa) for a, oa in zip(self.lo, other.lo)),
+            tuple(max(b, ob) for b, ob in zip(self.hi, other.hi)),
+        )
+
+    def intersection(self, other: "AABB") -> "AABB | None":
+        """Overlap box of the two operands, or None when disjoint."""
+        self._check_same_dim(other)
+        lo = tuple(max(a, oa) for a, oa in zip(self.lo, other.lo))
+        hi = tuple(min(b, ob) for b, ob in zip(self.hi, other.hi))
+        if any(a > b for a, b in zip(lo, hi)):
+            return None
+        return AABB(lo, hi)
+
+    # ------------------------------------------------------------------
+    def _check_same_dim(self, other: "AABB") -> None:
+        if self.dim != other.dim:
+            raise GeometryError(
+                f"dimension mismatch: {self.dim} vs {other.dim}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        lo = ", ".join(f"{v:g}" for v in self.lo)
+        hi = ", ".join(f"{v:g}" for v in self.hi)
+        return f"AABB([{lo}] .. [{hi}])"

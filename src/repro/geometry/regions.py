@@ -1,0 +1,192 @@
+"""Query regions for region-restricted SDH queries.
+
+Section III-C.3 of the paper describes the first query variety: *compute
+the SDH of a specific region of the whole simulated space*.  The modified
+``RESOLVETWOCELLS`` needs a three-way classification of a cell against
+the query region:
+
+* ``INSIDE`` — the cell is fully contained: its counts can be used as-is;
+* ``OUTSIDE`` — the cell is disjoint from the region: skip it entirely;
+* ``PARTIAL`` — the cell straddles the region boundary: even a resolvable
+  pair must recurse further (or filter particles at the leaves).
+
+:class:`Region` is the small interface the engines rely on;
+:class:`RectRegion` and :class:`BallRegion` cover the common shapes, and
+:class:`UnionRegion` composes them.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from enum import Enum
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import GeometryError
+from .bounds import AABB
+
+__all__ = ["Relation", "Region", "RectRegion", "BallRegion", "UnionRegion"]
+
+
+class Relation(Enum):
+    """Classification of a cell relative to a query region."""
+
+    INSIDE = "inside"
+    OUTSIDE = "outside"
+    PARTIAL = "partial"
+
+
+class Region(ABC):
+    """Interface every query region implements."""
+
+    @property
+    @abstractmethod
+    def dim(self) -> int:
+        """Spatial dimensionality of the region."""
+
+    @abstractmethod
+    def classify(self, cell: AABB) -> Relation:
+        """Three-way relation of ``cell`` to the region.
+
+        ``PARTIAL`` is always a safe answer; implementations may return
+        it conservatively when containment is hard to decide, at the cost
+        of extra recursion, never of wrong results.
+        """
+
+    @abstractmethod
+    def contains_points(self, points: np.ndarray) -> np.ndarray:
+        """Boolean membership mask for an ``(n, d)`` coordinate array."""
+
+    def count_inside(self, points: np.ndarray) -> int:
+        """Number of the given points inside the region."""
+        return int(np.count_nonzero(self.contains_points(points)))
+
+
+class RectRegion(Region):
+    """A rectangular (2D) / box (3D) query region."""
+
+    def __init__(self, box: AABB):
+        self._box = box
+
+    @property
+    def box(self) -> AABB:
+        """The underlying axis-aligned box."""
+        return self._box
+
+    @property
+    def dim(self) -> int:
+        return self._box.dim
+
+    def classify(self, cell: AABB) -> Relation:
+        if not self._box.intersects(cell):
+            return Relation.OUTSIDE
+        if self._box.contains_box(cell):
+            return Relation.INSIDE
+        return Relation.PARTIAL
+
+    def contains_points(self, points: np.ndarray) -> np.ndarray:
+        return self._box.contains_points(points, closed=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RectRegion({self._box!r})"
+
+
+class BallRegion(Region):
+    """A circular (2D) / spherical (3D) query region."""
+
+    def __init__(self, center: Sequence[float], radius: float):
+        if radius <= 0:
+            raise GeometryError(f"radius must be positive, got {radius}")
+        if len(center) not in (2, 3):
+            raise GeometryError("center must be 2D or 3D")
+        self._center = tuple(float(c) for c in center)
+        self._radius = float(radius)
+
+    @property
+    def center(self) -> tuple[float, ...]:
+        """Center point of the ball."""
+        return self._center
+
+    @property
+    def radius(self) -> float:
+        """Radius of the ball."""
+        return self._radius
+
+    @property
+    def dim(self) -> int:
+        return len(self._center)
+
+    def classify(self, cell: AABB) -> Relation:
+        if cell.dim != self.dim:
+            raise GeometryError("cell dimensionality mismatch")
+        # Nearest point of the cell to the center.
+        near_sq = 0.0
+        for c, a, b in zip(self._center, cell.lo, cell.hi):
+            gap = max(a - c, c - b, 0.0)
+            near_sq += gap * gap
+        if near_sq > self._radius * self._radius:
+            return Relation.OUTSIDE
+        # Farthest corner of the cell from the center.
+        far_sq = 0.0
+        for c, a, b in zip(self._center, cell.lo, cell.hi):
+            span = max(b - c, c - a)
+            far_sq += span * span
+        if far_sq <= self._radius * self._radius:
+            return Relation.INSIDE
+        return Relation.PARTIAL
+
+    def contains_points(self, points: np.ndarray) -> np.ndarray:
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or points.shape[1] != self.dim:
+            raise GeometryError("points must be (n, d) with matching d")
+        delta = points - np.asarray(self._center)
+        return np.einsum("ij,ij->i", delta, delta) <= self._radius**2
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        center = ", ".join(f"{c:g}" for c in self._center)
+        return f"BallRegion(({center}), r={self._radius:g})"
+
+
+class UnionRegion(Region):
+    """Union of several regions of equal dimensionality.
+
+    Classification is exact for OUTSIDE (all members outside) and for
+    INSIDE when *some single member* contains the cell; overlapping
+    members that only jointly cover a cell yield the conservative
+    ``PARTIAL``, which keeps results correct at the cost of recursion.
+    """
+
+    def __init__(self, members: Sequence[Region]):
+        if not members:
+            raise GeometryError("UnionRegion needs at least one member")
+        dims = {m.dim for m in members}
+        if len(dims) != 1:
+            raise GeometryError("mixed dimensionalities in UnionRegion")
+        self._members = tuple(members)
+
+    @property
+    def members(self) -> tuple[Region, ...]:
+        """The member regions."""
+        return self._members
+
+    @property
+    def dim(self) -> int:
+        return self._members[0].dim
+
+    def classify(self, cell: AABB) -> Relation:
+        relations = [m.classify(cell) for m in self._members]
+        if any(r is Relation.INSIDE for r in relations):
+            return Relation.INSIDE
+        if all(r is Relation.OUTSIDE for r in relations):
+            return Relation.OUTSIDE
+        return Relation.PARTIAL
+
+    def contains_points(self, points: np.ndarray) -> np.ndarray:
+        mask = self._members[0].contains_points(points)
+        for member in self._members[1:]:
+            mask = mask | member.contains_points(points)
+        return mask
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UnionRegion({list(self._members)!r})"

@@ -1,0 +1,5 @@
+"""Incremental SDH over trajectories (the paper's future work, Sec. VIII)."""
+
+from .delta import IncrementalSDH, sdh_over_trajectory, update_histogram
+
+__all__ = ["IncrementalSDH", "sdh_over_trajectory", "update_histogram"]

@@ -1,0 +1,5 @@
+"""Alternative space-partitioning plans (paper future work, Sec. VIII)."""
+
+from .kdtree import KDNode, KDPartition, kd_sdh
+
+__all__ = ["KDNode", "KDPartition", "kd_sdh"]

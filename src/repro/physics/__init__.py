@@ -1,0 +1,27 @@
+"""The analytics the paper's SDH query feeds: RDF, S(q), thermodynamics.
+
+Sec. I-A of the paper motivates the SDH as "the main building block of
+a series of critical quantities": this package implements those
+quantities on top of any :class:`~repro.core.histogram.DistanceHistogram`.
+"""
+
+from .partial import partial_rdfs
+from .rdf import RadialDistributionFunction, rdf_from_histogram
+from .structure import structure_factor
+from .thermo import (
+    excess_internal_energy,
+    lennard_jones,
+    lennard_jones_derivative,
+    virial_pressure,
+)
+
+__all__ = [
+    "RadialDistributionFunction",
+    "excess_internal_energy",
+    "lennard_jones",
+    "lennard_jones_derivative",
+    "partial_rdfs",
+    "rdf_from_histogram",
+    "structure_factor",
+    "virial_pressure",
+]

@@ -1,0 +1,222 @@
+"""Radial distribution functions from distance histograms.
+
+The paper's motivation (Sec. I-A): the SDH is a direct estimator of the
+radial distribution function
+
+    g(r) = <N(r)> / (4 pi r^2 dr rho)                        (Eq. 1)
+
+where ``N(r)`` is the number of atoms in the shell ``[r, r + dr)``
+around a particle, ``rho`` the mean particle density, and
+``4 pi r^2 dr`` the shell volume — "the RDF can be viewed as a
+normalized SDH".  This module performs exactly that normalization, for
+3D (spherical shells) and 2D (annuli, ``2 pi r dr``), turning any
+:class:`~repro.core.histogram.DistanceHistogram` — exact or
+approximate — into a g(r) curve.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.histogram import DistanceHistogram
+from ..data.particles import ParticleSet
+from ..errors import QueryError
+
+__all__ = ["RadialDistributionFunction", "rdf_from_histogram"]
+
+
+@dataclass(frozen=True)
+class RadialDistributionFunction:
+    """A sampled g(r): bin edges/centers, values, provenance metadata."""
+
+    r: np.ndarray
+    g: np.ndarray
+    edges: np.ndarray
+    density: float
+    num_particles: int
+    dim: int
+
+    def first_peak(self) -> tuple[float, float]:
+        """Location and height of the first local maximum of g(r).
+
+        The first RDF peak marks the nearest-neighbour shell; its
+        presence distinguishes structured systems (lattices, liquids)
+        from ideal gases, which the physics tests exploit.
+        """
+        if self.g.size == 0:
+            raise QueryError("empty RDF")
+        idx = int(np.argmax(self.g))
+        return float(self.r[idx]), float(self.g[idx])
+
+    def coordination_number(self, r_cut: float) -> float:
+        """Average number of neighbours within ``r_cut``.
+
+        Sums ``rho * g_i * shell_volume_i`` over the bins below the
+        cutoff, with the exact shell volume between each bin's edges
+        (partial last shell included), so an ideal gas recovers
+        ``rho * V_ball(r_cut)`` exactly up to histogram noise.
+        """
+        lo = self.edges[:-1]
+        hi = np.minimum(self.edges[1:], r_cut)
+        live = hi > lo
+        if not live.any():
+            return 0.0
+        if self.dim == 3:
+            shell = 4.0 / 3.0 * math.pi * (hi[live] ** 3 - lo[live] ** 3)
+        else:
+            shell = math.pi * (hi[live] ** 2 - lo[live] ** 2)
+        return float((self.density * self.g[live] * shell).sum())
+
+    def truncated(self, r_max: float) -> "RadialDistributionFunction":
+        """The RDF restricted to bins entirely below ``r_max``.
+
+        Bins near the box diagonal carry almost no ideal-gas mass, so
+        their g values are dominated by noise; integral transforms
+        (structure factor, thermodynamics) should work on a truncated
+        curve.
+        """
+        keep = self.edges[1:] <= r_max
+        if not keep.any():
+            raise QueryError(f"no bins below r_max={r_max}")
+        stop = int(np.flatnonzero(keep)[-1]) + 1
+        return RadialDistributionFunction(
+            r=self.r[:stop],
+            g=self.g[:stop],
+            edges=self.edges[: stop + 1],
+            density=self.density,
+            num_particles=self.num_particles,
+            dim=self.dim,
+        )
+
+    def __len__(self) -> int:
+        return self.r.size
+
+
+def rdf_from_histogram(
+    histogram: DistanceHistogram,
+    particles: ParticleSet,
+    finite_size: str = "corrected",
+) -> RadialDistributionFunction:
+    """Normalize an SDH into g(r) per the paper's Eq. (1).
+
+    Each bucket's pair count is divided by the ideal-gas expectation
+    for its shell.  Two normalizations are offered:
+
+    * ``"corrected"`` (default) — the *exact* finite-box ideal-gas
+      expectation: the distance distribution of two uniform points in
+      the simulation box (per-axis triangular laws, evaluated by a
+      deterministic quadrature).  Uncorrelated data gives ``g(r) ~ 1``
+      over the whole distance range; this is the right choice for the
+      non-periodic configurations the SDH counts pairs in.
+    * ``"shell"`` — the textbook Eq.-(1) normalization by the raw shell
+      volume ``4 pi r^2 dr`` (3D) / ``2 pi r dr`` (2D).  For a finite
+      non-periodic box, g(r) then decays at large r because part of
+      each shell falls outside the box — the standard finite-size
+      artefact, reproduced faithfully.
+    * ``"periodic"`` — for histograms computed with ``periodic=True``
+      (minimum-image distances): the exact ideal-gas expectation on the
+      torus, whose per-axis coordinate-difference law is uniform on
+      ``[0, L/2]``.  Identical to ``"shell"`` for ``r`` below half the
+      shortest box side, exact beyond it.
+    """
+    n = particles.size
+    volume = particles.box.volume
+    if volume <= 0:
+        raise QueryError("particle box has zero volume")
+    rho = n / volume
+    edges = histogram.spec.edges
+    dim = particles.dim
+    num_pairs = n * (n - 1) / 2.0
+
+    if finite_size == "corrected":
+        fractions = _box_distance_cdf_diffs(particles.box.sides, edges)
+        expected = num_pairs * fractions
+    elif finite_size == "periodic":
+        fractions = _box_distance_cdf_diffs(
+            particles.box.sides, edges, periodic=True
+        )
+        expected = num_pairs * fractions
+    elif finite_size == "shell":
+        if dim == 3:
+            shell = (
+                4.0 / 3.0 * math.pi * (edges[1:] ** 3 - edges[:-1] ** 3)
+            )
+        else:
+            shell = math.pi * (edges[1:] ** 2 - edges[:-1] ** 2)
+        # Each of the N particles sees rho * shell neighbours; pairs
+        # are counted once, hence the factor N/2.
+        expected = (n / 2.0) * rho * shell
+    else:
+        raise QueryError(
+            f"finite_size must be 'corrected', 'periodic' or 'shell', "
+            f"got {finite_size!r}"
+        )
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        g = np.where(expected > 0, histogram.counts / expected, 0.0)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    return RadialDistributionFunction(
+        r=centers,
+        g=g,
+        edges=np.asarray(edges, dtype=float),
+        density=rho,
+        num_particles=n,
+        dim=dim,
+    )
+
+
+def _box_distance_cdf_diffs(
+    sides: tuple[float, ...],
+    edges: np.ndarray,
+    periodic: bool = False,
+) -> np.ndarray:
+    """P(D in bucket) for the distance D of two uniform box points.
+
+    The per-axis coordinate difference ``|x1 - x2|`` follows the
+    triangular law ``f(t) = 2 (L - t) / L^2`` independently per axis —
+    or, on the torus (``periodic``), the uniform law on ``[0, L/2]`` —
+    and the bucket probabilities are obtained by quadrature over a fine
+    per-axis grid (deterministic, ~1e-4 accurate with the default
+    resolution, far below histogram noise).
+    """
+    resolution = 512 if len(sides) == 3 else 2048
+    axes_t = []
+    axes_w = []
+    for length in sides:
+        if periodic:
+            half = length / 2.0
+            t = (np.arange(resolution) + 0.5) * (half / resolution)
+            w = np.full(resolution, 1.0 / resolution)
+        else:
+            t = (np.arange(resolution) + 0.5) * (length / resolution)
+            w = 2.0 * (length - t) / length**2 * (length / resolution)
+        axes_t.append(t)
+        axes_w.append(w)
+    if len(sides) == 2:
+        d = np.sqrt(
+            axes_t[0][:, None] ** 2 + axes_t[1][None, :] ** 2
+        ).ravel()
+        weight = (axes_w[0][:, None] * axes_w[1][None, :]).ravel()
+    else:
+        d = np.sqrt(
+            axes_t[0][:, None, None] ** 2
+            + axes_t[1][None, :, None] ** 2
+            + axes_t[2][None, None, :] ** 2
+        ).ravel()
+        weight = (
+            axes_w[0][:, None, None]
+            * axes_w[1][None, :, None]
+            * axes_w[2][None, None, :]
+        ).ravel()
+    idx = np.clip(
+        np.searchsorted(edges, d, side="right") - 1, 0, edges.size - 2
+    )
+    # Distances beyond the last edge (none for a spec covering the
+    # diagonal) are dropped to match OverflowPolicy-free binning.
+    in_range = d <= edges[-1]
+    return np.bincount(
+        idx[in_range], weights=weight[in_range], minlength=edges.size - 1
+    )

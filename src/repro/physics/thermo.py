@@ -1,0 +1,131 @@
+"""Thermodynamic quantities from g(r).
+
+The paper motivates SDH by noting that "some of the important
+quantities like total pressure, and energy cannot be calculated without
+g(r)" (Sec. I-A).  For a pairwise-additive potential ``u(r)`` the
+standard statistical-mechanics expressions are
+
+* excess internal energy per particle::
+
+      U_ex / N = (rho / 2) * integral u(r) g(r) dV(r)
+
+* pressure via the virial equation::
+
+      P = rho k T - (rho^2 / (2 d)) * integral r u'(r) g(r) dV(r)
+
+with ``dV = 4 pi r^2 dr`` in 3D and ``2 pi r dr`` in 2D.  This module
+evaluates both by quadrature over a sampled RDF, plus the
+Lennard-Jones potential the tests and examples use.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from ..errors import QueryError
+from .rdf import RadialDistributionFunction
+
+__all__ = [
+    "lennard_jones",
+    "lennard_jones_derivative",
+    "excess_internal_energy",
+    "virial_pressure",
+]
+
+
+def lennard_jones(
+    r: np.ndarray, epsilon: float = 1.0, sigma: float = 1.0
+) -> np.ndarray:
+    """The 12-6 Lennard-Jones pair potential ``4e[(s/r)^12 - (s/r)^6]``."""
+    r = np.asarray(r, dtype=float)
+    if np.any(r <= 0):
+        raise QueryError("LJ potential diverges at r <= 0")
+    sr6 = (sigma / r) ** 6
+    return 4.0 * epsilon * (sr6 * sr6 - sr6)
+
+
+def lennard_jones_derivative(
+    r: np.ndarray, epsilon: float = 1.0, sigma: float = 1.0
+) -> np.ndarray:
+    """d/dr of the Lennard-Jones potential."""
+    r = np.asarray(r, dtype=float)
+    if np.any(r <= 0):
+        raise QueryError("LJ potential diverges at r <= 0")
+    sr6 = (sigma / r) ** 6
+    return 4.0 * epsilon * (-12.0 * sr6 * sr6 + 6.0 * sr6) / r
+
+
+def _shell_measure(rdf: RadialDistributionFunction) -> np.ndarray:
+    if rdf.dim == 3:
+        return 4.0 * math.pi * rdf.r**2
+    return 2.0 * math.pi * rdf.r
+
+
+def excess_internal_energy(
+    rdf: RadialDistributionFunction,
+    potential: Callable[[np.ndarray], np.ndarray] = lennard_jones,
+    r_min: float | None = None,
+) -> float:
+    """Per-particle excess energy ``(rho/2) * int u(r) g(r) dV``.
+
+    ``r_min`` truncates the integral from below (histogram bins at tiny
+    ``r`` carry huge potential values with near-zero pair counts; the
+    default skips empty leading bins automatically).
+    """
+    r, g = _clipped(rdf, r_min)
+    u = potential(r)
+    integrand = u * g * _shell_measure_at(rdf.dim, r)
+    return float(rdf.density / 2.0 * np.trapezoid(integrand, r))
+
+
+def virial_pressure(
+    rdf: RadialDistributionFunction,
+    temperature: float = 1.0,
+    potential_derivative: Callable[
+        [np.ndarray], np.ndarray
+    ] = lennard_jones_derivative,
+    r_min: float | None = None,
+) -> float:
+    """Virial pressure ``rho k T - rho^2/(2 d) * int r u'(r) g(r) dV``.
+
+    Units: ``k_B = 1`` (reduced units, the molecular-simulation
+    convention).
+    """
+    if temperature < 0:
+        raise QueryError("temperature must be non-negative")
+    r, g = _clipped(rdf, r_min)
+    du = potential_derivative(r)
+    integrand = r * du * g * _shell_measure_at(rdf.dim, r)
+    correction = (
+        rdf.density**2 / (2.0 * rdf.dim) * np.trapezoid(integrand, r)
+    )
+    return float(rdf.density * temperature - correction)
+
+
+def _shell_measure_at(dim: int, r: np.ndarray) -> np.ndarray:
+    if dim == 3:
+        return 4.0 * math.pi * r**2
+    return 2.0 * math.pi * r
+
+
+def _clipped(
+    rdf: RadialDistributionFunction, r_min: float | None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Drop leading bins (r == 0 or empty) that break the integrands."""
+    r = rdf.r
+    g = rdf.g
+    if r_min is None:
+        occupied = np.flatnonzero(g > 0)
+        if occupied.size == 0:
+            raise QueryError("RDF is identically zero")
+        start = occupied[0]
+    else:
+        start = int(np.searchsorted(r, r_min, side="left"))
+    r = r[start:]
+    g = g[start:]
+    if r.size < 2:
+        raise QueryError("not enough RDF bins above r_min")
+    return r, g

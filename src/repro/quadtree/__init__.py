@@ -1,0 +1,30 @@
+"""Density-map hierarchies: the linked-node tree and the array pyramid.
+
+Two interchangeable representations of the paper's series of density
+maps: :class:`~repro.quadtree.tree.DensityMapTree` (the faithful
+PR-quadtree with sibling/cousin chains, Sec. III-C) and
+:class:`~repro.quadtree.grid.GridPyramid` (numpy count grids for the
+vectorized engine).
+"""
+
+from .grid import GridPyramid
+from .node import DensityNode
+from .tree import (
+    DensityMap,
+    DensityMapTree,
+    build_tree,
+    chain_heads,
+    default_leaf_occupancy,
+    tree_height,
+)
+
+__all__ = [
+    "DensityMap",
+    "DensityMapTree",
+    "DensityNode",
+    "GridPyramid",
+    "build_tree",
+    "chain_heads",
+    "default_leaf_occupancy",
+    "tree_height",
+]

@@ -1,0 +1,112 @@
+"""Density-map tree nodes.
+
+Sec. III-C.1 of the paper specifies the node layout::
+
+    (p-count, x1, x2, y1, y2, child, p-list, next)
+
+* ``p-count`` — number of particles in the cell;
+* ``x1..y2`` — the cell boundary (here an :class:`~repro.geometry.AABB`,
+  which also covers the 3D case's two extra coordinates);
+* ``child`` — pointer to the first child on the next level;
+* ``p-list`` — heads a list of the actual particle data (leaf nodes
+  only; here an index array into the dataset's coordinate array);
+* ``next`` — chains the four siblings together, and the last sibling's
+  ``next`` points to its cousin, so every level forms one linked list:
+  a *density map*.
+
+Two optional paper features are included: the per-type particle counts
+needed by type-restricted queries, and the node MBR (minimum bounding
+rectangle of the node's particles) that makes more cell pairs resolvable
+higher up the tree (Sec. III-C.3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..geometry import AABB
+
+__all__ = ["DensityNode"]
+
+
+class DensityNode:
+    """One cell of one density map (one node of the quadtree).
+
+    Attributes mirror the paper's layout; ``level`` is added for
+    convenience (the paper recovers it from which linked list the node
+    lives on).
+    """
+
+    __slots__ = (
+        "bounds",
+        "level",
+        "p_count",
+        "child",
+        "next",
+        "p_list",
+        "mbr",
+        "type_counts",
+    )
+
+    def __init__(self, bounds: AABB, level: int, p_count: int = 0):
+        self.bounds = bounds
+        self.level = level
+        self.p_count = p_count
+        #: First child on the next (finer) density map, or None at leaves.
+        self.child: DensityNode | None = None
+        #: Next sibling; for the last sibling, the first cousin.  None at
+        #: the end of a level's chain.
+        self.next: DensityNode | None = None
+        #: Leaf nodes: indices into the dataset's coordinate array.
+        self.p_list: np.ndarray | None = None
+        #: Tight bounding box of the node's particles (None when empty or
+        #: when the tree was built without MBRs).
+        self.mbr: AABB | None = None
+        #: Per-type particle counts (None for untyped datasets).
+        self.type_counts: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def is_leaf(self) -> bool:
+        """Whether the node has no finer density map below it."""
+        return self.child is None
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the cell holds no particles (skippable, Sec. III-B)."""
+        return self.p_count == 0
+
+    def children(self) -> Iterator["DensityNode"]:
+        """Yield this node's 4 (2D) / 8 (3D) children, in sibling order.
+
+        The iteration walks the ``next`` chain starting at ``child`` and
+        stops after ``2**d`` nodes, because the chain continues into the
+        cousins (that is the point of the ``next`` pointer).
+        """
+        degree = 2**self.bounds.dim
+        node = self.child
+        for _ in range(degree):
+            if node is None:  # pragma: no cover - structural safety
+                return
+            yield node
+            node = node.next
+
+    def resolution_bounds(self, use_mbr: bool) -> AABB:
+        """The box used when resolving this cell against another.
+
+        With ``use_mbr`` the (tighter) particle MBR is used when
+        available, which can only make min/max bounds tighter and hence
+        more pairs resolvable — the optimization of Sec. III-C.3.
+        """
+        if use_mbr and self.mbr is not None:
+            return self.mbr
+        return self.bounds
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "leaf" if self.is_leaf else "internal"
+        return (
+            f"DensityNode(level={self.level}, p_count={self.p_count}, "
+            f"{kind}, {self.bounds!r})"
+        )

@@ -1,0 +1,390 @@
+"""The density-map tree (point-region quadtree / octree).
+
+Sec. III of the paper organizes a series of density maps — grids of
+doubling resolution — as a PR-quadtree whose per-level linked lists
+*are* the density maps.  :class:`DensityMapTree` bulk-loads such a tree
+from a :class:`~repro.data.particles.ParticleSet`:
+
+* the number of levels follows Eq. (2):
+  ``H = ceil(log_{2^d}(N / beta)) + 1`` with the average leaf occupancy
+  ``beta`` set slightly above the node degree (the paper recommends
+  "slightly greater than 4 in 2D, 8 for 3D" because resolving two cells
+  costs more than one distance computation);
+* every level is a complete grid (cells with zero particles are kept so
+  each density map covers the whole space, but engines skip them);
+* sibling chains are wired exactly as the paper describes: the last of
+  each sibling group points to its cousin, so walking ``next`` from the
+  first node of a level enumerates the whole density map;
+* node MBRs and per-type counts are filled in bottom-up when requested.
+
+The class also exposes :meth:`start_level_for`, the Fig. 2 line-2
+criterion: the first density map whose cell diagonal is at most the
+bucket width ``p``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..data.particles import ParticleSet
+from ..errors import TreeError
+from ..geometry import AABB
+from .node import DensityNode
+
+__all__ = ["DensityMap", "DensityMapTree", "tree_height"]
+
+
+def tree_height(n: int, dim: int, beta: float | None = None) -> int:
+    """Total number of density-map levels H per the paper's Eq. (2).
+
+    ``H = ceil(log_{2^d}(N / beta)) + 1``; the coarsest map (level 0) is
+    a single cell covering the whole space.
+    """
+    if n < 1:
+        raise TreeError(f"need at least one particle, got {n}")
+    if beta is None:
+        beta = default_leaf_occupancy(dim)
+    if beta <= 0:
+        raise TreeError(f"beta must be positive, got {beta}")
+    degree = 2**dim
+    if n <= beta:
+        return 1
+    return int(math.ceil(math.log(n / beta, degree))) + 1
+
+
+def default_leaf_occupancy(dim: int) -> float:
+    """The paper's recommended beta: slightly above the node degree."""
+    return 2**dim + 1.0
+
+
+class DensityMap:
+    """A read-only view of one tree level: one density map.
+
+    ``cells`` holds the level's nodes in Z-order (children grouped under
+    their parent, matching the sibling chains); ``cells_per_axis`` is
+    ``2**level``.  The *resolution* of the paper is the reciprocal of
+    :attr:`cell_sides`.
+    """
+
+    def __init__(self, level: int, cells: list[DensityNode], box: AABB):
+        self.level = level
+        self.cells = cells
+        self.box = box
+
+    @property
+    def cells_per_axis(self) -> int:
+        """Number of cells along each axis (2**level)."""
+        return 2**self.level
+
+    @property
+    def cell_sides(self) -> tuple[float, ...]:
+        """Per-axis side lengths of this map's cells."""
+        return tuple(s / self.cells_per_axis for s in self.box.sides)
+
+    @property
+    def cell_diagonal(self) -> float:
+        """Diagonal length of this map's cells."""
+        return math.sqrt(sum(s * s for s in self.cell_sides))
+
+    def nonempty_cells(self) -> list[DensityNode]:
+        """Cells that actually hold particles (the engines' working set)."""
+        return [cell for cell in self.cells if cell.p_count > 0]
+
+    @property
+    def head(self) -> DensityNode:
+        """First node of the level's linked list (paper's array of heads)."""
+        return self.cells[0]
+
+    def iter_chain(self):
+        """Iterate the level by following ``next`` pointers only.
+
+        Provided to demonstrate/verify the paper's linked-list layout;
+        ordinary code can iterate :attr:`cells` directly.
+        """
+        node: DensityNode | None = self.head
+        while node is not None:
+            yield node
+            node = node.next
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DensityMap(level={self.level}, cells={len(self.cells)}, "
+            f"diag={self.cell_diagonal:.4g})"
+        )
+
+
+class DensityMapTree:
+    """A series of density maps over one dataset, organized as a tree.
+
+    Parameters
+    ----------
+    particles:
+        The dataset to index.
+    height:
+        Number of levels; defaults to Eq. (2) via :func:`tree_height`.
+    beta:
+        Average leaf occupancy used when ``height`` is derived.
+    with_mbr:
+        Compute per-node particle MBRs (Sec. III-C.3 optimization).
+    """
+
+    def __init__(
+        self,
+        particles: ParticleSet,
+        height: int | None = None,
+        beta: float | None = None,
+        with_mbr: bool = False,
+    ):
+        if height is None:
+            height = tree_height(particles.size, particles.dim, beta)
+        if height < 1:
+            raise TreeError(f"height must be >= 1, got {height}")
+        self._particles = particles
+        self._height = int(height)
+        self._with_mbr = bool(with_mbr)
+        self._levels: list[list[DensityNode]] = []
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Public surface
+    # ------------------------------------------------------------------
+    @property
+    def particles(self) -> ParticleSet:
+        """The indexed dataset."""
+        return self._particles
+
+    @property
+    def height(self) -> int:
+        """Number of density-map levels H."""
+        return self._height
+
+    @property
+    def dim(self) -> int:
+        """Spatial dimensionality of the indexed data."""
+        return self._particles.dim
+
+    @property
+    def root(self) -> DensityNode:
+        """The single cell of the coarsest density map."""
+        return self._levels[0][0]
+
+    @property
+    def has_mbr(self) -> bool:
+        """Whether node MBRs were computed at build time."""
+        return self._with_mbr
+
+    @property
+    def num_types(self) -> int:
+        """Number of distinct particle types (0 for untyped data)."""
+        types = self._particles.types
+        if types is None:
+            return 0
+        return int(types.max()) + 1
+
+    def density_map(self, level: int) -> DensityMap:
+        """The density map at a given level (0 = coarsest)."""
+        if not 0 <= level < self._height:
+            raise TreeError(
+                f"level {level} out of range [0, {self._height})"
+            )
+        return DensityMap(level, self._levels[level], self._particles.box)
+
+    def density_maps(self) -> list[DensityMap]:
+        """All levels, coarsest first."""
+        return [self.density_map(level) for level in range(self._height)]
+
+    def start_level_for(self, bucket_width: float) -> int | None:
+        """First level whose cell diagonal is <= the bucket width.
+
+        This is the map ``DM_1`` where DM-SDH starts (Fig. 2 line 2): on
+        it, every intra-cell distance is guaranteed to fall in the first
+        bucket.  Returns None when even the finest map is too coarse
+        (then the engine starts at the leaf map and computes intra-cell
+        distances directly — the regime that makes small-N/large-l runs
+        behave quadratically in Fig. 8).
+        """
+        for level in range(self._height):
+            if self.density_map(level).cell_diagonal <= bucket_width:
+                return level
+        return None
+
+    def leaf_points(self, node: DensityNode) -> np.ndarray:
+        """Coordinate array of a leaf node's particles."""
+        if node.p_list is None:
+            return np.empty((0, self.dim))
+        return self._particles.positions[node.p_list]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        particles = self._particles
+        positions = particles.positions
+        box = particles.box
+        types = particles.types
+        num_types = self.num_types
+
+        self._levels = [[] for _ in range(self._height)]
+        root = DensityNode(box, 0, particles.size)
+        self._levels[0].append(root)
+        all_idx = np.arange(particles.size, dtype=np.int64)
+        self._grow(root, all_idx)
+
+        # Wire the per-level chains: siblings first (done in _grow),
+        # then close the gaps between cousin groups.
+        for level_nodes in self._levels:
+            for left, right in zip(level_nodes, level_nodes[1:]):
+                if left.next is None:
+                    left.next = right
+            level_nodes[-1].next = None
+
+        # Bottom-up annotations.
+        if types is not None:
+            self._fill_type_counts(types, num_types)
+        if self._with_mbr:
+            self._fill_mbrs(positions)
+
+    def _grow(self, node: DensityNode, idx: np.ndarray) -> None:
+        """Recursively subdivide ``node`` holding particle indices ``idx``."""
+        positions = self._particles.positions
+        if node.level == self._height - 1:
+            node.p_list = idx
+            return
+        children_bounds = node.bounds.subdivide()
+        center = node.bounds.center
+        dim = self._particles.dim
+        # Child code: bit k set when the particle is in the upper half of
+        # axis k — matches AABB.subdivide ordering.
+        codes = np.zeros(idx.shape[0], dtype=np.int64)
+        pts = positions[idx]
+        for axis in range(dim):
+            codes |= (pts[:, axis] >= center[axis]).astype(np.int64) << axis
+        order = np.argsort(codes, kind="stable")
+        codes_sorted = codes[order]
+        idx_sorted = idx[order]
+        boundaries = np.searchsorted(codes_sorted, np.arange(2**dim + 1))
+
+        previous: DensityNode | None = None
+        for code, bounds in enumerate(children_bounds):
+            lo_i, hi_i = boundaries[code], boundaries[code + 1]
+            child = DensityNode(bounds, node.level + 1, int(hi_i - lo_i))
+            self._levels[node.level + 1].append(child)
+            if previous is None:
+                node.child = child
+            else:
+                previous.next = child
+            previous = child
+            self._grow(child, idx_sorted[lo_i:hi_i])
+
+    def _fill_type_counts(self, types: np.ndarray, num_types: int) -> None:
+        """Per-type counts, leaves from p-lists, internals from children."""
+        for level in range(self._height - 1, -1, -1):
+            for node in self._levels[level]:
+                if node.is_leaf:
+                    if node.p_list is None or node.p_list.size == 0:
+                        node.type_counts = np.zeros(num_types, dtype=np.int64)
+                    else:
+                        node.type_counts = np.bincount(
+                            types[node.p_list], minlength=num_types
+                        ).astype(np.int64)
+                else:
+                    total = np.zeros(num_types, dtype=np.int64)
+                    for child in node.children():
+                        total += child.type_counts
+                    node.type_counts = total
+
+    def _fill_mbrs(self, positions: np.ndarray) -> None:
+        """Node MBRs, leaves from points, internals from child unions."""
+        for level in range(self._height - 1, -1, -1):
+            for node in self._levels[level]:
+                if node.is_leaf:
+                    if node.p_list is not None and node.p_list.size > 0:
+                        node.mbr = AABB.of_points(positions[node.p_list])
+                else:
+                    mbr: AABB | None = None
+                    for child in node.children():
+                        if child.mbr is None:
+                            continue
+                        mbr = child.mbr if mbr is None else mbr.union(child.mbr)
+                    node.mbr = mbr
+
+    # ------------------------------------------------------------------
+    # Invariant checking (used by tests; cheap enough to run ad hoc)
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`TreeError` when a structural invariant is broken.
+
+        Checks, per level: the chain from the head covers exactly the
+        level's cells; counts sum to N; children counts sum to their
+        parent's count; leaf p-lists match p-counts and their particles
+        lie within their cell; MBRs are contained in their cell.
+        """
+        n = self._particles.size
+        positions = self._particles.positions
+        for level in range(self._height):
+            dm = self.density_map(level)
+            chain = list(dm.iter_chain())
+            if len(chain) != len(dm.cells) or any(
+                a is not b for a, b in zip(chain, dm.cells)
+            ):
+                raise TreeError(f"level {level}: broken sibling chain")
+            total = sum(node.p_count for node in dm.cells)
+            if total != n:
+                raise TreeError(
+                    f"level {level}: counts sum to {total}, expected {n}"
+                )
+            for node in dm.cells:
+                if not node.is_leaf:
+                    child_sum = sum(c.p_count for c in node.children())
+                    if child_sum != node.p_count:
+                        raise TreeError(
+                            f"level {level}: child counts {child_sum} != "
+                            f"parent count {node.p_count}"
+                        )
+                else:
+                    size = 0 if node.p_list is None else node.p_list.size
+                    if size != node.p_count:
+                        raise TreeError(
+                            f"leaf p-list size {size} != count {node.p_count}"
+                        )
+                    if size:
+                        inside = node.bounds.contains_points(
+                            positions[node.p_list]
+                        )
+                        if not bool(inside.all()):
+                            raise TreeError("leaf particle outside its cell")
+                if node.mbr is not None and not node.bounds.contains_box(
+                    node.mbr
+                ):
+                    raise TreeError("node MBR exceeds its cell bounds")
+
+    def node_count(self) -> int:
+        """Total number of nodes across all levels."""
+        return sum(len(level) for level in self._levels)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DensityMapTree(N={self._particles.size}, d={self.dim}, "
+            f"H={self._height}, mbr={self._with_mbr})"
+        )
+
+
+def build_tree(
+    particles: ParticleSet,
+    height: int | None = None,
+    beta: float | None = None,
+    with_mbr: bool = False,
+) -> DensityMapTree:
+    """Convenience constructor mirroring :class:`DensityMapTree`."""
+    return DensityMapTree(particles, height, beta, with_mbr)
+
+
+def chain_heads(tree: DensityMapTree) -> Sequence[DensityNode]:
+    """The per-level list heads (the paper stores these in an array)."""
+    return [tree.density_map(level).head for level in range(tree.height)]

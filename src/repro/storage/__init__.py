@@ -1,0 +1,21 @@
+"""Simulated storage stack for the paper's I/O-cost analysis (Sec. IV-B).
+
+Pages, an LRU buffer pool, the cell-clustered data layout, and the
+I/O experiments comparing DM-SDH's page-access trace against a blocked
+nested-loop self-join.
+"""
+
+from .io_model import IOReport, blocked_join_io, dm_sdh_io, dm_sdh_io_bound
+from .layout import CellPageLayout
+from .pager import BufferPool, IOCounter, PagedFile
+
+__all__ = [
+    "BufferPool",
+    "CellPageLayout",
+    "IOCounter",
+    "IOReport",
+    "PagedFile",
+    "blocked_join_io",
+    "dm_sdh_io",
+    "dm_sdh_io_bound",
+]

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import UniformBuckets, uniform, zipf_clustered
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for tests that need randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_uniform_2d():
+    """A small 2D uniform dataset shared by engine tests."""
+    return uniform(400, dim=2, rng=7)
+
+
+@pytest.fixture
+def small_uniform_3d():
+    """A small 3D uniform dataset shared by engine tests."""
+    return uniform(300, dim=3, rng=7)
+
+
+@pytest.fixture
+def small_zipf_2d():
+    """A small clustered dataset (many empty cells)."""
+    return zipf_clustered(400, dim=2, rng=7)
+
+
+@pytest.fixture
+def spec_for():
+    """Factory: standard bucket spec with l buckets over a dataset."""
+
+    def make(particles, num_buckets: int) -> UniformBuckets:
+        return UniformBuckets.with_count(
+            particles.max_possible_distance, num_buckets
+        )
+
+    return make

@@ -1,0 +1,186 @@
+"""Tests for repro.core.analysis (covering factors and cost model)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PAPER_TABLE3,
+    covering_factor,
+    covering_factor_model,
+    dm_sdh_exponent,
+    lemma1_ratios,
+    non_covering_factor,
+)
+from repro.core.analysis import (
+    TABLE3_BUCKET_COUNTS,
+    approximate_cost,
+    choose_levels_for_error,
+    geometric_progression_cost,
+)
+from repro.errors import QueryError
+
+
+class TestPublishedTable:
+    def test_table_shape(self):
+        assert set(PAPER_TABLE3) == set(range(1, 11))
+        assert all(
+            len(row) == len(TABLE3_BUCKET_COUNTS)
+            for row in PAPER_TABLE3.values()
+        )
+
+    def test_rows_increase_with_m(self):
+        for col in range(len(TABLE3_BUCKET_COUNTS)):
+            column = [PAPER_TABLE3[m][col] for m in range(1, 11)]
+            assert column == sorted(column)
+
+    def test_lemma1_halving_in_published_values(self):
+        """alpha(m+1)/alpha(m) ~ 1/2 across the published table."""
+        alphas = [1 - PAPER_TABLE3[m][-1] / 100 for m in range(1, 11)]
+        ratios = lemma1_ratios(alphas)
+        np.testing.assert_allclose(ratios, 0.5, atol=0.02)
+
+    def test_covering_factor_lookup(self):
+        assert covering_factor(1, 256) == pytest.approx(0.526227)
+        assert covering_factor(5, 128) == pytest.approx(0.970389)
+        assert covering_factor(0, 16) == 0.0
+
+    def test_small_l_column(self):
+        assert covering_factor(1, 2) == pytest.approx(0.506565)
+        # l = 3 uses the l = 4 column.
+        assert covering_factor(1, 3) == pytest.approx(0.521591)
+
+    def test_extrapolation_beyond_table(self):
+        a10 = non_covering_factor(10, 256)
+        a12 = non_covering_factor(12, 256)
+        assert a12 == pytest.approx(a10 / 4)
+
+    def test_rejects_negative_m(self):
+        with pytest.raises(QueryError):
+            covering_factor(-1, 16)
+
+
+class TestChooseLevels:
+    def test_paper_example(self):
+        """'For a SDH query with 128 buckets and error bound of 3%, we
+        get m = 5 by consulting the table.'"""
+        assert choose_levels_for_error(0.03, 128) == 5
+
+    def test_rule_of_thumb_consistency(self):
+        """m ~ log2(1/eps) within one level."""
+        for eps in (0.3, 0.1, 0.04, 0.01, 0.004):
+            m = choose_levels_for_error(eps, 64)
+            assert abs(m - math.log2(1 / eps)) <= 1.0
+
+    def test_bounds_checked(self):
+        with pytest.raises(QueryError):
+            choose_levels_for_error(0.0, 16)
+        with pytest.raises(QueryError):
+            choose_levels_for_error(1.0, 16)
+        with pytest.raises(QueryError):
+            choose_levels_for_error(0.1, 16, dim=4)
+
+
+class TestCostModel:
+    def test_exponents(self):
+        assert dm_sdh_exponent(2) == pytest.approx(1.5)
+        assert dm_sdh_exponent(3) == pytest.approx(5 / 3)
+        with pytest.raises(QueryError):
+            dm_sdh_exponent(4)
+
+    def test_equation3_geometric_sum(self):
+        """T_c = I(2^{(2d-1)(n+1)} - 1)/(2^{2d-1} - 1): explicit check
+        against the term-by-term geometric series."""
+        for dim in (2, 3):
+            base = 2 ** (2 * dim - 1)
+            for levels in (0, 1, 3):
+                direct = sum(base**j for j in range(levels + 1))
+                assert geometric_progression_cost(
+                    1.0, levels, dim
+                ) == pytest.approx(direct)
+
+    def test_equation5_independent_of_n(self):
+        """Approximate cost depends on I, m, d only."""
+        c = approximate_cost(100.0, levels=3, dim=2)
+        assert c == pytest.approx(100.0 * 2 ** (3 * 3))
+
+    def test_equation5_error_bound_form(self):
+        """T ~ I (1/eps)^{2d-1}."""
+        c = approximate_cost(1.0, error_bound=0.25, dim=2)
+        assert c == pytest.approx(4.0**3)
+
+    def test_equation5_argument_validation(self):
+        with pytest.raises(QueryError):
+            approximate_cost(1.0)
+        with pytest.raises(QueryError):
+            approximate_cost(1.0, levels=1, error_bound=0.1)
+
+
+class TestNumericalModel:
+    """The independent recomputation against the published Table III."""
+
+    @pytest.mark.parametrize("m", [1, 2, 3])
+    def test_matches_paper_2d(self, m):
+        model = covering_factor_model(m, 16, dim=2, samples=8, rng=0)
+        paper = PAPER_TABLE3[m][TABLE3_BUCKET_COUNTS.index(16)] / 100
+        assert model == pytest.approx(paper, abs=0.03)
+
+    def test_lemma1_halving_emerges(self):
+        alphas = [
+            1 - covering_factor_model(m, 8, dim=2, samples=8, rng=0)
+            for m in (1, 2, 3, 4)
+        ]
+        ratios = lemma1_ratios(alphas)
+        np.testing.assert_allclose(ratios, 0.5, atol=0.03)
+
+    def test_lemma1_holds_in_3d(self):
+        """The paper: 'the above result is also true for 3D data,
+        although we can only give numerical results'."""
+        alphas = [
+            1 - covering_factor_model(m, 4, dim=3, samples=2, rng=0)
+            for m in (1, 2, 3)
+        ]
+        ratios = lemma1_ratios(alphas)
+        np.testing.assert_allclose(ratios, 0.5, atol=0.06)
+
+    def test_m_zero(self):
+        assert covering_factor_model(0, 16) == 0.0
+
+    def test_guard_rails(self):
+        with pytest.raises(QueryError):
+            covering_factor_model(-1, 16)
+        with pytest.raises(QueryError):
+            covering_factor_model(1, 0)
+        with pytest.raises(QueryError):
+            covering_factor_model(1, 16, dim=5)
+
+    def test_tracked_pair_guard(self):
+        with pytest.raises(QueryError):
+            covering_factor_model(
+                8, 64, samples=1, max_tracked_pairs=1000
+            )
+
+    def test_empirical_agreement_with_algorithm(self):
+        """The model must predict the per-level resolution rate the real
+        engine measures on uniform data (~50% below the start map)."""
+        from repro.core import SDHStats, UniformBuckets, dm_sdh_grid
+        from repro.data import uniform
+
+        data = uniform(20000, dim=2, rng=55)
+        spec = UniformBuckets.with_count(data.max_possible_distance, 4)
+        stats = SDHStats()
+        dm_sdh_grid(data, spec=spec, stats=stats)
+        assert stats.start_level is not None
+        # Rates on maps two or more levels below the start map.
+        deep_levels = [
+            level
+            for level in stats.resolve_calls
+            if level >= stats.start_level + 2
+            and stats.resolve_calls[level] > 1000
+        ]
+        assert deep_levels
+        for level in deep_levels:
+            assert stats.resolution_rate(level) == pytest.approx(
+                0.5, abs=0.12
+            )

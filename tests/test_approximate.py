@@ -1,0 +1,222 @@
+"""Tests for repro.core.approximate (ADM-SDH, paper Sec. V)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SDHStats,
+    UniformBuckets,
+    adm_sdh,
+    brute_force_sdh,
+    choose_levels_for_error,
+    non_covering_factor,
+)
+from repro.data import uniform, zipf_clustered
+from repro.errors import QueryError
+from repro.quadtree import GridPyramid
+
+
+@pytest.fixture(scope="module")
+def workload():
+    data = uniform(3000, dim=2, rng=71)
+    spec = UniformBuckets.with_count(data.max_possible_distance, 16)
+    exact = brute_force_sdh(data, spec=spec)
+    pyramid = GridPyramid(data)
+    return data, spec, exact, pyramid
+
+
+class TestMassAndShape:
+    @pytest.mark.parametrize("heuristic", [1, 2, 3, 4])
+    def test_total_preserved(self, workload, heuristic):
+        data, spec, _exact, pyramid = workload
+        h = adm_sdh(
+            pyramid, spec=spec, levels=1, heuristic=heuristic, rng=0
+        )
+        assert h.total == pytest.approx(data.num_pairs)
+
+    def test_counts_nonnegative(self, workload):
+        _data, spec, _exact, pyramid = workload
+        h = adm_sdh(pyramid, spec=spec, levels=1, heuristic=3, rng=0)
+        assert (h.counts >= -1e-9).all()
+
+    def test_no_distances_computed(self, workload):
+        """ADM-SDH 'totally skips all distance calculations'."""
+        _data, spec, _exact, pyramid = workload
+        stats = SDHStats()
+        adm_sdh(pyramid, spec=spec, levels=2, heuristic=3, stats=stats)
+        assert stats.distance_computations == 0
+        assert stats.approximated_distances > 0
+
+
+class TestErrorBehaviour:
+    def test_error_small_for_proportional(self, workload):
+        """The paper observes errors below ~3% even for m = 1."""
+        _data, spec, exact, pyramid = workload
+        h = adm_sdh(pyramid, spec=spec, levels=1, heuristic=3, rng=0)
+        assert h.error_rate(exact) < 0.03
+
+    def test_heuristic_ordering(self, workload):
+        """Sec. V: heuristics are 'ordered in their expected
+        correctness' — h1 is clearly worse than h2/h3."""
+        _data, spec, exact, pyramid = workload
+        errors = {
+            heuristic: adm_sdh(
+                pyramid, spec=spec, levels=1, heuristic=heuristic, rng=0
+            ).error_rate(exact)
+            for heuristic in (1, 2, 3)
+        }
+        assert errors[1] > errors[2]
+        assert errors[1] > errors[3]
+
+    def test_error_decreases_with_levels(self):
+        """More levels -> fewer unresolved pairs -> (weakly) less error.
+
+        Uses a large dataset so several levels genuinely exist, and
+        heuristic 1 so the trend is not drowned in heuristic accuracy.
+        """
+        data = uniform(6000, dim=2, rng=72)
+        spec = UniformBuckets.with_count(data.max_possible_distance, 4)
+        exact = brute_force_sdh(data, spec=spec)
+        pyramid = GridPyramid(data)
+        stats_by_m = {}
+        for m in (0, 1, 2):
+            stats = SDHStats()
+            adm_sdh(
+                pyramid, spec=spec, levels=m, heuristic=1, stats=stats,
+                rng=0,
+            )
+            stats_by_m[m] = stats.approximated_distances
+        # The unresolved mass handed to the heuristic must shrink.
+        assert stats_by_m[1] < stats_by_m[0]
+        assert stats_by_m[2] < stats_by_m[1]
+
+    def test_deeper_than_tree_equals_exact_resolution_mass(self, workload):
+        """With m beyond the tree height, only leaf-level unresolved
+        pairs remain for the heuristic (the paper's small-N regime)."""
+        _data, spec, exact, pyramid = workload
+        h_deep = adm_sdh(
+            pyramid, spec=spec, levels=50, heuristic=3, rng=0
+        )
+        h_deeper = adm_sdh(
+            pyramid, spec=spec, levels=90, heuristic=3, rng=0
+        )
+        np.testing.assert_allclose(h_deep.counts, h_deeper.counts)
+
+
+class TestErrorBoundInterface:
+    def test_error_bound_selects_levels(self, workload):
+        data, spec, exact, pyramid = workload
+        stats = SDHStats()
+        h = adm_sdh(
+            pyramid, spec=spec, error_bound=0.03, heuristic=3,
+            stats=stats, rng=0,
+        )
+        # The conservative guarantee: unresolved mass below epsilon
+        # is only promised when the tree is deep enough; the realized
+        # *error* must be far smaller anyway.
+        assert h.error_rate(exact) < 0.03
+
+    def test_choose_levels_consults_table(self):
+        """The paper's example: l = 128, eps = 3% -> m = 5."""
+        assert choose_levels_for_error(0.03, num_buckets=128) == 5
+
+    def test_choose_levels_monotone(self):
+        previous = 0
+        for eps in (0.4, 0.2, 0.1, 0.05, 0.02, 0.01):
+            m = choose_levels_for_error(eps, num_buckets=64)
+            assert m >= previous
+            assert non_covering_factor(m, 64) <= eps
+            previous = m
+
+    def test_levels_and_bound_exclusive(self, workload):
+        _data, spec, _exact, pyramid = workload
+        with pytest.raises(QueryError):
+            adm_sdh(pyramid, spec=spec, levels=2, error_bound=0.1)
+        with pytest.raises(QueryError):
+            adm_sdh(pyramid, spec=spec)
+
+    def test_bad_bound_rejected(self, workload):
+        _data, spec, _exact, pyramid = workload
+        with pytest.raises(QueryError):
+            adm_sdh(pyramid, spec=spec, error_bound=1.5)
+
+
+class TestBudgetMode:
+    """The anytime knob: op_budget -> deepest affordable m (Eq. 3)."""
+
+    def test_choose_levels_for_budget_inverts_eq3(self):
+        from repro.core.analysis import (
+            choose_levels_for_budget,
+            geometric_progression_cost,
+        )
+
+        for start_pairs in (100.0, 5000.0):
+            for budget in (1e4, 1e6, 1e8):
+                m = choose_levels_for_budget(start_pairs, budget, dim=2)
+                cost = geometric_progression_cost(start_pairs, m, 2)
+                assert cost <= budget
+                over = geometric_progression_cost(start_pairs, m + 1, 2)
+                assert over > budget or m == 64
+
+    def test_budget_controls_depth(self, workload):
+        _data, spec, _exact, pyramid = workload
+        from repro.core import SDHStats
+
+        visited = []
+        for budget in (1e3, 1e6, 1e9):
+            stats = SDHStats()
+            adm_sdh(
+                pyramid, spec=spec, op_budget=budget, heuristic=3,
+                stats=stats, rng=0,
+            )
+            visited.append(stats.levels_visited)
+        assert visited == sorted(visited)
+
+    def test_budget_respected_within_model_slack(self, workload):
+        """Actual resolve calls stay within ~2x of the requested
+        budget (the model is an expectation, not a hard cap)."""
+        data, spec, _exact, pyramid = workload
+        from repro.core import SDHStats
+
+        stats = SDHStats()
+        adm_sdh(
+            pyramid, spec=spec, op_budget=5e5, heuristic=3,
+            stats=stats, rng=0,
+        )
+        assert stats.total_resolve_calls < 2 * 5e5
+
+    def test_budget_mass_conserved(self, workload):
+        data, spec, _exact, pyramid = workload
+        h = adm_sdh(
+            pyramid, spec=spec, op_budget=1e4, heuristic=2, rng=0
+        )
+        assert h.total == pytest.approx(data.num_pairs)
+
+    def test_exactly_one_mode(self, workload):
+        _data, spec, _exact, pyramid = workload
+        with pytest.raises(QueryError):
+            adm_sdh(pyramid, spec=spec, levels=1, op_budget=1e5)
+        from repro.core.analysis import choose_levels_for_budget
+
+        with pytest.raises(QueryError):
+            choose_levels_for_budget(100.0, 0.0)
+
+
+class TestSkewedData:
+    def test_zipf_accuracy(self):
+        data = zipf_clustered(2500, dim=2, rng=73)
+        spec = UniformBuckets.with_count(data.max_possible_distance, 8)
+        exact = brute_force_sdh(data, spec=spec)
+        h = adm_sdh(data, spec=spec, levels=2, heuristic=3, rng=0)
+        assert h.total == pytest.approx(data.num_pairs)
+        assert h.error_rate(exact) < 0.05
+
+    def test_3d(self):
+        data = uniform(1500, dim=3, rng=74)
+        spec = UniformBuckets.with_count(data.max_possible_distance, 8)
+        exact = brute_force_sdh(data, spec=spec)
+        h = adm_sdh(data, spec=spec, levels=1, heuristic=3, rng=0)
+        assert h.total == pytest.approx(data.num_pairs)
+        # The tree is short at this N (the paper's small-N regime), so
+        # the heuristic handles almost all mass; accuracy is looser.
+        assert h.error_rate(exact) < 0.08

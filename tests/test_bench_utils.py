@@ -1,0 +1,106 @@
+"""Tests for repro.bench (timing, workloads, reporting)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    DATASET_FAMILIES,
+    banner,
+    doubling_series,
+    fit_loglog_slope,
+    format_series,
+    format_table,
+    make_dataset,
+    measure,
+    tail_slope,
+)
+from repro.errors import QueryError
+
+
+class TestTiming:
+    def test_measure_returns_result(self):
+        m = measure(lambda: 41 + 1)
+        assert m.result == 42
+        assert m.seconds >= 0.0
+
+    def test_slope_of_power_law(self):
+        x = np.array([1.0, 2.0, 4.0, 8.0])
+        y = 3.0 * x**1.5
+        assert fit_loglog_slope(x, y) == pytest.approx(1.5)
+
+    def test_slope_of_quadratic(self):
+        x = np.array([10, 20, 40, 80])
+        y = 0.01 * x**2
+        assert fit_loglog_slope(x, y) == pytest.approx(2.0)
+
+    def test_tail_slope_ignores_preasymptotic_head(self):
+        x = np.array([1.0, 2, 4, 8, 16, 32])
+        y = np.array([5.0, 5.0, 5.0, 8.0**1.5, 16.0**1.5, 32.0**1.5])
+        full = fit_loglog_slope(x, y)
+        tail = tail_slope(x, y, points=3)
+        assert tail == pytest.approx(1.5)
+        assert full < tail
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            fit_loglog_slope([1.0], [1.0])
+        with pytest.raises(QueryError):
+            fit_loglog_slope([1.0, 2.0], [0.0, 1.0])
+        with pytest.raises(QueryError):
+            tail_slope([1, 2, 3], [1, 2, 3], points=1)
+
+
+class TestWorkloads:
+    def test_doubling_series(self):
+        assert doubling_series(100, 4) == [100, 200, 400, 800]
+        with pytest.raises(QueryError):
+            doubling_series(0, 3)
+
+    @pytest.mark.parametrize("family", DATASET_FAMILIES)
+    def test_families_produce_right_sizes(self, family):
+        data = make_dataset(family, 700, dim=2, seed=1)
+        assert data.size == 700
+        assert data.dim == 2
+
+    def test_membrane_scaling_uses_fixed_base(self):
+        """Duplication scaling: scaled sets reuse base coordinates."""
+        small = make_dataset("membrane", 1000, dim=2, seed=2)
+        big = make_dataset("membrane", 5000, dim=2, seed=2)
+        small_set = {tuple(r) for r in small.positions.round(12)}
+        big_set = {tuple(r) for r in big.positions.round(12)}
+        assert len(big_set & small_set) > 0.5 * len(small_set)
+
+    def test_unknown_family(self):
+        with pytest.raises(QueryError):
+            make_dataset("plasma", 100, dim=2)
+
+    def test_deterministic(self):
+        a = make_dataset("zipf", 300, dim=2, seed=9)
+        b = make_dataset("zipf", 300, dim=2, seed=9)
+        np.testing.assert_array_equal(a.positions, b.positions)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["N", "time"], [[100, 0.5], [200, 1.25]], title="demo"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "N" in lines[1] and "time" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_series(self):
+        text = format_series(
+            "N", [1, 2], {"a": [10, 20], "b": [30, 40]}
+        )
+        assert "a" in text and "b" in text
+        assert "30" in text
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[1234567.0], [0.000012], [0.0]])
+        assert "e+06" in text
+        assert "e-05" in text
+
+    def test_banner(self):
+        assert "hello" in banner("hello")

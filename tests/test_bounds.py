@@ -1,0 +1,182 @@
+"""Tests for repro.geometry.bounds (AABB)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import AABB
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        box = AABB((0.0, 1.0), (2.0, 4.0))
+        assert box.dim == 2
+        assert box.sides == (2.0, 3.0)
+        assert box.volume == 6.0
+        assert box.center == (1.0, 2.5)
+        assert box.diagonal == pytest.approx(math.sqrt(13))
+
+    def test_3d(self):
+        box = AABB.cube(2.0, 3)
+        assert box.dim == 3
+        assert box.volume == 8.0
+        assert box.diagonal == pytest.approx(2 * math.sqrt(3))
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(GeometryError):
+            AABB((1.0, 0.0), (0.0, 1.0))
+
+    def test_rejects_dim_mismatch(self):
+        with pytest.raises(GeometryError):
+            AABB((0.0, 0.0), (1.0, 1.0, 1.0))
+
+    def test_rejects_1d_and_4d(self):
+        with pytest.raises(GeometryError):
+            AABB((0.0,), (1.0,))
+        with pytest.raises(GeometryError):
+            AABB((0.0,) * 4, (1.0,) * 4)
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(GeometryError):
+            AABB((0.0, float("nan")), (1.0, 1.0))
+
+    def test_cube_rejects_nonpositive_side(self):
+        with pytest.raises(GeometryError):
+            AABB.cube(0.0, 2)
+
+    def test_of_points(self):
+        pts = np.array([[0.0, 1.0], [2.0, -1.0], [1.0, 0.5]])
+        box = AABB.of_points(pts)
+        assert box.lo == (0.0, -1.0)
+        assert box.hi == (2.0, 1.0)
+
+    def test_of_points_rejects_empty(self):
+        with pytest.raises(GeometryError):
+            AABB.of_points(np.empty((0, 2)))
+
+
+class TestMembership:
+    def test_half_open_semantics(self):
+        box = AABB((0.0, 0.0), (1.0, 1.0))
+        assert box.contains((0.0, 0.0))
+        assert not box.contains((1.0, 0.5))
+        assert box.contains((1.0, 0.5), closed=True)
+        assert not box.contains((1.5, 0.5), closed=True)
+
+    def test_contains_points_vectorized(self):
+        box = AABB((0.0, 0.0), (1.0, 1.0))
+        pts = np.array([[0.5, 0.5], [1.0, 0.5], [-0.1, 0.2]])
+        assert list(box.contains_points(pts)) == [True, False, False]
+        assert list(box.contains_points(pts, closed=True)) == [
+            True,
+            True,
+            False,
+        ]
+
+    def test_contains_box_and_intersects(self):
+        outer = AABB((0.0, 0.0), (4.0, 4.0))
+        inner = AABB((1.0, 1.0), (2.0, 2.0))
+        disjoint = AABB((5.0, 5.0), (6.0, 6.0))
+        assert outer.contains_box(inner)
+        assert not inner.contains_box(outer)
+        assert outer.intersects(inner)
+        assert not outer.intersects(disjoint)
+
+    def test_touching_boxes_intersect(self):
+        a = AABB((0.0, 0.0), (1.0, 1.0))
+        b = AABB((1.0, 0.0), (2.0, 1.0))
+        assert a.intersects(b)
+
+
+class TestDistanceBounds:
+    """The three scenarios of the paper's Fig. 3."""
+
+    def test_overlapping_cells(self):
+        a = AABB((0.0, 0.0), (2.0, 2.0))
+        b = AABB((1.0, 1.0), (3.0, 3.0))
+        assert a.min_distance(b) == 0.0
+        assert a.max_distance(b) == pytest.approx(math.sqrt(9 + 9))
+
+    def test_axis_offset_cells(self):
+        a = AABB((0.0, 0.0), (1.0, 1.0))
+        b = AABB((3.0, 0.0), (4.0, 1.0))
+        assert a.min_distance(b) == pytest.approx(2.0)
+        assert a.max_distance(b) == pytest.approx(math.sqrt(16 + 1))
+
+    def test_diagonal_offset_cells(self):
+        a = AABB((0.0, 0.0), (1.0, 1.0))
+        b = AABB((2.0, 3.0), (3.0, 4.0))
+        assert a.min_distance(b) == pytest.approx(math.sqrt(1 + 4))
+        assert a.max_distance(b) == pytest.approx(math.sqrt(9 + 16))
+
+    def test_paper_case_study_xa_zb(self):
+        """The XA-ZB range [2, sqrt(52)] quoted in Sec. III-B."""
+        from repro.data import fig1_cell
+
+        u, v = fig1_cell("XA").distance_bounds(fig1_cell("ZB"))
+        assert u == pytest.approx(2.0)
+        assert v == pytest.approx(math.sqrt(52))
+
+    def test_bounds_enclose_realized_distances(self, rng):
+        a = AABB((0.0, 0.0), (1.0, 2.0))
+        b = AABB((1.5, -1.0), (4.0, 0.5))
+        pa = rng.uniform(a.lo, a.hi, size=(200, 2))
+        pb = rng.uniform(b.lo, b.hi, size=(200, 2))
+        d = np.sqrt(((pa - pb) ** 2).sum(axis=1))
+        assert d.min() >= a.min_distance(b) - 1e-12
+        assert d.max() <= a.max_distance(b) + 1e-12
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(GeometryError):
+            AABB.cube(1.0, 2).min_distance(AABB.cube(1.0, 3))
+
+
+class TestSubdivision:
+    def test_2d_children_partition_parent(self):
+        box = AABB((0.0, 0.0), (2.0, 2.0))
+        children = box.subdivide()
+        assert len(children) == 4
+        assert sum(c.volume for c in children) == pytest.approx(box.volume)
+        for child in children:
+            assert box.contains_box(child)
+
+    def test_3d_children_count(self):
+        assert len(AABB.cube(1.0, 3).subdivide()) == 8
+
+    def test_child_order_matches_bit_pattern(self):
+        box = AABB((0.0, 0.0), (2.0, 2.0))
+        children = box.subdivide()
+        # Bit 0 toggles x, bit 1 toggles y.
+        assert children[0].lo == (0.0, 0.0)
+        assert children[1].lo == (1.0, 0.0)
+        assert children[2].lo == (0.0, 1.0)
+        assert children[3].lo == (1.0, 1.0)
+
+    def test_corners(self):
+        box = AABB((0.0, 0.0), (1.0, 2.0))
+        corners = set(box.iter_corners())
+        assert corners == {(0, 0), (1, 0), (0, 2), (1, 2)}
+
+
+class TestSetOperations:
+    def test_union(self):
+        a = AABB((0.0, 0.0), (1.0, 1.0))
+        b = AABB((2.0, -1.0), (3.0, 0.5))
+        u = a.union(b)
+        assert u.lo == (0.0, -1.0)
+        assert u.hi == (3.0, 1.0)
+
+    def test_intersection(self):
+        a = AABB((0.0, 0.0), (2.0, 2.0))
+        b = AABB((1.0, 1.0), (3.0, 3.0))
+        inter = a.intersection(b)
+        assert inter is not None
+        assert inter.lo == (1.0, 1.0)
+        assert inter.hi == (2.0, 2.0)
+
+    def test_disjoint_intersection_is_none(self):
+        a = AABB((0.0, 0.0), (1.0, 1.0))
+        b = AABB((2.0, 2.0), (3.0, 3.0))
+        assert a.intersection(b) is None

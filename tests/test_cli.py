@@ -1,0 +1,126 @@
+"""Tests for repro.cli (the command-line front end)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data import load_particles, random_types, save_particles, uniform
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("family", ["uniform", "zipf", "membrane"])
+    def test_generate_npz(self, tmp_path, capsys, family):
+        out = tmp_path / f"{family}.npz"
+        code = main(
+            [
+                "generate", str(out),
+                "--family", family,
+                "--n", "500",
+                "--dim", "2",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+        data = load_particles(out)
+        assert data.size == 500
+        assert "wrote 500 particles" in capsys.readouterr().out
+
+    def test_generate_xyz(self, tmp_path):
+        out = tmp_path / "u.xyz"
+        assert main(["generate", str(out), "--n", "50"]) == 0
+        from repro.data import load_xyz
+
+        assert load_xyz(out).size == 50
+
+
+class TestSdh:
+    @pytest.fixture
+    def dataset(self, tmp_path):
+        path = tmp_path / "d.npz"
+        save_particles(path, uniform(400, dim=2, rng=5))
+        return str(path)
+
+    def test_exact_with_buckets(self, dataset, capsys):
+        assert main(["sdh", dataset, "--buckets", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "total pairs: 79800" in out
+
+    def test_exact_with_width(self, dataset, capsys):
+        assert main(["sdh", dataset, "--width", "0.3"]) == 0
+        assert "total pairs" in capsys.readouterr().out
+
+    def test_stats_flag(self, dataset, capsys):
+        assert main(["sdh", dataset, "--buckets", "4", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "resolve calls" in out
+
+    def test_engines(self, dataset, capsys):
+        totals = []
+        for engine in ("grid", "tree", "brute"):
+            assert main(
+                ["sdh", dataset, "--buckets", "4", "--engine", engine]
+            ) == 0
+            out = capsys.readouterr().out
+            totals.append(
+                [line for line in out.splitlines() if "total" in line][0]
+            )
+        assert len(set(totals)) == 1
+
+    def test_periodic(self, dataset, capsys):
+        assert main(
+            ["sdh", dataset, "--buckets", "8", "--periodic"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "total pairs: 79800" in out
+
+    def test_approximate(self, dataset, capsys):
+        assert main(
+            [
+                "sdh", dataset,
+                "--buckets", "16",
+                "--error-bound", "0.05",
+                "--heuristic", "3",
+            ]
+        ) == 0
+        assert "total pairs" in capsys.readouterr().out
+
+    def test_mutually_exclusive_spec(self, dataset):
+        with pytest.raises(SystemExit):
+            main(["sdh", dataset, "--buckets", "4", "--width", "0.1"])
+
+    def test_error_path(self, tmp_path, capsys):
+        bad = tmp_path / "missing.npz"
+        with pytest.raises(Exception):
+            main(["sdh", str(bad), "--buckets", "4"])
+
+
+class TestRdfAndInfo:
+    def test_rdf_output(self, tmp_path, capsys):
+        path = tmp_path / "d.npz"
+        save_particles(path, uniform(300, dim=3, rng=6))
+        assert main(["rdf", str(path), "--buckets", "20"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 20
+        r, g = map(float, lines[3].split())
+        assert r > 0
+
+    def test_info_typed(self, tmp_path, capsys):
+        path = tmp_path / "typed.npz"
+        data = random_types(
+            uniform(200, dim=2, rng=7), {"C": 1, "O": 1}, rng=8
+        )
+        save_particles(path, data)
+        assert main(["info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "particles:  200" in out
+        assert "type C" in out
+        assert "tree height" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_prog_name(self):
+        assert build_parser().prog == "repro-sdh"

@@ -1,0 +1,118 @@
+"""Tests for repro.geometry.distance (vectorized distance helpers)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    AABB,
+    box_pair_bounds,
+    cross_distances,
+    grid_pair_bounds,
+    iter_cross_distance_chunks,
+    iter_self_distance_chunks,
+    pairwise_distances,
+)
+
+
+class TestGridPairBounds:
+    def test_matches_aabb_bounds(self, rng):
+        """Offset arithmetic must agree with explicit box geometry."""
+        side = 0.25
+        idx1 = rng.integers(0, 20, size=(50, 2))
+        idx2 = rng.integers(0, 20, size=(50, 2))
+        u, v = grid_pair_bounds(idx1, idx2, side)
+        for k in range(50):
+            a = AABB.from_arrays(idx1[k] * side, (idx1[k] + 1) * side)
+            b = AABB.from_arrays(idx2[k] * side, (idx2[k] + 1) * side)
+            assert u[k] == pytest.approx(a.min_distance(b))
+            assert v[k] == pytest.approx(a.max_distance(b))
+
+    def test_3d(self, rng):
+        side = 1.0
+        idx1 = rng.integers(0, 8, size=(30, 3))
+        idx2 = rng.integers(0, 8, size=(30, 3))
+        u, v = grid_pair_bounds(idx1, idx2, side)
+        for k in range(30):
+            a = AABB.from_arrays(idx1[k] * side, (idx1[k] + 1) * side)
+            b = AABB.from_arrays(idx2[k] * side, (idx2[k] + 1) * side)
+            assert u[k] == pytest.approx(a.min_distance(b))
+            assert v[k] == pytest.approx(a.max_distance(b))
+
+    def test_per_axis_sides(self):
+        """Rectangular cells (non-cubic box) use per-axis side lengths."""
+        idx1 = np.array([[0, 0]])
+        idx2 = np.array([[2, 3]])
+        sides = np.array([1.0, 2.0])
+        u, v = grid_pair_bounds(idx1, idx2, sides)
+        # gap: (2-1)*1, (3-1)*2 ; span: 3*1, 4*2
+        assert u[0] == pytest.approx(np.hypot(1.0, 4.0))
+        assert v[0] == pytest.approx(np.hypot(3.0, 8.0))
+
+    def test_same_cell(self):
+        idx = np.array([[3, 4]])
+        u, v = grid_pair_bounds(idx, idx, 0.5)
+        assert u[0] == 0.0
+        assert v[0] == pytest.approx(0.5 * np.sqrt(2))
+
+
+class TestBoxPairBounds:
+    def test_matches_aabb(self, rng):
+        lo1 = rng.uniform(0, 5, size=(40, 2))
+        hi1 = lo1 + rng.uniform(0.1, 2, size=(40, 2))
+        lo2 = rng.uniform(0, 5, size=(40, 2))
+        hi2 = lo2 + rng.uniform(0.1, 2, size=(40, 2))
+        u, v = box_pair_bounds(lo1, hi1, lo2, hi2)
+        for k in range(40):
+            a = AABB.from_arrays(lo1[k], hi1[k])
+            b = AABB.from_arrays(lo2[k], hi2[k])
+            assert u[k] == pytest.approx(a.min_distance(b))
+            assert v[k] == pytest.approx(a.max_distance(b))
+
+
+class TestPairwiseDistances:
+    def test_small_triangle(self):
+        pts = np.array([[0.0, 0.0], [3.0, 0.0], [0.0, 4.0]])
+        d = np.sort(pairwise_distances(pts))
+        assert d == pytest.approx([3.0, 4.0, 5.0])
+
+    def test_count(self, rng):
+        pts = rng.uniform(size=(25, 3))
+        assert pairwise_distances(pts).size == 25 * 24 // 2
+
+    def test_fewer_than_two_points(self):
+        assert pairwise_distances(np.array([[1.0, 2.0]])).size == 0
+
+    def test_cross_distances(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[1.0, 0.0], [0.0, 2.0]])
+        assert sorted(cross_distances(a, b)) == pytest.approx([1.0, 2.0])
+
+    def test_cross_empty(self):
+        assert cross_distances(np.empty((0, 2)), np.ones((3, 2))).size == 0
+
+
+class TestChunkedIterators:
+    def test_self_chunks_cover_all_pairs(self, rng):
+        pts = rng.uniform(size=(73, 2))
+        chunked = np.sort(
+            np.concatenate(list(iter_self_distance_chunks(pts, chunk=10)))
+        )
+        direct = np.sort(pairwise_distances(pts))
+        assert chunked.size == direct.size
+        np.testing.assert_allclose(chunked, direct)
+
+    def test_cross_chunks_cover_all_pairs(self, rng):
+        a = rng.uniform(size=(31, 3))
+        b = rng.uniform(size=(17, 3))
+        chunked = np.sort(
+            np.concatenate(list(iter_cross_distance_chunks(a, b, chunk=7)))
+        )
+        direct = np.sort(cross_distances(a, b))
+        np.testing.assert_allclose(chunked, direct)
+
+    def test_chunk_boundaries_exact_multiple(self, rng):
+        pts = rng.uniform(size=(20, 2))
+        total = sum(
+            d.size for d in iter_self_distance_chunks(pts, chunk=10)
+        )
+        assert total == 20 * 19 // 2

@@ -1,0 +1,194 @@
+"""Tests for repro.core.dm_sdh (the node-recursive reference engine),
+including the Sec. III-C.3 query varieties."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SDHStats,
+    UniformBuckets,
+    brute_force_cross_sdh,
+    brute_force_sdh,
+    dm_sdh_tree,
+)
+from repro.data import random_types, uniform, zipf_clustered
+from repro.errors import QueryError
+from repro.geometry import AABB, BallRegion, RectRegion
+from repro.quadtree import DensityMapTree
+
+
+class TestBasics:
+    def test_accepts_particleset_directly(self):
+        data = uniform(120, dim=2, rng=0)
+        h = dm_sdh_tree(data, bucket_width=0.3)
+        assert h.total == data.num_pairs
+
+    def test_spec_and_width_exclusive(self):
+        data = uniform(50, rng=0)
+        with pytest.raises(QueryError):
+            dm_sdh_tree(
+                data, spec=UniformBuckets(1.0, 2), bucket_width=0.5
+            )
+        with pytest.raises(QueryError):
+            dm_sdh_tree(data)
+
+    def test_mbr_requires_mbr_tree(self):
+        tree = DensityMapTree(uniform(50, rng=0))
+        with pytest.raises(QueryError):
+            dm_sdh_tree(tree, bucket_width=0.5, use_mbr=True)
+
+    def test_stats_populated(self):
+        data = uniform(400, dim=2, rng=1)
+        stats = SDHStats()
+        spec = UniformBuckets.with_count(data.max_possible_distance, 4)
+        dm_sdh_tree(data, spec=spec, stats=stats)
+        assert stats.start_level is not None
+        assert stats.total_resolve_calls > 0
+        assert stats.total_resolved_pairs > 0
+
+
+class TestRegionQueries:
+    """First variety: SDH of a sub-region of the simulated space."""
+
+    def setup_method(self):
+        self.data = uniform(400, dim=2, rng=31)
+        self.spec = UniformBuckets.with_count(
+            self.data.max_possible_distance, 6
+        )
+
+    def _reference(self, region):
+        mask = region.contains_points(self.data.positions)
+        subset = self.data.select(mask)
+        return brute_force_sdh(subset, spec=self.spec)
+
+    @pytest.mark.parametrize(
+        "region",
+        [
+            RectRegion(AABB((0.1, 0.1), (0.6, 0.7))),
+            RectRegion(AABB((0.0, 0.0), (0.5, 1.0))),
+            BallRegion((0.5, 0.5), 0.3),
+        ],
+        ids=["rect", "half", "ball"],
+    )
+    def test_matches_filtered_brute_force(self, region):
+        got = dm_sdh_tree(self.data, spec=self.spec, region=region)
+        expected = self._reference(region)
+        np.testing.assert_array_equal(expected.counts, got.counts)
+
+    def test_region_covering_everything(self):
+        region = RectRegion(AABB((-1.0, -1.0), (2.0, 2.0)))
+        got = dm_sdh_tree(self.data, spec=self.spec, region=region)
+        expected = brute_force_sdh(self.data, spec=self.spec)
+        np.testing.assert_array_equal(expected.counts, got.counts)
+
+    def test_region_with_mbr(self):
+        tree = DensityMapTree(self.data, with_mbr=True)
+        region = BallRegion((0.4, 0.6), 0.25)
+        got = dm_sdh_tree(
+            tree, spec=self.spec, region=region, use_mbr=True
+        )
+        expected = self._reference(region)
+        np.testing.assert_array_equal(expected.counts, got.counts)
+
+    def test_region_dim_mismatch(self):
+        with pytest.raises(QueryError):
+            dm_sdh_tree(
+                self.data,
+                spec=self.spec,
+                region=BallRegion((0.0, 0.0, 0.0), 1.0),
+            )
+
+
+class TestTypeQueries:
+    """Second variety: SDH of particles of a specific type."""
+
+    def setup_method(self):
+        base = uniform(350, dim=2, rng=41)
+        self.data = random_types(
+            base, {"C": 3.0, "O": 1.0, "H": 1.0}, rng=5
+        )
+        self.spec = UniformBuckets.with_count(
+            self.data.max_possible_distance, 6
+        )
+        self.tree = DensityMapTree(self.data)
+
+    def test_single_type_matches_filtered_brute_force(self):
+        got = dm_sdh_tree(self.tree, spec=self.spec, type_filter="C")
+        expected = brute_force_sdh(self.data.of_type("C"), spec=self.spec)
+        np.testing.assert_array_equal(expected.counts, got.counts)
+
+    def test_single_type_by_code(self):
+        by_name = dm_sdh_tree(self.tree, spec=self.spec, type_filter="O")
+        code = self.data.resolve_type("O")
+        by_code = dm_sdh_tree(self.tree, spec=self.spec, type_filter=code)
+        np.testing.assert_array_equal(by_name.counts, by_code.counts)
+
+    def test_cross_type_matches_brute_force(self):
+        got = dm_sdh_tree(
+            self.tree, spec=self.spec, type_pair=("C", "O")
+        )
+        expected = brute_force_cross_sdh(
+            self.data.of_type("C"), self.data.of_type("O"), self.spec
+        )
+        np.testing.assert_array_equal(expected.counts, got.counts)
+        assert got.total == self.data.type_count("C") * self.data.type_count(
+            "O"
+        )
+
+    def test_cross_type_symmetric(self):
+        co = dm_sdh_tree(self.tree, spec=self.spec, type_pair=("C", "O"))
+        oc = dm_sdh_tree(self.tree, spec=self.spec, type_pair=("O", "C"))
+        np.testing.assert_array_equal(co.counts, oc.counts)
+
+    def test_type_pair_same_type_rejected(self):
+        with pytest.raises(QueryError):
+            dm_sdh_tree(
+                self.tree, spec=self.spec, type_pair=("C", "C")
+            )
+
+    def test_filter_and_pair_exclusive(self):
+        with pytest.raises(QueryError):
+            dm_sdh_tree(
+                self.tree,
+                spec=self.spec,
+                type_filter="C",
+                type_pair=("C", "O"),
+            )
+
+    def test_typed_query_on_untyped_tree(self):
+        plain = uniform(50, rng=0)
+        from repro.errors import DatasetError
+
+        with pytest.raises(DatasetError):
+            dm_sdh_tree(plain, bucket_width=0.5, type_filter=0)
+
+
+class TestCombinedRestrictions:
+    def test_region_plus_type(self):
+        base = zipf_clustered(300, dim=2, rng=51)
+        data = random_types(base, {"A": 1.0, "B": 1.0}, rng=6)
+        spec = UniformBuckets.with_count(data.max_possible_distance, 5)
+        region = RectRegion(AABB((0.0, 0.0), (0.7, 0.7)))
+
+        got = dm_sdh_tree(
+            data, spec=spec, region=region, type_filter="A"
+        )
+        mask = region.contains_points(data.positions)
+        subset = data.select(mask).of_type("A")
+        expected = brute_force_sdh(subset, spec=spec)
+        np.testing.assert_array_equal(expected.counts, got.counts)
+
+    def test_region_plus_type_pair(self):
+        base = uniform(300, dim=2, rng=52)
+        data = random_types(base, {"A": 1.0, "B": 1.0}, rng=7)
+        spec = UniformBuckets.with_count(data.max_possible_distance, 5)
+        region = BallRegion((0.5, 0.5), 0.35)
+
+        got = dm_sdh_tree(
+            data, spec=spec, region=region, type_pair=("A", "B")
+        )
+        subset = data.select(region.contains_points(data.positions))
+        expected = brute_force_cross_sdh(
+            subset.of_type("A"), subset.of_type("B"), spec
+        )
+        np.testing.assert_array_equal(expected.counts, got.counts)

@@ -1,0 +1,144 @@
+"""Reproduction tests for the paper's worked example (Fig. 1, Table II).
+
+These tests pin the library to the paper's published numbers: the cell
+counts of Fig. 1, the inter-cell distance ranges of Table II (including
+exactly which six of the sixteen XA-ZB sub-cell pairs resolve at bucket
+width 3), and the case-study arithmetic of Sec. III-B.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import UniformBuckets
+from repro.data import (
+    FIG1_BUCKET_WIDTH,
+    FIG1_COARSE_COUNTS,
+    FIG1_FINE_COUNTS,
+    fig1_cell,
+    fig1_fine_cell,
+    figure1_dataset,
+    table2_expected,
+)
+
+
+class TestFig1Counts:
+    def test_coarse_counts_sum(self):
+        assert sum(FIG1_COARSE_COUNTS.values()) == 104
+
+    def test_fine_counts_sum(self):
+        assert sum(FIG1_FINE_COUNTS.values()) == 104
+
+    def test_fine_cells_partition_coarse(self):
+        """Each coarse cell's four children sum to its count."""
+        for coarse, count in FIG1_COARSE_COUNTS.items():
+            row, col = coarse
+            children = sum(
+                FIG1_FINE_COUNTS[f"{row}{r}{col}{c}"]
+                for r in (0, 1)
+                for c in (0, 1)
+            )
+            assert children == count, coarse
+
+    def test_cell_geometry(self):
+        assert fig1_cell("XA").sides == (2.0, 2.0)
+        assert fig1_fine_cell("X0A0").sides == (1.0, 1.0)
+        # X0A0 is the upper-left quarter of XA.
+        xa = fig1_cell("XA")
+        x0a0 = fig1_fine_cell("X0A0")
+        assert xa.contains_box(x0a0)
+        assert x0a0.lo[0] == xa.lo[0]
+        assert x0a0.hi[1] == xa.hi[1]
+
+
+class TestTable2:
+    """The sixteen XA x ZB sub-cell distance ranges."""
+
+    def setup_method(self):
+        self.table = table2_expected()
+
+    def test_sixteen_entries(self):
+        assert len(self.table) == 16
+
+    def test_exactly_six_resolvable(self):
+        """'Out of the 16 pairs of cells, six can be resolved.'"""
+        resolvable = [k for k, v in self.table.items() if v[2]]
+        assert len(resolvable) == 6
+
+    def test_the_six_resolvable_pairs(self):
+        resolvable = {k for k, v in self.table.items() if v[2]}
+        assert resolvable == {
+            ("X0A0", "Z0B0"),
+            ("X0A1", "Z0B0"),
+            ("X0A1", "Z0B1"),
+            ("X1A0", "Z1B0"),
+            ("X1A1", "Z1B0"),
+            ("X1A1", "Z1B1"),
+        }
+
+    def test_published_radicals(self):
+        """Spot-check ranges quoted verbatim in the paper."""
+        u, v, resolvable = self.table[("X0A0", "Z0B0")]
+        assert u == pytest.approx(math.sqrt(10))
+        assert v == pytest.approx(math.sqrt(34))
+        assert resolvable
+
+        u, v, resolvable = self.table[("X0A0", "Z1B1")]
+        assert u == pytest.approx(math.sqrt(20))
+        assert v == pytest.approx(math.sqrt(52))
+        assert not resolvable
+
+        u, v, resolvable = self.table[("X0A1", "Z0B0")]
+        assert u == pytest.approx(3.0)
+        assert v == pytest.approx(math.sqrt(29))
+        assert resolvable
+
+    def test_resolvable_ranges_fit_buckets(self):
+        spec = UniformBuckets(FIG1_BUCKET_WIDTH, 4)
+        for (xa, zb), (u, v, resolvable) in self.table.items():
+            got = spec.resolve_range(u, v)
+            assert (got is not None) == resolvable, (xa, zb)
+
+    def test_x0a0_z0b0_contribution(self):
+        """'We increment the count of the second bucket by 5 x 4 = 20.'"""
+        n1 = FIG1_FINE_COUNTS["X0A0"]
+        n2 = FIG1_FINE_COUNTS["Z0B0"]
+        assert n1 * n2 == 20
+
+
+class TestFigure1Dataset:
+    def test_realizes_published_counts(self):
+        ps = figure1_dataset(rng=0)
+        assert ps.size == 104
+        for label, count in FIG1_FINE_COUNTS.items():
+            cell = fig1_fine_cell(label)
+            inside = int(cell.contains_points(ps.positions).sum())
+            assert inside == count, label
+
+    def test_intra_cell_shortcut_arithmetic(self):
+        """'Increase the count of the first bucket by 14 x 13 / 2 = 91.'"""
+        n = FIG1_COARSE_COUNTS["XA"]
+        assert n * (n - 1) // 2 == 91
+
+    def test_square_box_option(self):
+        square = figure1_dataset(rng=0, square_box=True)
+        tight = figure1_dataset(rng=0, square_box=False)
+        assert square.box.sides == (6.0, 6.0)
+        assert tight.box.sides == (4.0, 6.0)
+        np.testing.assert_array_equal(square.positions, tight.positions)
+
+    def test_engines_agree_on_figure1_data(self):
+        """End-to-end: the Fig. 1 dataset through all three engines."""
+        from repro.core import brute_force_sdh, dm_sdh_grid, dm_sdh_tree
+
+        ps = figure1_dataset(rng=0)
+        spec = UniformBuckets.cover(
+            ps.max_possible_distance, FIG1_BUCKET_WIDTH
+        )
+        hb = brute_force_sdh(ps, spec=spec)
+        hg = dm_sdh_grid(ps, spec=spec)
+        ht = dm_sdh_tree(ps, spec=spec)
+        assert hb.total == ps.num_pairs
+        np.testing.assert_array_equal(hb.counts, hg.counts)
+        np.testing.assert_array_equal(hb.counts, ht.counts)

@@ -1,0 +1,130 @@
+"""Tests for repro.data.generators (synthetic workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    gaussian_clusters,
+    lattice,
+    random_types,
+    uniform,
+    zipf_clustered,
+)
+from repro.errors import DatasetError
+
+
+class TestUniform:
+    def test_shape_and_box(self):
+        ps = uniform(500, dim=2, box_side=3.0, rng=0)
+        assert ps.size == 500
+        assert ps.dim == 2
+        assert ps.box.sides == (3.0, 3.0)
+        assert bool(ps.box.contains_points(ps.positions).all())
+
+    def test_reproducible(self):
+        a = uniform(50, rng=9)
+        b = uniform(50, rng=9)
+        np.testing.assert_array_equal(a.positions, b.positions)
+
+    def test_roughly_uniform_occupancy(self):
+        ps = uniform(4000, dim=2, rng=1)
+        # Quadrant occupancy should be near 1000 each.
+        quadrant = (ps.positions[:, 0] > 0.5).astype(int) * 2 + (
+            ps.positions[:, 1] > 0.5
+        ).astype(int)
+        counts = np.bincount(quadrant, minlength=4)
+        assert counts.min() > 800
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(DatasetError):
+            uniform(0)
+
+
+class TestZipf:
+    def test_is_heavily_skewed(self):
+        ps = zipf_clustered(4000, dim=2, grid=16, rng=2)
+        # Bin back onto the generator grid; the top cell should hold far
+        # more than the uniform share.
+        idx = np.clip((ps.positions * 16).astype(int), 0, 15)
+        flat = idx[:, 0] * 16 + idx[:, 1]
+        counts = np.bincount(flat, minlength=256)
+        assert counts.max() > 5 * 4000 / 256
+
+    def test_many_empty_cells(self):
+        """The skew that speeds DM-SDH up (Sec. VI-A): on fine density
+        maps, clustered data leaves far more cells empty than uniform
+        data of the same size."""
+        n, grid = 2000, 32
+        zipf = zipf_clustered(n, dim=2, grid=grid, exponent=1.0, rng=3)
+        flat_u = uniform(n, dim=2, rng=3)
+
+        def empty_cells(ps):
+            idx = np.clip((ps.positions * grid).astype(int), 0, grid - 1)
+            flat = idx[:, 0] * grid + idx[:, 1]
+            return int(
+                (np.bincount(flat, minlength=grid * grid) == 0).sum()
+            )
+
+        assert empty_cells(zipf) > 1.5 * empty_cells(flat_u)
+
+    def test_3d(self):
+        ps = zipf_clustered(300, dim=3, grid=4, rng=0)
+        assert ps.dim == 3
+        assert bool(ps.box.contains_points(ps.positions).all())
+
+    def test_exponent_zero_is_uniformish(self):
+        ps = zipf_clustered(4000, dim=2, grid=4, exponent=0.0, rng=5)
+        idx = np.clip((ps.positions * 4).astype(int), 0, 3)
+        flat = idx[:, 0] * 4 + idx[:, 1]
+        counts = np.bincount(flat, minlength=16)
+        assert counts.max() < 2.0 * 4000 / 16
+
+    def test_rejects_bad_grid(self):
+        with pytest.raises(DatasetError):
+            zipf_clustered(10, grid=0)
+
+
+class TestGaussianClusters:
+    def test_in_box(self):
+        ps = gaussian_clusters(1000, dim=2, rng=4)
+        assert bool(ps.box.contains_points(ps.positions).all())
+
+    def test_clustering_visible(self):
+        ps = gaussian_clusters(
+            2000, dim=2, num_clusters=2, spread=0.02, rng=4
+        )
+        idx = np.clip((ps.positions * 8).astype(int), 0, 7)
+        flat = idx[:, 0] * 8 + idx[:, 1]
+        counts = np.bincount(flat, minlength=64)
+        assert counts.max() > 5 * 2000 / 64
+
+
+class TestLattice:
+    def test_count_and_spacing(self):
+        ps = lattice(4, dim=2, box_side=1.0)
+        assert ps.size == 16
+        xs = np.unique(ps.positions[:, 0])
+        np.testing.assert_allclose(np.diff(xs), 0.25)
+
+    def test_3d_count(self):
+        assert lattice(3, dim=3).size == 27
+
+    def test_jitter_bounded(self):
+        ps = lattice(4, dim=2, jitter=0.1, rng=0)
+        assert bool(ps.box.contains_points(ps.positions).all())
+
+
+class TestRandomTypes:
+    def test_proportions(self, rng):
+        ps = uniform(3000, rng=rng)
+        typed = random_types(ps, {"A": 2.0, "B": 1.0}, rng=rng)
+        assert typed.type_count("A") > typed.type_count("B")
+        assert typed.type_count("A") + typed.type_count("B") == 3000
+
+    def test_rejects_empty(self, rng):
+        with pytest.raises(DatasetError):
+            random_types(uniform(10, rng=rng), {})
+
+    def test_rejects_zero_weights(self, rng):
+        with pytest.raises(DatasetError):
+            random_types(uniform(10, rng=rng), {"A": 0.0})

@@ -1,0 +1,184 @@
+"""Tests for repro.core.heuristics (the Sec.-V distribution heuristics)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AllocationContext,
+    DistributionModelAllocator,
+    EvenSplitAllocator,
+    ProportionalAllocator,
+    SingleBucketAllocator,
+    UniformBuckets,
+    make_allocator,
+)
+from repro.errors import QueryError
+
+SPEC = UniformBuckets(1.0, 5)  # buckets [0,1) ... [4,5]
+
+
+def _alloc(allocator, u, v, w, context=None):
+    return allocator.allocate(
+        SPEC,
+        np.asarray(u, dtype=float),
+        np.asarray(v, dtype=float),
+        np.asarray(w, dtype=float),
+        context,
+    )
+
+
+class TestMassConservation:
+    """Every heuristic must conserve total counts exactly."""
+
+    @pytest.mark.parametrize("heuristic", [1, 2, 3, 4])
+    def test_random_ranges(self, heuristic, rng):
+        u = rng.uniform(0, 4, size=200)
+        v = u + rng.uniform(0, 1.5, size=200)
+        v = np.minimum(v, 5.0)
+        w = rng.integers(1, 50, size=200).astype(float)
+        context = AllocationContext(
+            offsets=rng.integers(0, 6, size=(200, 2)),
+            cell_sides=np.array([0.3, 0.3]),
+            rng=rng,
+        )
+        out = _alloc(make_allocator(heuristic), u, v, w, context)
+        assert out.sum() == pytest.approx(w.sum())
+        assert (out >= -1e-12).all()
+
+
+class TestSingleBucket:
+    def test_first_choice(self):
+        out = _alloc(SingleBucketAllocator("first"), [1.5], [3.5], [10.0])
+        np.testing.assert_allclose(out, [0, 10, 0, 0, 0])
+
+    def test_random_choice_in_span(self, rng):
+        allocator = SingleBucketAllocator("random")
+        context = AllocationContext(rng=rng)
+        out = _alloc(allocator, [1.5], [3.5], [10.0], context)
+        assert out.sum() == pytest.approx(10.0)
+        assert out[[0, 4]].sum() == 0  # only buckets 1..3 eligible
+
+    def test_unknown_choice(self):
+        with pytest.raises(QueryError):
+            SingleBucketAllocator("median")
+
+
+class TestEvenSplit:
+    def test_three_bucket_span(self):
+        """Fig. 7's example: each bucket gets n1*n2/3."""
+        out = _alloc(EvenSplitAllocator(), [1.5], [3.5], [9.0])
+        np.testing.assert_allclose(out, [0, 3, 3, 3, 0])
+
+    def test_single_bucket_span(self):
+        out = _alloc(EvenSplitAllocator(), [2.2], [2.8], [7.0])
+        np.testing.assert_allclose(out, [0, 0, 7, 0, 0])
+
+    def test_many_pairs(self):
+        out = _alloc(
+            EvenSplitAllocator(), [0.5, 3.2], [1.5, 4.9], [4.0, 6.0]
+        )
+        np.testing.assert_allclose(out, [2, 2, 0, 3, 3])
+
+
+class TestProportional:
+    def test_fig7_overlap_shares(self):
+        """The paper's formula: [(i+1)p - u, p, v - (i+2)p] / (v - u)."""
+        u, v, w = 1.5, 3.75, 9.0
+        out = _alloc(ProportionalAllocator(), [u], [v], [w])
+        length = v - u
+        np.testing.assert_allclose(
+            out,
+            [0, w * 0.5 / length, w * 1.0 / length, w * 0.75 / length, 0],
+        )
+
+    def test_uniform_distance_distribution_is_exact(self, rng):
+        """For genuinely uniform distances the heuristic is unbiased."""
+        u, v = 1.0, 4.0
+        distances = rng.uniform(u, v, size=200000)
+        empirical = SPEC.bin_counts(distances)
+        out = _alloc(ProportionalAllocator(), [u], [v], [distances.size])
+        np.testing.assert_allclose(out, empirical, rtol=0.02, atol=1.0)
+
+    def test_degenerate_range(self):
+        out = _alloc(ProportionalAllocator(), [2.0], [2.0], [5.0])
+        np.testing.assert_allclose(out, [0, 0, 5, 0, 0])
+
+    def test_wide_span(self):
+        out = _alloc(ProportionalAllocator(), [0.0], [5.0], [10.0])
+        np.testing.assert_allclose(out, [2, 2, 2, 2, 2])
+
+    def test_custom_widths(self):
+        from repro.core import CustomBuckets
+
+        spec = CustomBuckets([0.0, 1.0, 3.0, 4.0])
+        out = ProportionalAllocator().allocate(
+            spec,
+            np.array([0.5]),
+            np.array([3.5]),
+            np.array([6.0]),
+        )
+        np.testing.assert_allclose(out, [1.0, 4.0, 1.0])
+
+
+class TestDistributionModel:
+    def test_adjacent_cells_profile(self, rng):
+        """For two adjacent unit cells the sampled distance profile must
+        match a direct Monte-Carlo estimate."""
+        allocator = DistributionModelAllocator(samples=4096)
+        context = AllocationContext(
+            offsets=np.array([[1, 0]]),
+            cell_sides=np.array([1.0, 1.0]),
+            rng=rng,
+        )
+        out = _alloc(allocator, [0.0], [np.sqrt(5.0)], [1000.0], context)
+
+        a = rng.uniform(size=(200000, 2))
+        b = rng.uniform(size=(200000, 2)) + np.array([1.0, 0.0])
+        d = np.sqrt(((a - b) ** 2).sum(axis=1))
+        reference = SPEC.bin_counts(d) / 200000.0 * 1000.0
+        np.testing.assert_allclose(out, reference, atol=25.0)
+
+    def test_cache_reuse(self, rng):
+        allocator = DistributionModelAllocator(samples=128)
+        context = AllocationContext(
+            offsets=np.array([[2, 1], [2, 1], [1, 2]]),
+            cell_sides=np.array([0.5, 0.5]),
+            rng=rng,
+        )
+        _alloc(
+            allocator, [0.5, 0.5, 0.5], [2.0, 2.0, 2.0],
+            [1.0, 1.0, 1.0], context,
+        )
+        assert len(allocator._cache) == 2  # (2,1) and (1,2)
+
+    def test_fallback_without_context(self):
+        out = _alloc(
+            DistributionModelAllocator(), [1.5], [3.5], [9.0]
+        )
+        assert out.sum() == pytest.approx(9.0)
+
+    def test_rejects_bad_samples(self):
+        with pytest.raises(QueryError):
+            DistributionModelAllocator(samples=0)
+
+
+class TestFactory:
+    def test_by_number_and_name(self):
+        assert isinstance(make_allocator(1), SingleBucketAllocator)
+        assert isinstance(make_allocator("even"), EvenSplitAllocator)
+        assert isinstance(make_allocator(3), ProportionalAllocator)
+        assert isinstance(
+            make_allocator("model"), DistributionModelAllocator
+        )
+
+    def test_passthrough(self):
+        allocator = ProportionalAllocator()
+        assert make_allocator(allocator) is allocator
+
+    def test_kwargs_forwarded(self):
+        allocator = make_allocator(4, samples=7)
+        assert allocator.samples == 7
+
+    def test_unknown(self):
+        with pytest.raises(QueryError):
+            make_allocator(9)

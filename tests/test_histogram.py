@@ -1,0 +1,122 @@
+"""Tests for repro.core.histogram (the result container)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DistanceHistogram, UniformBuckets
+from repro.errors import QueryError
+
+
+def make(counts, width=1.0):
+    spec = UniformBuckets(width, len(counts))
+    return DistanceHistogram(spec, np.asarray(counts, dtype=float))
+
+
+class TestBasics:
+    def test_empty_initialization(self):
+        h = DistanceHistogram(UniformBuckets(1.0, 3))
+        np.testing.assert_allclose(h.counts, 0.0)
+        assert h.total == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(QueryError):
+            DistanceHistogram(UniformBuckets(1.0, 3), np.zeros(4))
+
+    def test_counts_are_copied(self):
+        source = np.array([1.0, 2.0])
+        h = DistanceHistogram(UniformBuckets(1.0, 2), source)
+        source[0] = 99.0
+        assert h.counts[0] == 1.0
+
+    def test_add_and_total(self):
+        h = make([0, 0, 0])
+        h.add(1, 5)
+        h.add_counts(np.array([1.0, 1.0, 1.0]))
+        assert h.total == 8.0
+        np.testing.assert_allclose(h.counts, [1, 6, 1])
+
+    def test_merge(self):
+        a = make([1, 2])
+        b = make([3, 4])
+        merged = a.merge(b)
+        np.testing.assert_allclose(merged.counts, [4, 6])
+        # inputs untouched
+        np.testing.assert_allclose(a.counts, [1, 2])
+
+    def test_merge_spec_mismatch(self):
+        with pytest.raises(QueryError):
+            make([1, 2]).merge(make([1, 2, 3]))
+
+    def test_centers_and_iteration(self):
+        h = make([5, 7], width=2.0)
+        np.testing.assert_allclose(h.centers, [1.0, 3.0])
+        rows = list(h)
+        assert rows == [(0.0, 2.0, 5.0), (2.0, 4.0, 7.0)]
+
+    def test_equality(self):
+        assert make([1, 2]) == make([1, 2])
+        assert make([1, 2]) != make([1, 3])
+
+
+class TestIntegerView:
+    def test_integral_counts_pass(self):
+        h = make([3.0, 4.0])
+        np.testing.assert_array_equal(h.as_integers(), [3, 4])
+
+    def test_fractional_counts_rejected(self):
+        with pytest.raises(QueryError):
+            make([1.5, 2.0]).as_integers()
+
+
+class TestDensity:
+    def test_density_integrates_to_one(self):
+        h = make([2, 6, 2], width=0.5)
+        total = (h.density() * h.spec.widths).sum()
+        assert total == pytest.approx(1.0)
+
+    def test_empty_histogram_density(self):
+        h = make([0, 0])
+        np.testing.assert_allclose(h.density(), 0.0)
+
+
+class TestErrorMetric:
+    """The paper's Sec. VI-B error rate: sum|h - h'| / sum h."""
+
+    def test_identical_is_zero(self):
+        assert make([5, 5]).error_rate(make([5, 5])) == 0.0
+
+    def test_known_value(self):
+        approx = make([4, 6])
+        exact = make([5, 5])
+        assert approx.error_rate(exact) == pytest.approx(0.2)
+
+    def test_mass_moved_counts_twice(self):
+        """Moving k counts between buckets costs 2k/total."""
+        approx = make([10, 0])
+        exact = make([5, 5])
+        assert approx.error_rate(exact) == pytest.approx(1.0)
+
+    def test_spec_mismatch(self):
+        with pytest.raises(QueryError):
+            make([1, 2]).error_rate(make([1, 2, 3]))
+
+    def test_empty_reference(self):
+        assert make([0, 0]).error_rate(make([0, 0])) == 0.0
+
+    def test_max_bucket_deviation(self):
+        approx = make([8, 2])
+        exact = make([5, 5])
+        assert approx.max_bucket_deviation(exact) == pytest.approx(0.3)
+
+    def test_allclose(self):
+        a = make([1.0, 2.0])
+        b = make([1.0, 2.0 + 1e-12])
+        assert a.allclose(b)
+        assert not a.allclose(make([1.0, 3.0]))
+
+
+class TestText:
+    def test_to_text_contains_edges(self):
+        text = make([1, 9]).to_text(width=10)
+        assert "0.0000" in text
+        assert "#" in text

@@ -1,0 +1,43 @@
+"""Tests for repro.core.instrumentation (operation counters)."""
+
+import pytest
+
+from repro.core import SDHStats
+
+
+class TestRecording:
+    def test_record_batch_accumulates(self):
+        stats = SDHStats()
+        stats.record_batch(3, examined=10, resolved=4, resolved_distances=100.0)
+        stats.record_batch(3, examined=5, resolved=1, resolved_distances=20.0)
+        stats.record_batch(4, examined=7, resolved=7, resolved_distances=9.0)
+        assert stats.resolve_calls == {3: 15, 4: 7}
+        assert stats.resolved_pairs == {3: 5, 4: 7}
+        assert stats.resolved_distances == {3: 120.0, 4: 9.0}
+        assert stats.total_resolve_calls == 22
+        assert stats.total_resolved_pairs == 12
+        assert stats.total_operations == 22
+
+    def test_total_operations_includes_distances(self):
+        stats = SDHStats()
+        stats.record_batch(0, 4, 2, 8.0)
+        stats.distance_computations = 100
+        assert stats.total_operations == 104
+
+    def test_resolution_rate(self):
+        stats = SDHStats()
+        stats.record_batch(2, examined=8, resolved=4, resolved_distances=1.0)
+        assert stats.resolution_rate(2) == pytest.approx(0.5)
+        assert stats.resolution_rate(9) == 0.0
+
+    def test_per_level_summary_sorted(self):
+        stats = SDHStats()
+        stats.record_batch(5, 10, 5, 0.0)
+        stats.record_batch(3, 4, 1, 0.0)
+        rows = stats.per_level_summary()
+        assert [r[0] for r in rows] == [3, 5]
+        assert rows[0] == (3, 4, 1, 0.25)
+
+    def test_repr_smoke(self):
+        stats = SDHStats()
+        assert "SDHStats" in repr(stats)

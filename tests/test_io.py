@@ -1,0 +1,103 @@
+"""Tests for repro.data.io (persistence round-trips)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ParticleSet,
+    load_particles,
+    load_trajectory,
+    load_xyz,
+    random_types,
+    random_walk_trajectory,
+    save_particles,
+    save_trajectory,
+    save_xyz,
+    uniform,
+)
+from repro.errors import DatasetError
+
+
+class TestNpzRoundTrip:
+    def test_plain(self, tmp_path, rng):
+        ps = uniform(100, dim=3, rng=rng)
+        path = tmp_path / "plain.npz"
+        save_particles(path, ps)
+        back = load_particles(path)
+        np.testing.assert_array_equal(ps.positions, back.positions)
+        assert ps.box == back.box
+        assert back.types is None
+
+    def test_typed(self, tmp_path, rng):
+        ps = random_types(
+            uniform(60, dim=2, rng=rng), {"C": 1, "O": 1}, rng=rng
+        )
+        path = tmp_path / "typed.npz"
+        save_particles(path, ps)
+        back = load_particles(path)
+        np.testing.assert_array_equal(ps.types, back.types)
+        assert back.type_names == ps.type_names
+
+    def test_wrong_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, something=np.arange(3))
+        with pytest.raises(DatasetError):
+            load_particles(path)
+
+
+class TestXyzRoundTrip:
+    def test_plain_2d(self, tmp_path, rng):
+        ps = uniform(40, dim=2, rng=rng)
+        path = tmp_path / "plain.xyz"
+        save_xyz(path, ps)
+        back = load_xyz(path)
+        np.testing.assert_allclose(ps.positions, back.positions)
+        assert ps.box == back.box
+
+    def test_typed_3d(self, tmp_path, rng):
+        ps = random_types(
+            uniform(30, dim=3, rng=rng), {"C": 1, "O": 1}, rng=rng
+        )
+        path = tmp_path / "typed.xyz"
+        save_xyz(path, ps)
+        back = load_xyz(path)
+        np.testing.assert_allclose(ps.positions, back.positions)
+        # Codes may be renumbered but the named partition must survive.
+        for name in ("C", "O"):
+            orig = {
+                tuple(row) for row in ps.of_type(name).positions.round(9)
+            }
+            got = {
+                tuple(row) for row in back.of_type(name).positions.round(9)
+            }
+            assert orig == got
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.xyz"
+        path.write_text("not-a-number\nbox 0 0 1 1\n")
+        with pytest.raises(DatasetError):
+            load_xyz(path)
+
+    def test_count_mismatch(self, tmp_path):
+        path = tmp_path / "short.xyz"
+        path.write_text("3\nbox 0 0 1 1\nX 0.5 0.5\n")
+        with pytest.raises(DatasetError):
+            load_xyz(path)
+
+
+class TestTrajectoryRoundTrip:
+    def test_round_trip(self, tmp_path, rng):
+        initial = uniform(50, dim=2, rng=rng)
+        traj = random_walk_trajectory(initial, 4, rng=rng)
+        path = tmp_path / "traj.npz"
+        save_trajectory(path, traj)
+        back = load_trajectory(path)
+        assert back.num_frames == 4
+        for a, b in zip(traj.frames, back.frames):
+            np.testing.assert_array_equal(a.positions, b.positions)
+
+    def test_wrong_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, something=np.arange(3))
+        with pytest.raises(DatasetError):
+            load_trajectory(path)

@@ -1,0 +1,156 @@
+"""Tests for repro.partition.kdtree (alternative partitioning plan)."""
+
+import numpy as np
+import pytest
+
+from repro import UniformBuckets, brute_force_sdh, uniform, zipf_clustered
+from repro.core import OverflowPolicy, SDHStats
+from repro.data import ParticleSet, gaussian_clusters
+from repro.errors import DistanceOverflowError, QueryError, TreeError
+from repro.partition import KDPartition, kd_sdh
+
+
+class TestBuild:
+    def test_structure_valid(self):
+        data = uniform(500, dim=2, rng=201)
+        tree = KDPartition(data, leaf_capacity=8)
+        tree.validate()
+        assert tree.root.count == 500
+
+    def test_leaf_capacity_respected(self):
+        data = uniform(300, dim=2, rng=202)
+        tree = KDPartition(data, leaf_capacity=5)
+
+        def walk(node):
+            if node.is_leaf:
+                assert node.count <= 5
+            else:
+                walk(node.left)
+                walk(node.right)
+
+        walk(tree.root)
+
+    def test_balanced_on_skewed_data(self):
+        """Median splits keep depth logarithmic even on clustered data
+        — the adaptive advantage over the fixed grid."""
+        data = zipf_clustered(1024, dim=2, rng=203)
+        tree = KDPartition(data, leaf_capacity=8)
+        assert tree.depth() <= int(np.ceil(np.log2(1024 / 8))) + 2
+
+    def test_coincident_points_terminate(self, rng):
+        pts = np.tile(rng.uniform(size=(1, 2)), (50, 1))
+        data = ParticleSet(pts)
+        tree = KDPartition(data, leaf_capacity=4)
+        tree.validate()  # zero-span node becomes a (fat) leaf
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(TreeError):
+            KDPartition(uniform(10, rng=0), leaf_capacity=0)
+
+    def test_3d(self):
+        data = uniform(300, dim=3, rng=204)
+        tree = KDPartition(data)
+        tree.validate()
+
+
+class TestExactness:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: uniform(350, dim=2, rng=205),
+            lambda: zipf_clustered(350, dim=2, rng=205),
+            lambda: gaussian_clusters(350, dim=2, rng=205),
+            lambda: uniform(250, dim=3, rng=205),
+        ],
+        ids=["uniform2d", "zipf2d", "clusters2d", "uniform3d"],
+    )
+    @pytest.mark.parametrize("num_buckets", [1, 4, 13])
+    def test_matches_brute_force(self, factory, num_buckets):
+        data = factory()
+        spec = UniformBuckets.with_count(
+            data.max_possible_distance, num_buckets
+        )
+        expected = brute_force_sdh(data, spec=spec)
+        got = kd_sdh(data, spec=spec)
+        np.testing.assert_array_equal(expected.counts, got.counts)
+
+    def test_leaf_capacity_does_not_change_result(self):
+        data = uniform(300, dim=2, rng=206)
+        spec = UniformBuckets.with_count(data.max_possible_distance, 6)
+        reference = kd_sdh(data, spec=spec, leaf_capacity=4)
+        for capacity in (1, 16, 64):
+            got = kd_sdh(data, spec=spec, leaf_capacity=capacity)
+            np.testing.assert_array_equal(reference.counts, got.counts)
+
+    def test_nonzero_r0(self):
+        from repro.core import CustomBuckets
+
+        data = uniform(250, dim=2, rng=207)
+        diag = data.max_possible_distance
+        spec = CustomBuckets([0.2 * diag, 0.5 * diag, diag])
+        expected = brute_force_sdh(data, spec=spec)
+        got = kd_sdh(data, spec=spec)
+        np.testing.assert_array_equal(expected.counts, got.counts)
+
+    def test_overflow_policies(self):
+        data = uniform(200, dim=2, rng=208)
+        short = UniformBuckets(data.max_possible_distance / 6, 3)
+        with pytest.raises(DistanceOverflowError):
+            kd_sdh(data, spec=short)
+        clamped = kd_sdh(
+            data, spec=short, policy=OverflowPolicy.CLAMP
+        )
+        expected = brute_force_sdh(
+            data, spec=short, policy=OverflowPolicy.CLAMP
+        )
+        np.testing.assert_array_equal(expected.counts, clamped.counts)
+
+    def test_argument_validation(self):
+        data = uniform(50, rng=0)
+        with pytest.raises(QueryError):
+            kd_sdh(data)
+        with pytest.raises(QueryError):
+            kd_sdh(
+                data,
+                spec=UniformBuckets(1.0, 2),
+                bucket_width=0.5,
+            )
+
+
+class TestAdaptivity:
+    def test_stats_populated(self):
+        data = uniform(800, dim=2, rng=209)
+        stats = SDHStats()
+        kd_sdh(data, bucket_width=0.2, stats=stats)
+        assert stats.total_resolve_calls > 0
+        assert stats.total_resolved_pairs > 0
+        resolved = sum(stats.resolved_distances.values())
+        assert resolved + stats.distance_computations == data.num_pairs
+
+    def test_reuse_partition_across_queries(self):
+        data = uniform(400, dim=2, rng=210)
+        tree = KDPartition(data)
+        for l in (2, 8):
+            spec = UniformBuckets.with_count(
+                data.max_possible_distance, l
+            )
+            got = tree.histogram(spec=spec)
+            expected = brute_force_sdh(data, spec=spec)
+            np.testing.assert_array_equal(expected.counts, got.counts)
+
+    def test_skew_costs_less_than_for_grid_partition(self):
+        """On heavily clustered data the adaptive partition needs fewer
+        total operations than it needs on uniform data of the same size
+        (the tight boxes shrink with the clusters)."""
+        spec_for = lambda d: UniformBuckets.with_count(
+            d.max_possible_distance, 8
+        )
+        flat = uniform(1500, dim=2, rng=211)
+        skew = zipf_clustered(1500, dim=2, rng=211)
+        stats_flat, stats_skew = SDHStats(), SDHStats()
+        kd_sdh(flat, spec=spec_for(flat), stats=stats_flat)
+        kd_sdh(skew, spec=spec_for(skew), stats=stats_skew)
+        assert (
+            stats_skew.total_operations
+            < 1.2 * stats_flat.total_operations
+        )

@@ -1,0 +1,88 @@
+"""Tests for repro.data.membrane (the paper's Fig. 10 stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.data import MEMBRANE_TYPES, synthetic_bilayer
+from repro.errors import DatasetError
+
+
+class TestComposition:
+    def test_total_count_exact(self):
+        ps = synthetic_bilayer(5000, rng=0)
+        assert ps.size == 5000
+
+    def test_all_components_present(self):
+        ps = synthetic_bilayer(2000, rng=0)
+        assert set(np.unique(ps.types)) == set(MEMBRANE_TYPES)
+
+    def test_water_is_majority(self):
+        ps = synthetic_bilayer(4000, rng=1)
+        water = int((ps.types == 2).sum())
+        assert water > 0.4 * ps.size
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(DatasetError):
+            synthetic_bilayer(3)
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(DatasetError):
+            synthetic_bilayer(100, dim=4)
+
+
+class TestGeometry:
+    """The Fig. 10 structure: two dense head layers, sparse tails,
+    uniform water outside the slab."""
+
+    def test_heads_form_two_layers(self):
+        ps = synthetic_bilayer(6000, dim=3, rng=2)
+        heads = ps.positions[ps.types == 0][:, 2]
+        lower = heads[heads < 0.5]
+        upper = heads[heads >= 0.5]
+        assert lower.size > 0 and upper.size > 0
+        assert np.std(lower) < 0.05
+        assert np.std(upper) < 0.05
+        assert abs(np.mean(lower) - 0.35) < 0.02
+        assert abs(np.mean(upper) - 0.65) < 0.02
+
+    def test_tails_between_heads(self):
+        ps = synthetic_bilayer(6000, dim=3, rng=2)
+        tails = ps.positions[ps.types == 1][:, 2]
+        assert tails.min() >= 0.38
+        assert tails.max() <= 0.62
+
+    def test_water_avoids_slab(self):
+        ps = synthetic_bilayer(6000, dim=3, rng=2)
+        water = ps.positions[ps.types == 2][:, 2]
+        inside_slab = (water > 0.41) & (water < 0.59)
+        assert not inside_slab.any()
+
+    def test_density_profile_is_layered(self):
+        """The atom-density along the membrane normal must show the
+        head peaks the paper describes."""
+        ps = synthetic_bilayer(20000, dim=3, rng=3)
+        z = ps.positions[:, 2]
+        hist, _edges = np.histogram(z, bins=20, range=(0.0, 1.0))
+        # Bins around the head planes (0.35, 0.65) beat the bulk.
+        head_bins = hist[6:8].max(), hist[12:14].max()
+        bulk = np.median(hist)
+        assert min(head_bins) > 1.5 * bulk
+
+    def test_2d_variant(self):
+        ps = synthetic_bilayer(2000, dim=2, rng=4)
+        assert ps.dim == 2
+        heads = ps.positions[ps.types == 0][:, 1]
+        assert ((heads < 0.5).sum() > 0) and ((heads >= 0.5).sum() > 0)
+
+    def test_everything_in_box(self):
+        ps = synthetic_bilayer(3000, dim=3, rng=5)
+        assert bool(ps.box.contains_points(ps.positions).all())
+
+    def test_scaling_like_paper(self):
+        """Duplication scaling keeps composition roughly stable."""
+        base = synthetic_bilayer(2000, rng=6)
+        big = base.scale_to(5000, rng=np.random.default_rng(7))
+        assert big.size == 5000
+        frac_water_base = (base.types == 2).mean()
+        frac_water_big = (big.types == 2).mean()
+        assert abs(frac_water_base - frac_water_big) < 0.05

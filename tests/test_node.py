@@ -1,0 +1,58 @@
+"""Tests for repro.quadtree.node (the paper's node layout)."""
+
+import numpy as np
+import pytest
+
+from repro.data import uniform
+from repro.geometry import AABB
+from repro.quadtree import DensityMapTree, DensityNode
+
+
+class TestDensityNode:
+    def test_fields_match_paper_layout(self):
+        """(p-count, coordinates, child, p-list, next) — Sec. III-C.1."""
+        node = DensityNode(AABB.cube(1.0, 2), level=0, p_count=5)
+        assert node.p_count == 5
+        assert node.bounds.dim == 2
+        assert node.child is None
+        assert node.next is None
+        assert node.p_list is None
+        assert node.mbr is None
+        assert node.type_counts is None
+
+    def test_slots_prevent_arbitrary_attributes(self):
+        node = DensityNode(AABB.cube(1.0, 2), level=0)
+        with pytest.raises(AttributeError):
+            node.unexpected = 1  # type: ignore[attr-defined]
+
+    def test_leaf_and_empty_predicates(self):
+        node = DensityNode(AABB.cube(1.0, 2), level=0, p_count=0)
+        assert node.is_leaf
+        assert node.is_empty
+
+    def test_children_iteration_stops_at_degree(self):
+        """children() must not run into the cousin chain."""
+        data = uniform(200, dim=2, rng=31)
+        tree = DensityMapTree(data, height=3)
+        root = tree.root
+        children = list(root.children())
+        assert len(children) == 4
+        # Each child's next-chain continues, but children() stops.
+        level1 = tree.density_map(1).cells
+        assert children == level1[:4]
+
+    def test_children_3d_degree(self):
+        data = uniform(100, dim=3, rng=31)
+        tree = DensityMapTree(data, height=2)
+        assert len(list(tree.root.children())) == 8
+
+    def test_resolution_bounds_fallback(self):
+        node = DensityNode(AABB.cube(2.0, 2), level=0, p_count=3)
+        assert node.resolution_bounds(True) is node.bounds  # no MBR yet
+        node.mbr = AABB.cube(1.0, 2)
+        assert node.resolution_bounds(True) is node.mbr
+        assert node.resolution_bounds(False) is node.bounds
+
+    def test_repr_mentions_kind(self):
+        node = DensityNode(AABB.cube(1.0, 2), level=2, p_count=7)
+        assert "leaf" in repr(node)

@@ -1,0 +1,146 @@
+"""Tests for repro.data.particles (the dataset container)."""
+
+import numpy as np
+import pytest
+
+from repro.data import ParticleSet
+from repro.errors import DatasetError
+from repro.geometry import AABB
+
+
+class TestConstruction:
+    def test_basic(self):
+        pts = np.array([[0.1, 0.2], [0.8, 0.9]])
+        ps = ParticleSet(pts)
+        assert ps.size == 2
+        assert ps.dim == 2
+        assert ps.num_pairs == 1
+        assert len(ps) == 2
+
+    def test_default_box_is_cube(self):
+        pts = np.array([[0.0, 0.0], [2.0, 1.0]])
+        ps = ParticleSet(pts)
+        sides = ps.box.sides
+        assert sides[0] == pytest.approx(sides[1])
+        assert bool(ps.box.contains_points(pts, closed=True).all())
+
+    def test_rejects_empty(self):
+        with pytest.raises(DatasetError):
+            ParticleSet(np.empty((0, 2)))
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(DatasetError):
+            ParticleSet(np.zeros(5))
+        with pytest.raises(DatasetError):
+            ParticleSet(np.zeros((5, 4)))
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(DatasetError):
+            ParticleSet(np.array([[0.0, np.nan]]))
+
+    def test_rejects_points_outside_box(self):
+        with pytest.raises(DatasetError):
+            ParticleSet(
+                np.array([[2.0, 2.0]]), box=AABB((0.0, 0.0), (1.0, 1.0))
+            )
+
+    def test_positions_read_only(self):
+        ps = ParticleSet(np.array([[0.5, 0.5]]))
+        with pytest.raises(ValueError):
+            ps.positions[0, 0] = 1.0
+
+    def test_rejects_type_length_mismatch(self):
+        with pytest.raises(DatasetError):
+            ParticleSet(
+                np.array([[0.5, 0.5]]), types=np.array([0, 1], np.int32)
+            )
+
+    def test_rejects_negative_type_codes(self):
+        with pytest.raises(DatasetError):
+            ParticleSet(
+                np.array([[0.5, 0.5]]), types=np.array([-1], np.int32)
+            )
+
+
+class TestTypes:
+    def setup_method(self):
+        self.ps = ParticleSet(
+            np.array([[0.1, 0.1], [0.2, 0.2], [0.3, 0.3]]),
+            types=np.array([0, 1, 0], np.int32),
+            type_names={0: "C", 1: "O"},
+        )
+
+    def test_of_type_by_code(self):
+        assert self.ps.of_type(0).size == 2
+
+    def test_of_type_by_name(self):
+        assert self.ps.of_type("O").size == 1
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError):
+            self.ps.of_type("H")
+
+    def test_unknown_code(self):
+        with pytest.raises(DatasetError):
+            self.ps.of_type(7)
+
+    def test_type_count(self):
+        assert self.ps.type_count("C") == 2
+
+    def test_untyped_dataset_raises(self):
+        plain = ParticleSet(np.array([[0.1, 0.1]]))
+        with pytest.raises(DatasetError):
+            plain.of_type(0)
+
+
+class TestSelection:
+    def test_select_mask(self):
+        ps = ParticleSet(np.array([[0.1, 0.1], [0.9, 0.9]]))
+        sub = ps.select(np.array([True, False]))
+        assert sub.size == 1
+        assert sub.box == ps.box
+
+    def test_empty_selection_raises(self):
+        ps = ParticleSet(np.array([[0.1, 0.1]]))
+        with pytest.raises(DatasetError):
+            ps.select(np.array([False]))
+
+
+class TestScaling:
+    """The paper's duplication-scaling protocol (Sec. VI-A)."""
+
+    def test_grow_by_duplication(self, rng):
+        ps = ParticleSet(rng.uniform(size=(100, 2)))
+        big = ps.scale_to(250, rng=rng)
+        assert big.size == 250
+        # Every grown particle coincides with an original one.
+        original = {tuple(row) for row in ps.positions}
+        grown = {tuple(row) for row in big.positions}
+        assert grown <= original
+
+    def test_grow_with_jitter_stays_in_box(self, rng):
+        ps = ParticleSet(rng.uniform(size=(50, 2)))
+        big = ps.scale_to(200, rng=rng, jitter=0.01)
+        assert big.size == 200
+        assert bool(
+            big.box.contains_points(big.positions, closed=True).all()
+        )
+
+    def test_shrink(self, rng):
+        ps = ParticleSet(rng.uniform(size=(100, 2)))
+        small = ps.scale_to(30, rng=rng)
+        assert small.size == 30
+
+    def test_grow_preserves_types(self, rng):
+        ps = ParticleSet(
+            rng.uniform(size=(10, 2)),
+            types=np.arange(10, dtype=np.int32) % 2,
+        )
+        big = ps.scale_to(40, rng=rng)
+        assert big.types is not None
+        assert big.types.size == 40
+
+    def test_rejects_bad_target(self, rng):
+        ps = ParticleSet(rng.uniform(size=(10, 2)))
+        with pytest.raises(DatasetError):
+            ps.scale_to(0)

@@ -1,0 +1,87 @@
+"""Tests for repro.bench.plots (ASCII log-log charts)."""
+
+import pytest
+
+from repro.bench import loglog_chart
+from repro.errors import QueryError
+
+
+class TestLogLogChart:
+    def test_basic_structure(self):
+        chart = loglog_chart(
+            [10, 100, 1000],
+            {"a": [1.0, 10.0, 100.0]},
+            width=30,
+            height=10,
+            title="demo",
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "demo"
+        assert any("o a" in line for line in lines)  # legend
+        assert any("+" in line and "-" in line for line in lines)  # axis
+
+    def test_markers_distinct_per_series(self):
+        chart = loglog_chart(
+            [1, 10],
+            {"first": [1.0, 2.0], "second": [3.0, 4.0]},
+            width=20,
+            height=8,
+        )
+        assert "o first" in chart
+        assert "x second" in chart
+
+    def test_power_law_renders_as_diagonal(self):
+        """A slope-1 law on log-log axes fills the diagonal: marker
+        column indices must increase with row from bottom to top."""
+        xs = [1, 10, 100, 1000, 10000]
+        chart = loglog_chart(
+            xs, {"s": [float(x) for x in xs]}, width=40, height=10
+        )
+        rows = [
+            (idx, line.index("o"))
+            for idx, line in enumerate(chart.splitlines())
+            if "o" in line and "|" in line
+        ]
+        cols = [col for _idx, col in rows]
+        assert cols == sorted(cols, reverse=True)
+
+    def test_nan_points_skipped(self):
+        chart = loglog_chart(
+            [1, 10, 100],
+            {"s": [1.0, float("nan"), 100.0]},
+            width=20,
+            height=8,
+        )
+        assert chart.count("o") >= 2
+
+    def test_guide_slope_drawn(self):
+        chart = loglog_chart(
+            [1, 10, 100],
+            {"s": [1.0, 31.6, 1000.0]},
+            width=30,
+            height=10,
+            guide_slope=1.5,
+        )
+        assert "." in chart
+        assert "guide slope 1.5" in chart
+
+    def test_rejects_nonpositive_data(self):
+        with pytest.raises(QueryError):
+            loglog_chart([1, 10], {"s": [0.0, 1.0]}, width=20, height=8)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(QueryError):
+            loglog_chart([1, 10], {"s": [1.0]}, width=20, height=8)
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(QueryError):
+            loglog_chart([1, 10], {"s": [1.0, 2.0]}, width=4, height=2)
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(QueryError):
+            loglog_chart(
+                [1, 10],
+                {"s": [float("nan"), float("nan")]},
+                width=20,
+                height=8,
+            )

@@ -1,0 +1,169 @@
+"""Property-based tests (hypothesis) for the geometric substrate.
+
+The soundness of DM-SDH rests on one geometric invariant: the computed
+min/max cell-distance bounds enclose every realizable point distance.
+These tests let hypothesis hunt for corner cases (touching cells,
+degenerate boxes, extreme aspect ratios) that example-based tests miss.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import AABB, box_pair_bounds, grid_pair_bounds
+
+coords = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+sides = st.floats(min_value=1e-3, max_value=50.0, allow_nan=False)
+
+
+@st.composite
+def boxes(draw, dim=2):
+    lo = [draw(coords) for _ in range(dim)]
+    size = [draw(sides) for _ in range(dim)]
+    return AABB(tuple(lo), tuple(a + s for a, s in zip(lo, size)))
+
+
+@given(boxes(), boxes(), st.integers(0, 2**31 - 1))
+@settings(max_examples=150, deadline=None)
+def test_bounds_enclose_sampled_distances(a, b, seed):
+    rng = np.random.default_rng(seed)
+    pa = rng.uniform(a.lo, a.hi, size=(32, 2))
+    pb = rng.uniform(b.lo, b.hi, size=(32, 2))
+    d = np.sqrt(((pa - pb) ** 2).sum(axis=1))
+    assert d.min() >= a.min_distance(b) - 1e-9
+    assert d.max() <= a.max_distance(b) + 1e-9
+
+
+@given(boxes(), boxes())
+@settings(max_examples=150, deadline=None)
+def test_min_le_max_and_symmetry(a, b):
+    assert a.min_distance(b) <= a.max_distance(b) + 1e-12
+    assert a.min_distance(b) == b.min_distance(a)
+    assert a.max_distance(b) == b.max_distance(a)
+
+
+@given(boxes())
+@settings(max_examples=80, deadline=None)
+def test_self_bounds(a):
+    assert a.min_distance(a) == 0.0
+    assert a.max_distance(a) == math.sqrt(
+        sum(s * s for s in a.sides)
+    )
+
+
+@given(boxes())
+@settings(max_examples=80, deadline=None)
+def test_subdivision_partitions_volume(a):
+    children = a.subdivide()
+    total = sum(c.volume for c in children)
+    assert abs(total - a.volume) <= 1e-9 * max(a.volume, 1.0)
+    for child in children:
+        assert a.contains_box(child)
+
+
+@given(boxes(), boxes())
+@settings(max_examples=80, deadline=None)
+def test_child_bounds_nest_within_parent_bounds(a, b):
+    """Refinement can only tighten [u, v] — the monotonicity DM-SDH's
+    recursion relies on."""
+    u_parent, v_parent = a.distance_bounds(b)
+    for ca in a.subdivide():
+        for cb in b.subdivide():
+            u_child, v_child = ca.distance_bounds(cb)
+            assert u_child >= u_parent - 1e-9
+            assert v_child <= v_parent + 1e-9
+
+
+@given(
+    st.integers(1, 64),
+    st.lists(st.integers(0, 63), min_size=4, max_size=4),
+    st.floats(min_value=1e-3, max_value=10.0, allow_nan=False),
+)
+@settings(max_examples=150, deadline=None)
+def test_grid_bounds_match_box_bounds(grid, idx, side):
+    i1 = np.array([[idx[0], idx[1]]])
+    i2 = np.array([[idx[2], idx[3]]])
+    u_grid, v_grid = grid_pair_bounds(i1, i2, side)
+    a = AABB.from_arrays(i1[0] * side, (i1[0] + 1) * side)
+    b = AABB.from_arrays(i2[0] * side, (i2[0] + 1) * side)
+    # The two computations take different float paths (index arithmetic
+    # vs corner subtraction); agreement is up to rounding only.
+    assert u_grid[0] == np.float64(a.min_distance(b)) or abs(
+        u_grid[0] - a.min_distance(b)
+    ) < 1e-12 * max(1.0, u_grid[0])
+    assert abs(v_grid[0] - a.max_distance(b)) < 1e-12 * max(
+        1.0, v_grid[0]
+    )
+
+
+@given(
+    st.integers(2, 32),
+    st.integers(0, 31),
+    st.integers(0, 31),
+    st.floats(min_value=1e-3, max_value=5.0, allow_nan=False),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=120, deadline=None)
+def test_periodic_grid_bounds_enclose_min_image_distances(
+    grid, i1, i2, side, seed
+):
+    """Torus cell-distance bounds must enclose every realized
+    minimum-image distance — the exactness invariant of the periodic
+    engine."""
+    from repro.geometry.distance import (
+        minimum_image,
+        periodic_grid_pair_bounds,
+    )
+
+    i1 %= grid
+    i2 %= grid
+    idx1 = np.array([[i1, i2]])
+    idx2 = np.array([[(i2 * 7 + 3) % grid, (i1 * 5 + 1) % grid]])
+    u, v = periodic_grid_pair_bounds(idx1, idx2, grid, side)
+    rng_local = np.random.default_rng(seed)
+    p1 = (idx1 + rng_local.uniform(size=(64, 2))) * side
+    p2 = (idx2 + rng_local.uniform(size=(64, 2))) * side
+    delta = minimum_image(p1 - p2, np.array([grid * side] * 2))
+    d = np.sqrt((delta**2).sum(axis=1))
+    assert d.min() >= u[0] - 1e-9 * max(1.0, u[0])
+    assert d.max() <= v[0] + 1e-9 * max(1.0, v[0])
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+@settings(max_examples=150, deadline=None)
+def test_periodic_interval_transform_properties(a, b):
+    """g(x) = min(x, L - x) interval extrema: correct range and order."""
+    from repro.geometry.distance import periodic_interval_minmax
+
+    lo, hi = min(a, b), max(a, b)
+    g_min, g_max = periodic_interval_minmax(
+        np.array([lo]), np.array([hi]), 1.0
+    )
+    assert 0.0 <= g_min[0] <= g_max[0] <= 0.5 + 1e-12
+    # Brute-force check on a dense sample of the interval.
+    xs = np.linspace(lo, hi, 200)
+    g = np.minimum(xs, 1.0 - xs)
+    assert g_min[0] <= g.min() + 1e-9
+    assert g_max[0] >= g.max() - 1e-9
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_box_pair_bounds_consistency(data):
+    a = data.draw(boxes())
+    b = data.draw(boxes())
+    u, v = box_pair_bounds(
+        np.asarray([a.lo]),
+        np.asarray([a.hi]),
+        np.asarray([b.lo]),
+        np.asarray([b.hi]),
+    )
+    assert u[0] == np.float64(a.min_distance(b))
+    assert v[0] == np.float64(b.max_distance(a))

@@ -1,0 +1,175 @@
+"""Property-based tests (hypothesis) for the SDH engines.
+
+Invariants:
+
+* exactness — tree, grid, and brute force are integer-identical on any
+  dataset/bucketing hypothesis can draw;
+* mass conservation — every exact SDH holds exactly N(N-1)/2 counts,
+  every approximate SDH the same (fractionally);
+* heuristics conserve mass and allocate only to overlapped buckets.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    UniformBuckets,
+    adm_sdh,
+    brute_force_sdh,
+    dm_sdh_grid,
+    dm_sdh_tree,
+    make_allocator,
+)
+from repro.core.heuristics import AllocationContext
+from repro.data import ParticleSet
+
+# Coordinates on a modest lattice of floats keeps runtime sane while
+# still producing coincident points, boundary points, and clusters.
+coord = st.floats(
+    min_value=0.0,
+    max_value=1.0,
+    allow_nan=False,
+    allow_infinity=False,
+    width=32,
+)
+
+
+@st.composite
+def particle_sets(draw, dim=2, min_size=2, max_size=40):
+    n = draw(st.integers(min_size, max_size))
+    rows = draw(
+        st.lists(
+            st.tuples(*([coord] * dim)),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    pts = np.asarray(rows, dtype=float)
+    # Guard against a fully degenerate (single-point) cloud, which has
+    # zero diagonal; shift one point if needed.
+    if np.allclose(pts, pts[0]):
+        pts = pts.copy()
+        pts[0] = pts[0] + 0.5
+        pts = np.clip(pts, 0.0, 1.0)
+    from repro.geometry import AABB
+
+    return ParticleSet(pts, box=AABB.cube(1.0 + 1e-9, dim))
+
+
+@given(particle_sets(), st.integers(1, 12))
+@settings(max_examples=60, deadline=None)
+def test_engines_identical_2d(data, num_buckets):
+    spec = UniformBuckets.with_count(
+        data.max_possible_distance, num_buckets
+    )
+    hb = brute_force_sdh(data, spec=spec)
+    hg = dm_sdh_grid(data, spec=spec)
+    ht = dm_sdh_tree(data, spec=spec)
+    assert hb.total == data.num_pairs
+    np.testing.assert_array_equal(hb.counts, hg.counts)
+    np.testing.assert_array_equal(hb.counts, ht.counts)
+
+
+@given(particle_sets(dim=3, max_size=25), st.integers(1, 6))
+@settings(max_examples=25, deadline=None)
+def test_engines_identical_3d(data, num_buckets):
+    spec = UniformBuckets.with_count(
+        data.max_possible_distance, num_buckets
+    )
+    hb = brute_force_sdh(data, spec=spec)
+    hg = dm_sdh_grid(data, spec=spec)
+    np.testing.assert_array_equal(hb.counts, hg.counts)
+
+
+@given(
+    particle_sets(max_size=30),
+    st.integers(1, 8),
+    st.integers(0, 4),
+    st.sampled_from([1, 2, 3]),
+)
+@settings(max_examples=40, deadline=None)
+def test_approximate_mass_conservation(data, num_buckets, levels, heuristic):
+    spec = UniformBuckets.with_count(
+        data.max_possible_distance, num_buckets
+    )
+    h = adm_sdh(
+        data, spec=spec, levels=levels, heuristic=heuristic, rng=0
+    )
+    assert abs(h.total - data.num_pairs) < 1e-6 * max(data.num_pairs, 1)
+    assert (h.counts >= -1e-9).all()
+
+
+@given(
+    st.integers(1, 16),
+    st.lists(
+        st.tuples(
+            st.floats(0, 10, allow_nan=False),
+            st.floats(0, 6, allow_nan=False),
+            st.floats(0.5, 100, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=30,
+    ),
+    st.sampled_from([1, 2, 3]),
+)
+@settings(max_examples=80, deadline=None)
+def test_allocators_conserve_and_localize(num_buckets, rows, heuristic):
+    spec = UniformBuckets(1.0, num_buckets)
+    u = np.asarray([min(r[0], spec.high) for r in rows])
+    v = np.minimum(u + np.asarray([r[1] for r in rows]), spec.high)
+    w = np.asarray([r[2] for r in rows])
+    allocator = make_allocator(heuristic)
+    out = allocator.allocate(
+        spec, u, v, w, AllocationContext(rng=np.random.default_rng(0))
+    )
+    assert abs(out.sum() - w.sum()) < 1e-9 * max(w.sum(), 1.0)
+    # Buckets entirely outside the union of ranges stay empty.
+    lo = int(np.clip(spec.bucket_of(u.min(keepdims=True)), 0,
+                     num_buckets - 1)[0])
+    hi = int(np.clip(spec.bucket_of(v.max(keepdims=True)), 0,
+                     num_buckets - 1)[0])
+    # Buckets outside the union of ranges hold nothing (up to the
+    # difference-array's cancellation noise of ~1e-16 per pair).
+    assert abs(out[:lo].sum()) < 1e-9
+    assert abs(out[hi + 1 :].sum()) < 1e-9
+
+
+@given(particle_sets(max_size=30), st.integers(1, 10))
+@settings(max_examples=30, deadline=None)
+def test_periodic_engines_identical(data, num_buckets):
+    """Min-image grid engine == min-image brute force, exactly."""
+    spec = UniformBuckets.with_count(
+        data.max_periodic_distance, num_buckets
+    )
+    hb = brute_force_sdh(data, spec=spec, periodic=True)
+    hg = dm_sdh_grid(data, spec=spec, periodic=True)
+    assert hb.total == data.num_pairs
+    np.testing.assert_array_equal(hb.counts, hg.counts)
+
+
+@given(particle_sets(max_size=25), st.integers(1, 8))
+@settings(max_examples=25, deadline=None)
+def test_kd_partition_identical(data, num_buckets):
+    """The alternative partitioning plan is just as exact."""
+    from repro.partition import kd_sdh
+
+    spec = UniformBuckets.with_count(
+        data.max_possible_distance, num_buckets
+    )
+    hb = brute_force_sdh(data, spec=spec)
+    hk = kd_sdh(data, spec=spec, leaf_capacity=4)
+    np.testing.assert_array_equal(hb.counts, hk.counts)
+
+
+@given(particle_sets(max_size=25), st.integers(2, 6))
+@settings(max_examples=30, deadline=None)
+def test_histogram_independent_of_tree_height(data, height):
+    spec = UniformBuckets.with_count(data.max_possible_distance, 4)
+    from repro.quadtree import GridPyramid
+
+    reference = brute_force_sdh(data, spec=spec)
+    pyramid = GridPyramid(data, height=height)
+    np.testing.assert_array_equal(
+        reference.counts, dm_sdh_grid(pyramid, spec=spec).counts
+    )

@@ -1,0 +1,82 @@
+"""Focused tests for the RDF normalization machinery."""
+
+import numpy as np
+import pytest
+
+from repro import UniformBuckets, brute_force_sdh, uniform
+from repro.errors import QueryError
+from repro.physics import rdf_from_histogram
+from repro.physics.rdf import _box_distance_cdf_diffs
+
+
+class TestBoxDistanceDistribution:
+    """The exact finite-box ideal-gas normalization."""
+
+    @pytest.mark.parametrize("dim", [2, 3])
+    def test_fractions_sum_to_one(self, dim):
+        sides = (1.0,) * dim
+        edges = np.linspace(0.0, np.sqrt(dim), 30)
+        fractions = _box_distance_cdf_diffs(sides, edges)
+        assert fractions.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_matches_monte_carlo_2d(self, rng):
+        sides = (1.0, 1.0)
+        edges = np.linspace(0.0, np.sqrt(2.0), 15)
+        fractions = _box_distance_cdf_diffs(sides, edges)
+        a = rng.uniform(size=(400000, 2))
+        b = rng.uniform(size=(400000, 2))
+        d = np.sqrt(((a - b) ** 2).sum(axis=1))
+        mc, _unused = np.histogram(d, bins=edges)
+        np.testing.assert_allclose(
+            fractions, mc / d.size, atol=0.003
+        )
+
+    def test_rectangular_box(self, rng):
+        sides = (2.0, 0.5)
+        edges = np.linspace(0.0, np.hypot(2.0, 0.5), 12)
+        fractions = _box_distance_cdf_diffs(sides, edges)
+        a = rng.uniform(size=(300000, 2)) * np.asarray(sides)
+        b = rng.uniform(size=(300000, 2)) * np.asarray(sides)
+        d = np.sqrt(((a - b) ** 2).sum(axis=1))
+        mc, _unused = np.histogram(d, bins=edges)
+        np.testing.assert_allclose(
+            fractions, mc / d.size, atol=0.004
+        )
+
+
+class TestNormalizationModes:
+    def setup_method(self):
+        self.data = uniform(5000, dim=2, rng=121)
+        spec = UniformBuckets.with_count(
+            self.data.max_possible_distance, 40
+        )
+        self.histogram = brute_force_sdh(self.data, spec=spec)
+
+    def test_corrected_flat_over_whole_range(self):
+        rdf = rdf_from_histogram(
+            self.histogram, self.data, finite_size="corrected"
+        )
+        # Uniform data: g ~ 1 even at large r (no finite-size decay).
+        mid = rdf.g[5:30]
+        np.testing.assert_allclose(mid, 1.0, atol=0.1)
+
+    def test_shell_decays_at_large_r(self):
+        rdf = rdf_from_histogram(
+            self.histogram, self.data, finite_size="shell"
+        )
+        assert rdf.g[2] > 0.8  # near-ideal at small r
+        assert rdf.g[30] < 0.6  # strongly depressed at large r
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(QueryError):
+            rdf_from_histogram(
+                self.histogram, self.data, finite_size="magic"
+            )
+
+    def test_truncated_guards(self):
+        rdf = rdf_from_histogram(self.histogram, self.data)
+        with pytest.raises(QueryError):
+            rdf.truncated(1e-9)
+        shorter = rdf.truncated(rdf.edges[10])
+        assert len(shorter) == 10
+        assert shorter.density == rdf.density

@@ -1,0 +1,132 @@
+"""Tests for repro.geometry.regions (query-region classification)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    AABB,
+    BallRegion,
+    RectRegion,
+    Relation,
+    UnionRegion,
+)
+
+
+class TestRectRegion:
+    def setup_method(self):
+        self.region = RectRegion(AABB((1.0, 1.0), (3.0, 3.0)))
+
+    def test_classify_inside(self):
+        assert (
+            self.region.classify(AABB((1.5, 1.5), (2.0, 2.0)))
+            is Relation.INSIDE
+        )
+
+    def test_classify_outside(self):
+        assert (
+            self.region.classify(AABB((4.0, 4.0), (5.0, 5.0)))
+            is Relation.OUTSIDE
+        )
+
+    def test_classify_partial(self):
+        assert (
+            self.region.classify(AABB((0.0, 0.0), (2.0, 2.0)))
+            is Relation.PARTIAL
+        )
+
+    def test_contains_points(self):
+        pts = np.array([[2.0, 2.0], [0.0, 0.0], [3.0, 3.0]])
+        assert list(self.region.contains_points(pts)) == [True, False, True]
+
+    def test_count_inside(self):
+        pts = np.array([[2.0, 2.0], [0.0, 0.0]])
+        assert self.region.count_inside(pts) == 1
+
+
+class TestBallRegion:
+    def setup_method(self):
+        self.region = BallRegion((0.0, 0.0), 2.0)
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(GeometryError):
+            BallRegion((0.0, 0.0), 0.0)
+
+    def test_classify_inside(self):
+        # Farthest corner of this cell is at distance sqrt(2) < 2.
+        assert (
+            self.region.classify(AABB((0.0, 0.0), (1.0, 1.0)))
+            is Relation.INSIDE
+        )
+
+    def test_classify_outside(self):
+        assert (
+            self.region.classify(AABB((3.0, 3.0), (4.0, 4.0)))
+            is Relation.OUTSIDE
+        )
+
+    def test_classify_partial(self):
+        assert (
+            self.region.classify(AABB((1.0, 1.0), (3.0, 3.0)))
+            is Relation.PARTIAL
+        )
+
+    def test_boundary_cell_is_inside(self):
+        # Farthest corner exactly on the sphere counts as inside.
+        region = BallRegion((0.0, 0.0), np.sqrt(2.0))
+        assert (
+            region.classify(AABB((0.0, 0.0), (1.0, 1.0))) is Relation.INSIDE
+        )
+
+    def test_contains_points_includes_boundary(self):
+        pts = np.array([[2.0, 0.0], [2.1, 0.0]])
+        assert list(self.region.contains_points(pts)) == [True, False]
+
+    def test_3d(self):
+        region = BallRegion((0.0, 0.0, 0.0), 1.0)
+        assert region.dim == 3
+        pts = np.array([[0.5, 0.5, 0.5], [1.0, 1.0, 1.0]])
+        assert list(region.contains_points(pts)) == [True, False]
+
+    def test_dim_mismatch_raises(self):
+        with pytest.raises(GeometryError):
+            self.region.classify(AABB.cube(1.0, 3))
+
+
+class TestUnionRegion:
+    def setup_method(self):
+        self.union = UnionRegion(
+            [
+                RectRegion(AABB((0.0, 0.0), (1.0, 1.0))),
+                BallRegion((3.0, 3.0), 1.0),
+            ]
+        )
+
+    def test_needs_members(self):
+        with pytest.raises(GeometryError):
+            UnionRegion([])
+
+    def test_rejects_mixed_dims(self):
+        with pytest.raises(GeometryError):
+            UnionRegion(
+                [
+                    RectRegion(AABB.cube(1.0, 2)),
+                    BallRegion((0.0, 0.0, 0.0), 1.0),
+                ]
+            )
+
+    def test_inside_any_member(self):
+        cell = AABB((0.2, 0.2), (0.8, 0.8))
+        assert self.union.classify(cell) is Relation.INSIDE
+
+    def test_outside_all_members(self):
+        cell = AABB((10.0, 10.0), (11.0, 11.0))
+        assert self.union.classify(cell) is Relation.OUTSIDE
+
+    def test_partial(self):
+        cell = AABB((0.5, 0.5), (1.5, 1.5))
+        assert self.union.classify(cell) is Relation.PARTIAL
+
+    def test_contains_points_or_semantics(self):
+        pts = np.array([[0.5, 0.5], [3.0, 3.5], [5.0, 5.0]])
+        assert list(self.union.contains_points(pts)) == [True, True, False]

@@ -1,0 +1,95 @@
+"""Tests for repro.data.trajectory (frames and synthetic dynamics)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ParticleSet,
+    Trajectory,
+    random_walk_trajectory,
+    uniform,
+)
+from repro.errors import DatasetError
+
+
+class TestTrajectory:
+    def test_basic(self, rng):
+        frames = [uniform(20, rng=1)]
+        frames.append(
+            ParticleSet(frames[0].positions.copy(), frames[0].box)
+        )
+        traj = Trajectory(frames)
+        assert traj.num_frames == 2
+        assert traj.size == 20
+        assert len(traj) == 2
+        assert traj[0] is frames[0]
+        assert list(iter(traj)) == frames
+
+    def test_rejects_empty(self):
+        with pytest.raises(DatasetError):
+            Trajectory([])
+
+    def test_rejects_size_mismatch(self):
+        a = uniform(10, rng=1)
+        b = uniform(11, rng=1)
+        with pytest.raises(DatasetError):
+            Trajectory([a, b])
+
+    def test_rejects_box_mismatch(self):
+        a = uniform(10, box_side=1.0, rng=1)
+        b = uniform(10, box_side=2.0, rng=1)
+        with pytest.raises(DatasetError):
+            Trajectory([a, b])
+
+    def test_moved_mask(self, rng):
+        initial = uniform(30, rng=rng)
+        traj = random_walk_trajectory(
+            initial, 3, move_fraction=0.2, rng=rng
+        )
+        mask = traj.moved_mask(1)
+        assert mask.sum() == max(1, round(0.2 * 30))
+        with pytest.raises(DatasetError):
+            traj.moved_mask(0)
+
+
+class TestRandomWalk:
+    def test_frame_count(self, rng):
+        traj = random_walk_trajectory(uniform(25, rng=rng), 5, rng=rng)
+        assert traj.num_frames == 5
+
+    def test_only_fraction_moves(self, rng):
+        initial = uniform(100, rng=rng)
+        traj = random_walk_trajectory(
+            initial, 2, move_fraction=0.1, rng=rng
+        )
+        moved = traj.moved_mask(1)
+        assert moved.sum() <= 11
+
+    def test_stays_in_box(self, rng):
+        initial = uniform(50, rng=rng)
+        traj = random_walk_trajectory(
+            initial, 10, move_fraction=0.5, step_scale=0.3, rng=rng
+        )
+        for frame in traj:
+            assert bool(
+                frame.box.contains_points(frame.positions).all()
+            )
+
+    def test_types_preserved(self, rng):
+        from repro.data import random_types
+
+        initial = random_types(
+            uniform(40, rng=rng), {"A": 1, "B": 1}, rng=rng
+        )
+        traj = random_walk_trajectory(initial, 3, rng=rng)
+        for frame in traj:
+            np.testing.assert_array_equal(frame.types, initial.types)
+
+    def test_bad_parameters(self, rng):
+        initial = uniform(10, rng=rng)
+        with pytest.raises(DatasetError):
+            random_walk_trajectory(initial, 0, rng=rng)
+        with pytest.raises(DatasetError):
+            random_walk_trajectory(initial, 2, move_fraction=0.0, rng=rng)
+        with pytest.raises(DatasetError):
+            random_walk_trajectory(initial, 2, move_fraction=1.5, rng=rng)

@@ -1,0 +1,207 @@
+"""Tests for repro.quadtree.tree (the density-map tree)."""
+
+import numpy as np
+import pytest
+
+from repro.data import figure1_dataset, random_types, uniform
+from repro.errors import TreeError
+from repro.quadtree import (
+    DensityMapTree,
+    chain_heads,
+    default_leaf_occupancy,
+    tree_height,
+)
+
+
+class TestTreeHeight:
+    """Eq. (2): H = ceil(log_{2^d}(N / beta)) + 1."""
+
+    def test_2d_values(self):
+        beta = default_leaf_occupancy(2)  # 5
+        assert tree_height(5, 2) == 1
+        assert tree_height(20, 2) == 2
+        assert tree_height(80, 2) == 3
+        assert tree_height(int(5 * 4**6), 2) == 7
+        assert beta == 5.0
+
+    def test_3d_values(self):
+        assert default_leaf_occupancy(3) == 9.0
+        assert tree_height(9, 3) == 1
+        assert tree_height(72, 3) == 2
+
+    def test_doubling_n_adds_d_levels(self):
+        """Increasing N to 2^d * N adds exactly one level (used in the
+        Theorem 1 recurrence)."""
+        for n in (100, 1000, 10000):
+            assert tree_height(4 * n, 2) == tree_height(n, 2) + 1
+            assert tree_height(8 * n, 3) == tree_height(n, 3) + 1
+
+    def test_custom_beta(self):
+        assert tree_height(100, 2, beta=100) == 1
+        assert tree_height(101, 2, beta=100) == 2
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(TreeError):
+            tree_height(0, 2)
+        with pytest.raises(TreeError):
+            tree_height(10, 2, beta=0)
+
+
+class TestStructure:
+    def setup_method(self):
+        self.data = uniform(300, dim=2, rng=11)
+        self.tree = DensityMapTree(self.data)
+
+    def test_validate_passes(self):
+        self.tree.validate()
+
+    def test_root_holds_everything(self):
+        assert self.tree.root.p_count == 300
+        assert self.tree.root.level == 0
+
+    def test_level_counts_sum_to_n(self):
+        for level in range(self.tree.height):
+            dm = self.tree.density_map(level)
+            assert sum(c.p_count for c in dm.cells) == 300
+
+    def test_level_sizes(self):
+        for level in range(self.tree.height):
+            assert len(self.tree.density_map(level)) == 4**level
+
+    def test_sibling_chain_covers_level(self):
+        """The paper's next-pointer layout: walking the chain from the
+        head enumerates the whole density map."""
+        for level in range(self.tree.height):
+            dm = self.tree.density_map(level)
+            assert len(list(dm.iter_chain())) == 4**level
+
+    def test_chain_heads(self):
+        heads = chain_heads(self.tree)
+        assert len(heads) == self.tree.height
+        assert heads[0] is self.tree.root
+
+    def test_children_sum(self):
+        for level in range(self.tree.height - 1):
+            for node in self.tree.density_map(level).cells:
+                total = sum(c.p_count for c in node.children())
+                assert total == node.p_count
+
+    def test_leaf_plists(self):
+        leaves = self.tree.density_map(self.tree.height - 1).cells
+        sizes = [
+            0 if n.p_list is None else n.p_list.size for n in leaves
+        ]
+        assert sum(sizes) == 300
+
+    def test_leaf_points_inside_cell(self):
+        leaves = self.tree.density_map(self.tree.height - 1).cells
+        for node in leaves:
+            if node.p_count:
+                pts = self.tree.leaf_points(node)
+                assert bool(node.bounds.contains_points(pts).all())
+
+    def test_cell_diagonal_halves_per_level(self):
+        diags = [
+            self.tree.density_map(level).cell_diagonal
+            for level in range(self.tree.height)
+        ]
+        for coarse, fine in zip(diags, diags[1:]):
+            assert fine == pytest.approx(coarse / 2)
+
+    def test_level_out_of_range(self):
+        with pytest.raises(TreeError):
+            self.tree.density_map(self.tree.height)
+        with pytest.raises(TreeError):
+            self.tree.density_map(-1)
+
+    def test_explicit_height(self):
+        tree = DensityMapTree(self.data, height=3)
+        assert tree.height == 3
+        with pytest.raises(TreeError):
+            DensityMapTree(self.data, height=0)
+
+    def test_node_count(self):
+        tree = DensityMapTree(self.data, height=3)
+        assert tree.node_count() == 1 + 4 + 16
+
+
+class TestStartLevel:
+    def test_start_level_matches_definition(self):
+        data = uniform(2000, dim=2, rng=3)
+        tree = DensityMapTree(data)
+        p = data.max_possible_distance / 8
+        level = tree.start_level_for(p)
+        assert level is not None
+        assert tree.density_map(level).cell_diagonal <= p
+        if level > 0:
+            assert tree.density_map(level - 1).cell_diagonal > p
+
+    def test_no_start_level_for_tiny_buckets(self):
+        data = uniform(50, dim=2, rng=3)
+        tree = DensityMapTree(data)
+        assert tree.start_level_for(1e-9) is None
+
+
+class TestMBR:
+    def test_mbrs_contained_and_tight(self):
+        data = uniform(500, dim=2, rng=5)
+        tree = DensityMapTree(data, with_mbr=True)
+        tree.validate()
+        assert tree.has_mbr
+        root_mbr = tree.root.mbr
+        assert root_mbr is not None
+        # Root MBR is the tight bounding box of all points.
+        np.testing.assert_allclose(
+            root_mbr.lo, data.positions.min(axis=0)
+        )
+        np.testing.assert_allclose(
+            root_mbr.hi, data.positions.max(axis=0)
+        )
+
+    def test_empty_cells_have_no_mbr(self):
+        data = figure1_dataset(rng=0)
+        tree = DensityMapTree(data, height=4, with_mbr=True)
+        empties = [
+            n
+            for n in tree.density_map(3).cells
+            if n.p_count == 0
+        ]
+        assert empties
+        assert all(n.mbr is None for n in empties)
+
+    def test_resolution_bounds_switch(self):
+        data = uniform(200, dim=2, rng=5)
+        tree = DensityMapTree(data, with_mbr=True)
+        node = tree.root
+        assert node.resolution_bounds(False) is node.bounds
+        assert node.resolution_bounds(True) is node.mbr
+
+
+class TestTypeCounts:
+    def test_type_counts_aggregate(self, rng):
+        data = random_types(
+            uniform(400, dim=2, rng=rng), {"A": 1, "B": 1}, rng=rng
+        )
+        tree = DensityMapTree(data)
+        assert tree.num_types == 2
+        root_counts = tree.root.type_counts
+        assert root_counts is not None
+        assert root_counts.sum() == 400
+        for level in range(tree.height):
+            for node in tree.density_map(level).cells:
+                assert node.type_counts is not None
+                assert node.type_counts.sum() == node.p_count
+
+    def test_untyped_tree(self):
+        tree = DensityMapTree(uniform(50, rng=1))
+        assert tree.num_types == 0
+        assert tree.root.type_counts is None
+
+
+class TestThreeD:
+    def test_octree_structure(self):
+        data = uniform(300, dim=3, rng=13)
+        tree = DensityMapTree(data)
+        tree.validate()
+        for level in range(tree.height):
+            assert len(tree.density_map(level)) == 8**level
