@@ -36,6 +36,7 @@ from .core import (
     adm_sdh,
     brute_force_cross_sdh,
     brute_force_sdh,
+    build_plan,
     choose_levels_for_error,
     compute_sdh,
     covering_factor,
@@ -66,10 +67,14 @@ from .data import (
 from .errors import (
     BucketSpecError,
     DatasetError,
+    DatasetNotFound,
     DistanceOverflowError,
     GeometryError,
     QueryError,
+    QueryTimeout,
     ReproError,
+    ServerOverloaded,
+    ServiceError,
     StorageError,
     TreeError,
 )
@@ -88,6 +93,7 @@ __all__ = [
     "BucketSpecError",
     "CustomBuckets",
     "DatasetError",
+    "DatasetNotFound",
     "DensityMapTree",
     "DistanceHistogram",
     "DistanceOverflowError",
@@ -98,11 +104,14 @@ __all__ = [
     "OverflowPolicy",
     "ParticleSet",
     "QueryError",
+    "QueryTimeout",
     "RectRegion",
     "Region",
     "ReproError",
     "SDHQuery",
     "SDHStats",
+    "ServerOverloaded",
+    "ServiceError",
     "StorageError",
     "Trajectory",
     "TreeError",
@@ -112,6 +121,7 @@ __all__ = [
     "adm_sdh",
     "brute_force_cross_sdh",
     "brute_force_sdh",
+    "build_plan",
     "choose_levels_for_error",
     "compute_sdh",
     "covering_factor",

@@ -6,7 +6,9 @@ Subcommands:
   to a ``.npz`` or ``.xyz`` file;
 * ``sdh`` — compute a histogram for a dataset file and print it;
 * ``rdf`` — compute and print g(r);
-* ``info`` — dataset and density-map summary.
+* ``info`` — dataset and density-map summary;
+* ``serve`` — run the JSON-over-HTTP query service (see
+  :mod:`repro.service` and ``docs/SERVICE.md``).
 
 The CLI is a thin veneer over the public API; anything serious should
 import :mod:`repro` directly.
@@ -101,6 +103,44 @@ def build_parser() -> argparse.ArgumentParser:
     info = sub.add_parser("info", help="summarize a dataset")
     info.add_argument("input", help="dataset file (.npz or .xyz)")
 
+    serve = sub.add_parser("serve", help="run the SDH query service")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8787, help="0 picks a free port"
+    )
+    serve.add_argument(
+        "--dataset",
+        action="append",
+        default=[],
+        metavar="PATH[:NAME]",
+        help="preload and index a dataset file, optionally under a name "
+        "(repeatable)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4, help="query worker threads"
+    )
+    serve.add_argument(
+        "--queue",
+        type=int,
+        default=16,
+        help="admitted requests allowed to wait beyond the running ones",
+    )
+    serve.add_argument(
+        "--cache",
+        type=int,
+        default=8,
+        help="plan-cache capacity (datasets with a built pyramid)",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-query time budget in seconds (0 = unlimited)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log each HTTP request"
+    )
+
     return parser
 
 
@@ -115,6 +155,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_sdh(args)
         if args.command == "rdf":
             return _cmd_rdf(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         return _cmd_info(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -182,6 +224,38 @@ def _cmd_rdf(args: argparse.Namespace) -> int:
     )
     for r, g in zip(rdf.r, rdf.g):
         print(f"{r:12.6f} {g:12.6f}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import SDHService, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        cache_capacity=args.cache,
+        max_workers=args.workers,
+        max_queue=args.queue,
+        timeout=None if args.timeout <= 0 else args.timeout,
+    )
+    service = SDHService(config)
+    for entry in args.dataset:
+        path, _, name = entry.rpartition(":")
+        if not path:  # no ":NAME" suffix given
+            path, name = name, None
+        data = _load(path)
+        key = service.preload(data, name)
+        label = f" as {name!r}" if name else ""
+        print(f"indexed {data.size} particles from {path}{label} "
+              f"({key[:12]}...)")
+    print(f"serving on {service.url} "
+          f"(workers={args.workers}, queue={args.queue}, "
+          f"cache={args.cache})")
+    try:
+        service.serve_forever(verbose=args.verbose)
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        print("shutting down")
+        service.shutdown()
     return 0
 
 

@@ -48,7 +48,7 @@ from .heuristics import (
 )
 from .histogram import DistanceHistogram
 from .instrumentation import SDHStats
-from .query import SDHQuery, compute_sdh
+from .query import SDHQuery, build_plan, compute_sdh
 
 __all__ = [
     "PAPER_TABLE3",
@@ -72,6 +72,7 @@ __all__ = [
     "approximate_cost",
     "brute_force_cross_sdh",
     "brute_force_sdh",
+    "build_plan",
     "choose_levels_for_error",
     "compute_sdh",
     "covering_factor",

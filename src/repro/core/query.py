@@ -35,7 +35,7 @@ from .heuristics import Allocator
 from .histogram import DistanceHistogram
 from .instrumentation import SDHStats
 
-__all__ = ["compute_sdh", "SDHQuery"]
+__all__ = ["compute_sdh", "build_plan", "SDHQuery"]
 
 _ENGINES = ("auto", "grid", "tree", "brute")
 
@@ -214,6 +214,24 @@ def _restricted_via_grid(
     return run(current)
 
 
+def build_plan(
+    particles: ParticleSet,
+    use_mbr: bool = False,
+    height: int | None = None,
+    beta: float | None = None,
+) -> "SDHQuery":
+    """Build a reusable :class:`SDHQuery` plan for a dataset.
+
+    This is the cacheable unit of the query service: construction pays
+    the full density-map pyramid build, and the returned plan answers
+    any number of queries (exact, approximate, restricted) without
+    rebuilding.  Callers that hold plans keyed by
+    :meth:`~repro.data.particles.ParticleSet.fingerprint` get the
+    paper's persistent-index behaviour: one index, many queries.
+    """
+    return SDHQuery(particles, use_mbr=use_mbr, height=height, beta=beta)
+
+
 class SDHQuery:
     """Reusable query plan: build the density maps once, query many times.
 
@@ -250,6 +268,23 @@ class SDHQuery:
     def pyramid(self) -> GridPyramid:
         """The array-based density maps answering plain queries."""
         return self._pyramid
+
+    def describe(self) -> dict:
+        """Plan metadata for introspection (used by ``GET /v1/stats``).
+
+        Cheap to call: reports the indexed dataset's shape and the
+        pyramid geometry without touching particle data.
+        """
+        pyramid = self._pyramid
+        leaf = pyramid.counts(pyramid.leaf_level)
+        return {
+            "num_particles": self._particles.size,
+            "dim": self._particles.dim,
+            "height": pyramid.height,
+            "leaf_cells": int(leaf.size),
+            "occupied_leaf_cells": int(np.count_nonzero(leaf)),
+            "use_mbr": self._use_mbr,
+        }
 
     @property
     def tree(self) -> DensityMapTree:

@@ -15,6 +15,7 @@ duplicate atoms in this dataset", Sec. VI-A).
 
 from __future__ import annotations
 
+import hashlib
 import math
 from typing import Mapping, Sequence
 
@@ -89,6 +90,7 @@ class ParticleSet:
         if self._types is not None:
             self._types.setflags(write=False)
         self._type_names = dict(type_names) if type_names else {}
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -142,6 +144,38 @@ class ParticleSet:
         ``sqrt(sum (L_k / 2)^2)``.
         """
         return math.sqrt(sum((s / 2.0) ** 2 for s in self._box.sides))
+
+    def fingerprint(self) -> str:
+        """Stable content hash of this dataset (hex SHA-256).
+
+        Two sets hash equal iff they hold the same coordinates in the
+        same order, the same box, and the same type labelling; the hash
+        is independent of process, platform byte order, and session.  It
+        keys the service plan cache and stamps benchmark provenance.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(b"repro-particle-set-v1")
+            digest.update(np.int64(self.size).tobytes())
+            digest.update(np.int64(self.dim).tobytes())
+            # Canonical little-endian float64 bytes so the hash matches
+            # across architectures.
+            digest.update(
+                np.ascontiguousarray(self._positions, dtype="<f8").tobytes()
+            )
+            digest.update(np.asarray(self._box.lo, dtype="<f8").tobytes())
+            digest.update(np.asarray(self._box.hi, dtype="<f8").tobytes())
+            if self._types is not None:
+                digest.update(b"types")
+                digest.update(
+                    np.ascontiguousarray(self._types, dtype="<i4").tobytes()
+                )
+            for code in sorted(self._type_names):
+                digest.update(
+                    f"{code}={self._type_names[code]}".encode("utf-8")
+                )
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def __len__(self) -> int:
         return self.size

@@ -68,3 +68,48 @@ class StorageError(ReproError):
     Examples: reading a page id that was never allocated, or a buffer
     pool with non-positive capacity.
     """
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the SDH query service layer.
+
+    Each subclass carries the HTTP status code the JSON-over-HTTP server
+    maps it to, so the error taxonomy and the wire protocol cannot drift
+    apart.  Library errors (:class:`QueryError` etc.) are mapped to 400
+    by the server; ``ServiceError`` covers conditions that only exist
+    once a long-running server sits in front of the library.
+    """
+
+    #: HTTP status code the server answers with for this error class.
+    http_status = 500
+
+
+class DatasetNotFound(ServiceError):
+    """A query referenced a dataset id that was never registered.
+
+    Dataset ids are content fingerprints (or registered aliases); a miss
+    means the client skipped registration or the server restarted.
+    """
+
+    http_status = 404
+
+
+class QueryTimeout(ServiceError):
+    """A query exceeded the server's per-request time budget.
+
+    The worker thread keeps running to completion (Python threads cannot
+    be cancelled), but the client receives this error instead of waiting
+    indefinitely.
+    """
+
+    http_status = 504
+
+
+class ServerOverloaded(ServiceError):
+    """The server's admission queue is full; the request was rejected.
+
+    Backpressure signal: the client should retry later or against
+    another replica rather than pile more work onto a saturated server.
+    """
+
+    http_status = 503

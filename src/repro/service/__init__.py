@@ -1,0 +1,44 @@
+"""Long-running SDH query service.
+
+The paper's setting is a scientific *database*: the quadtree is a
+persistent index built once over a static dataset, answering many SDH
+queries with different parameters over time.  This package turns the
+one-shot library into exactly that — a concurrent JSON-over-HTTP query
+server (stdlib only, no new dependencies):
+
+* :mod:`~repro.service.cache` — an LRU plan cache keyed by dataset
+  content fingerprint, so the density-map pyramid is built once per
+  dataset and shared across queries;
+* :mod:`~repro.service.executor` — a bounded worker pool with
+  per-request timeouts and queue-depth backpressure;
+* :mod:`~repro.service.server` — the HTTP server exposing
+  ``POST /v1/sdh``, ``POST /v1/rdf``, ``POST /v1/datasets``,
+  ``GET /v1/stats`` and ``GET /healthz``;
+* :mod:`~repro.service.client` — :class:`SDHClient`, a small
+  ``urllib``-based client used by tests and examples.
+
+Start a server from the command line with ``repro-sdh serve`` or
+programmatically::
+
+    from repro.service import SDHService, SDHClient
+
+    with SDHService() as service:
+        client = SDHClient(service.url)
+        dataset = client.register(particles)
+        hist = client.sdh(dataset, num_buckets=64)
+"""
+
+from .cache import CacheStats, PlanCache
+from .client import SDHClient
+from .executor import ExecutorStats, QueryExecutor
+from .server import SDHService, ServiceConfig
+
+__all__ = [
+    "CacheStats",
+    "ExecutorStats",
+    "PlanCache",
+    "QueryExecutor",
+    "SDHClient",
+    "SDHService",
+    "ServiceConfig",
+]

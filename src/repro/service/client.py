@@ -1,0 +1,168 @@
+"""``SDHClient`` — a small ``urllib``-based client for the query server.
+
+The client speaks the JSON protocol of :mod:`repro.service.server` and
+converts wire payloads back into library objects: histograms become
+:class:`~repro.core.histogram.DistanceHistogram` (over a
+:class:`~repro.core.buckets.CustomBuckets` spec rebuilt from the edge
+array), RDFs become
+:class:`~repro.physics.rdf.RadialDistributionFunction`, and error
+envelopes are re-raised as the exception type the server caught — a
+:class:`~repro.errors.QueryError` message round-trips verbatim.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any
+
+import numpy as np
+
+from .. import errors as _errors
+from ..core.buckets import CustomBuckets
+from ..core.histogram import DistanceHistogram
+from ..data.particles import ParticleSet
+from ..errors import ServiceError
+from ..physics.rdf import RadialDistributionFunction
+
+__all__ = ["SDHClient"]
+
+
+class SDHClient:
+    """Client for one SDH service endpoint.
+
+    Parameters
+    ----------
+    base_url:
+        For example ``"http://127.0.0.1:8080"`` (no trailing slash
+        needed; one is tolerated).
+    timeout:
+        Socket-level timeout per request, in seconds.  Distinct from
+        the server's own query budget — a server-side timeout comes
+        back as :class:`~repro.errors.QueryTimeout`.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        self._base = base_url.rstrip("/")
+        self._timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, payload: dict | None = None):
+        url = f"{self._base}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            url, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self._timeout
+            ) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            raise _rebuild_error(exc) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach SDH service at {self._base}: {exc.reason}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> bool:
+        """True when the server answers its liveness probe."""
+        return self._request("GET", "/healthz").get("status") == "ok"
+
+    def stats(self) -> dict:
+        """The server's ``GET /v1/stats`` body, as a dict."""
+        return self._request("GET", "/v1/stats")
+
+    def register(
+        self,
+        particles: ParticleSet | None = None,
+        path: str | None = None,
+        name: str | None = None,
+        build: bool = False,
+    ) -> str:
+        """Register a dataset; returns its id (the content fingerprint).
+
+        Give either an in-memory :class:`ParticleSet` (uploaded inline
+        as JSON) or a *server-local* file path.  ``build=True`` asks the
+        server to construct the density-map pyramid immediately instead
+        of on the first query.
+        """
+        if (particles is None) == (path is None):
+            raise ServiceError("register exactly one of particles / path")
+        body: dict[str, Any] = {}
+        if name is not None:
+            body["name"] = name
+        if build:
+            body["build"] = True
+        if path is not None:
+            body["path"] = path
+        else:
+            assert particles is not None
+            body["positions"] = particles.positions.tolist()
+            body["box"] = {
+                "lo": list(particles.box.lo),
+                "hi": list(particles.box.hi),
+            }
+            if particles.types is not None:
+                body["types"] = particles.types.tolist()
+                if particles.type_names:
+                    body["type_names"] = {
+                        str(code): label
+                        for code, label in particles.type_names.items()
+                    }
+        return str(self._request("POST", "/v1/datasets", body)["dataset"])
+
+    def sdh(self, dataset: str, **params: Any) -> DistanceHistogram:
+        """One SDH query; keywords as in ``POST /v1/sdh``.
+
+        Give ``num_buckets`` or ``bucket_width``, optionally
+        ``error_bound`` / ``levels`` / ``heuristic`` (approximate mode),
+        ``type_filter`` / ``type_pair`` (restricted queries), ``policy``
+        and a per-request ``timeout``.
+        """
+        body = {"dataset": dataset, **params}
+        payload = self._request("POST", "/v1/sdh", body)
+        spec = CustomBuckets(payload["edges"])
+        return DistanceHistogram(spec, np.asarray(payload["counts"]))
+
+    def rdf(self, dataset: str, **params: Any) -> RadialDistributionFunction:
+        """One RDF query; keywords as in ``POST /v1/rdf``.
+
+        Supported: ``num_buckets`` (default 100), ``finite_size``
+        (``"corrected"`` / ``"shell"`` / ``"periodic"``), ``timeout``.
+        """
+        body = {"dataset": dataset, **params}
+        payload = self._request("POST", "/v1/rdf", body)
+        return RadialDistributionFunction(
+            r=np.asarray(payload["r"]),
+            g=np.asarray(payload["g"]),
+            edges=np.asarray(payload["edges"]),
+            density=float(payload["density"]),
+            num_particles=int(payload["num_particles"]),
+            dim=int(payload["dim"]),
+        )
+
+
+def _rebuild_error(exc: urllib.error.HTTPError) -> Exception:
+    """Map a JSON error envelope back onto the library exception type."""
+    try:
+        envelope = json.loads(exc.read())
+        error = envelope["error"]
+        err_type = str(error["type"])
+        message = str(error["message"])
+    except Exception:
+        return ServiceError(f"server answered HTTP {exc.code}: {exc.reason}")
+    klass = getattr(_errors, err_type, None)
+    if isinstance(klass, type) and issubclass(klass, _errors.ReproError):
+        return klass(message)
+    return ServiceError(f"{err_type}: {message}")

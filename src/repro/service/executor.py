@@ -1,0 +1,187 @@
+"""Bounded worker pool with timeouts and admission-control backpressure.
+
+``ThreadingHTTPServer`` spawns one handler thread per connection, so
+without a bound an aggressive client could pile up arbitrarily many
+concurrent pyramid builds and O(N^(2d-1)/d) histogram computations.
+:class:`QueryExecutor` funnels all query work through a fixed
+:class:`~concurrent.futures.ThreadPoolExecutor` (numpy releases the GIL
+in the hot kernels, so a few workers give real parallelism) and bounds
+the *admitted* work: at most ``max_workers + max_queue`` requests are in
+flight, and anything beyond that is rejected immediately with
+:class:`~repro.errors.ServerOverloaded` — the classic
+fail-fast-under-overload discipline — rather than queued indefinitely.
+
+Per-request timeouts raise :class:`~repro.errors.QueryTimeout` to the
+caller.  Python threads cannot be cancelled, so the worker runs to
+completion in the background; the timeout bounds client latency, not
+server work, which is why it pairs with the admission bound.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..errors import QueryTimeout, ServerOverloaded, ServiceError
+
+__all__ = ["ExecutorStats", "QueryExecutor"]
+
+
+@dataclass
+class ExecutorStats:
+    """Counters exposed through ``GET /v1/stats``."""
+
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    timeouts: int = 0
+    failures: int = 0
+
+    def snapshot(self) -> dict:
+        """A JSON-ready copy of the counters."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "timeouts": self.timeouts,
+            "failures": self.failures,
+        }
+
+
+class QueryExecutor:
+    """Run query callables on a bounded pool, synchronously per caller.
+
+    Parameters
+    ----------
+    max_workers:
+        Threads executing queries concurrently.
+    max_queue:
+        Requests allowed to wait for a free worker beyond the ones
+        running.  ``submit`` calls arriving when ``max_workers +
+        max_queue`` requests are already admitted raise
+        :class:`ServerOverloaded` without blocking.
+    default_timeout:
+        Seconds a caller waits for its result before
+        :class:`QueryTimeout`; ``None`` waits forever.
+    """
+
+    def __init__(
+        self,
+        max_workers: int = 4,
+        max_queue: int = 16,
+        default_timeout: float | None = 30.0,
+    ):
+        if max_workers < 1:
+            raise ServiceError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        if max_queue < 0:
+            raise ServiceError(f"max_queue must be >= 0, got {max_queue}")
+        self._pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="sdh-worker"
+        )
+        self._max_workers = max_workers
+        self._max_queue = max_queue
+        self._admission = threading.BoundedSemaphore(max_workers + max_queue)
+        self._default_timeout = default_timeout
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self._shutdown = False
+        self.stats = ExecutorStats()
+
+    @property
+    def max_workers(self) -> int:
+        """Number of worker threads."""
+        return self._max_workers
+
+    @property
+    def max_queue(self) -> int:
+        """Admitted requests allowed beyond the running ones."""
+        return self._max_queue
+
+    @property
+    def in_flight(self) -> int:
+        """Requests currently admitted (running or queued)."""
+        with self._lock:
+            return self._in_flight
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        timeout: float | None = ...,  # type: ignore[assignment]
+        **kwargs: Any,
+    ) -> Any:
+        """Run ``fn(*args, **kwargs)`` on the pool and wait for it.
+
+        Raises :class:`ServerOverloaded` when the admission bound is
+        reached and :class:`QueryTimeout` when the result does not
+        arrive within the (default or per-call) timeout.  Exceptions
+        raised by ``fn`` propagate unchanged.
+        """
+        if timeout is ...:
+            timeout = self._default_timeout
+        if self._shutdown:
+            raise ServiceError("executor has been shut down")
+        if not self._admission.acquire(blocking=False):
+            with self._lock:
+                self.stats.rejected += 1
+            raise ServerOverloaded(
+                f"server at capacity ({self._max_workers} running, "
+                f"{self._max_queue} queued); retry later"
+            )
+        with self._lock:
+            self.stats.submitted += 1
+            self._in_flight += 1
+        future = self._pool.submit(
+            self._run_admitted, fn, args, kwargs
+        )
+        try:
+            result = future.result(timeout=timeout)
+        except concurrent.futures.TimeoutError:
+            with self._lock:
+                self.stats.timeouts += 1
+            raise QueryTimeout(
+                f"query exceeded the {timeout:g}s server time budget"
+            ) from None
+        except Exception:
+            with self._lock:
+                self.stats.failures += 1
+            raise
+        with self._lock:
+            self.stats.completed += 1
+        return result
+
+    def _run_admitted(self, fn: Callable, args: tuple, kwargs: dict) -> Any:
+        # Admission is released when the *work* finishes, not when the
+        # caller stops waiting: a timed-out query still occupies its
+        # slot until done, so overload cannot hide behind timeouts.
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            with self._lock:
+                self._in_flight -= 1
+            self._admission.release()
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-ready state: counters plus the pool configuration."""
+        body = self.stats.snapshot()
+        body["max_workers"] = self._max_workers
+        body["max_queue"] = self._max_queue
+        body["in_flight"] = self.in_flight
+        return body
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work and optionally wait for running queries."""
+        self._shutdown = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "QueryExecutor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()

@@ -1,0 +1,521 @@
+"""JSON-over-HTTP SDH query server (stdlib ``http.server`` only).
+
+Endpoints:
+
+* ``POST /v1/datasets`` — register a dataset, either inline (JSON
+  coordinate rows) or from a server-local ``.npz``/``.xyz`` file.  The
+  returned dataset id is the content fingerprint; an optional ``name``
+  registers a human-friendly alias.
+* ``POST /v1/sdh`` — compute a distance histogram against a registered
+  dataset.  The plan cache guarantees the density-map pyramid is built
+  once per dataset no matter how many queries arrive.
+* ``POST /v1/rdf`` — compute g(r) (an SDH normalized per the paper's
+  Eq. 1).
+* ``GET /v1/stats`` — cache, executor, per-engine operation counters,
+  and the dataset registry.
+* ``GET /healthz`` — liveness probe.
+
+Errors travel as a JSON envelope ``{"error": {"type", "message"}}``
+with the HTTP status drawn from the :class:`~repro.errors.ServiceError`
+taxonomy (library errors such as :class:`~repro.errors.QueryError` map
+to 400), so :class:`~repro.service.client.SDHClient` can re-raise the
+original exception type with its message intact.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+import numpy as np
+
+from ..core.buckets import OverflowPolicy
+from ..core.instrumentation import SDHStats
+from ..data.io import load_particles, load_xyz
+from ..data.particles import ParticleSet
+from ..errors import (
+    DatasetNotFound,
+    ReproError,
+    ServiceError,
+)
+from ..geometry import AABB
+from ..physics.rdf import rdf_from_histogram
+from .cache import PlanCache
+from .executor import QueryExecutor
+
+__all__ = ["SDHService", "ServiceConfig"]
+
+#: Largest accepted request body (inline uploads of ~1M 3D particles).
+_MAX_BODY_BYTES = 256 * 1024 * 1024
+
+
+class _BadRequest(ServiceError):
+    """A request the protocol layer could not even hand to the library:
+    malformed JSON, unknown fields, missing required keys.  Maps to 400
+    (library-level :class:`ReproError` subclasses also map to 400, but
+    keep their own exception type in the envelope)."""
+
+    http_status = 400
+
+
+@dataclass
+class ServiceConfig:
+    """Capacity-tuning knobs of one server instance.
+
+    See ``docs/SERVICE.md`` for guidance on sizing these against the
+    expected dataset sizes and query mix.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = pick a free port; read it back from .address
+    cache_capacity: int = 8
+    max_workers: int = 4
+    max_queue: int = 16
+    timeout: float | None = 30.0
+
+
+@dataclass
+class _EngineAggregate:
+    """Accumulated :class:`SDHStats` for one engine kind."""
+
+    queries: int = 0
+    distance_computations: int = 0
+    resolve_calls: int = 0
+    resolved_pairs: int = 0
+    approximated_distances: float = 0.0
+
+    def absorb(self, stats: SDHStats) -> None:
+        self.queries += 1
+        self.distance_computations += stats.distance_computations
+        self.resolve_calls += stats.total_resolve_calls
+        self.resolved_pairs += stats.total_resolved_pairs
+        self.approximated_distances += stats.approximated_distances
+
+    def snapshot(self) -> dict:
+        return {
+            "queries": self.queries,
+            "distance_computations": self.distance_computations,
+            "resolve_calls": self.resolve_calls,
+            "resolved_pairs": self.resolved_pairs,
+            "approximated_distances": self.approximated_distances,
+        }
+
+
+@dataclass
+class _ServiceState:
+    """Everything the request handlers share, with its own locking."""
+
+    config: ServiceConfig
+    cache: PlanCache = field(init=False)
+    executor: QueryExecutor = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.cache = PlanCache(capacity=self.config.cache_capacity)
+        self.executor = QueryExecutor(
+            max_workers=self.config.max_workers,
+            max_queue=self.config.max_queue,
+            default_timeout=self.config.timeout,
+        )
+        self._lock = threading.Lock()
+        self._datasets: dict[str, ParticleSet] = {}
+        self._aliases: dict[str, str] = {}
+        self._engines: dict[str, _EngineAggregate] = {}
+        self._requests: dict[str, int] = {}
+        self._started = time.monotonic()
+
+    # -- dataset registry ----------------------------------------------
+    def register(self, particles: ParticleSet, name: str | None) -> str:
+        key = particles.fingerprint()
+        with self._lock:
+            self._datasets[key] = particles
+            if name is not None:
+                self._aliases[name] = key
+        return key
+
+    def resolve_dataset(self, ref: str) -> ParticleSet:
+        with self._lock:
+            key = self._aliases.get(ref, ref)
+            particles = self._datasets.get(key)
+        if particles is None:
+            raise DatasetNotFound(
+                f"dataset {ref!r} is not registered; "
+                "POST it to /v1/datasets first"
+            )
+        return particles
+
+    # -- accounting ----------------------------------------------------
+    def count_request(self, route: str) -> None:
+        with self._lock:
+            self._requests[route] = self._requests.get(route, 0) + 1
+
+    def absorb_stats(self, engine: str, stats: SDHStats) -> None:
+        with self._lock:
+            agg = self._engines.get(engine)
+            if agg is None:
+                agg = self._engines[engine] = _EngineAggregate()
+            agg.absorb(stats)
+
+    def stats_body(self) -> dict:
+        with self._lock:
+            datasets = {
+                key: {
+                    "num_particles": p.size,
+                    "dim": p.dim,
+                    "aliases": [
+                        a for a, k in self._aliases.items() if k == key
+                    ],
+                }
+                for key, p in self._datasets.items()
+            }
+            engines = {
+                name: agg.snapshot() for name, agg in self._engines.items()
+            }
+            requests = dict(self._requests)
+            uptime = time.monotonic() - self._started
+        return {
+            "uptime_seconds": uptime,
+            "datasets": datasets,
+            "cache": self.cache.snapshot(),
+            "executor": self.executor.snapshot(),
+            "engines": engines,
+            "requests": requests,
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request; all state lives on ``server.state``."""
+
+    server_version = "repro-sdh"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def state(self) -> _ServiceState:
+        return self.server.state  # type: ignore[attr-defined]
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        if self.server.verbose:  # type: ignore[attr-defined]
+            super().log_message(fmt, *args)
+
+    # -- routing -------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        try:
+            if self.path == "/healthz":
+                self._send(200, {"status": "ok"})
+            elif self.path == "/v1/stats":
+                self.state.count_request("stats")
+                self._send(200, self.state.stats_body())
+            else:
+                self._send_error_body(
+                    404, "ServiceError", f"no such route: GET {self.path}"
+                )
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_exception(exc)
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        try:
+            body = self._read_json()
+            if self.path == "/v1/datasets":
+                self.state.count_request("datasets")
+                self._send(200, _handle_register(self.state, body))
+            elif self.path == "/v1/sdh":
+                self.state.count_request("sdh")
+                self._send(200, _handle_sdh(self.state, body))
+            elif self.path == "/v1/rdf":
+                self.state.count_request("rdf")
+                self._send(200, _handle_rdf(self.state, body))
+            else:
+                self._send_error_body(
+                    404, "ServiceError", f"no such route: POST {self.path}"
+                )
+        except Exception as exc:
+            self._send_exception(exc)
+
+    # -- plumbing ------------------------------------------------------
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            raise _BadRequest("request body required")
+        if length > _MAX_BODY_BYTES:
+            raise _BadRequest(
+                f"request body of {length} bytes exceeds the "
+                f"{_MAX_BODY_BYTES}-byte limit"
+            )
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise _BadRequest(f"request body is not valid JSON: {exc}")
+        if not isinstance(body, dict):
+            raise _BadRequest("request body must be a JSON object")
+        return body
+
+    def _send(self, status: int, payload: dict) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_exception(self, exc: Exception) -> None:
+        if isinstance(exc, ServiceError):
+            status = exc.http_status
+        elif isinstance(exc, ReproError):
+            status = 400  # the request itself was inconsistent
+        else:
+            status = 500
+        # lstrip: module-private classes (_BadRequest) should surface
+        # under their public-looking name in the wire envelope.
+        self._send_error_body(
+            status, type(exc).__name__.lstrip("_"), str(exc)
+        )
+
+    def _send_error_body(
+        self, status: int, err_type: str, message: str
+    ) -> None:
+        self._send(status, {"error": {"type": err_type, "message": message}})
+
+
+# ----------------------------------------------------------------------
+# Endpoint implementations (module-level so they are unit-testable
+# without a socket).
+# ----------------------------------------------------------------------
+def _handle_register(state: _ServiceState, body: dict) -> dict:
+    name = body.get("name")
+    if name is not None and not isinstance(name, str):
+        raise _BadRequest("dataset name must be a string")
+    if "path" in body:
+        particles = _load_path(str(body["path"]))
+    elif "positions" in body:
+        particles = _particles_from_json(body)
+    else:
+        raise _BadRequest(
+            "register a dataset with either 'path' (server-local "
+            ".npz/.xyz file) or inline 'positions'"
+        )
+    key = state.register(particles, name)
+    response = {
+        "dataset": key,
+        "num_particles": particles.size,
+        "dim": particles.dim,
+    }
+    if name is not None:
+        response["name"] = name
+    if body.get("build"):
+        # Eager warm-up: pay the pyramid build at registration time.
+        state.executor.submit(state.cache.get_or_build, particles)
+        response["built"] = True
+    return response
+
+
+def _load_path(path: str) -> ParticleSet:
+    try:
+        if path.endswith(".xyz"):
+            return load_xyz(path)
+        return load_particles(path)
+    except OSError as exc:
+        raise _BadRequest(f"cannot load dataset from {path!r}: {exc}")
+
+
+def _particles_from_json(body: dict) -> ParticleSet:
+    positions = np.asarray(body["positions"], dtype=float)
+    box = None
+    if "box" in body:
+        spec = body["box"]
+        if (
+            not isinstance(spec, dict)
+            or "lo" not in spec
+            or "hi" not in spec
+        ):
+            raise _BadRequest("box must be {'lo': [...], 'hi': [...]}")
+        box = AABB.from_arrays(
+            np.asarray(spec["lo"], dtype=float),
+            np.asarray(spec["hi"], dtype=float),
+        )
+    types = None
+    if body.get("types") is not None:
+        types = np.asarray(body["types"], dtype=np.int32)
+    type_names = None
+    if body.get("type_names") is not None:
+        type_names = {
+            int(code): str(label)
+            for code, label in body["type_names"].items()
+        }
+    return ParticleSet(positions, box, types, type_names)
+
+
+def _handle_sdh(state: _ServiceState, body: dict) -> dict:
+    particles = state.resolve_dataset(_dataset_ref(body))
+    params = _sdh_params(body)
+
+    def run() -> tuple[Any, SDHStats]:
+        plan = state.cache.get_or_build(particles)
+        stats = SDHStats()
+        hist = plan.histogram(stats=stats, **params)
+        return hist, stats
+
+    hist, stats = state.executor.submit(run, timeout=body.get("timeout", ...))
+    engine = "approx" if (
+        params.get("error_bound") is not None
+        or params.get("levels") is not None
+    ) else "exact"
+    state.absorb_stats(engine, stats)
+    return {
+        "dataset": particles.fingerprint(),
+        "edges": hist.edges.tolist(),
+        "counts": hist.counts.tolist(),
+        "total": hist.total,
+        "num_buckets": int(hist.counts.size),
+        "approximate": engine == "approx",
+    }
+
+
+def _dataset_ref(body: dict) -> str:
+    ref = body.get("dataset")
+    if not isinstance(ref, str) or not ref:
+        raise _BadRequest("request must name a 'dataset'")
+    return ref
+
+
+def _sdh_params(body: dict) -> dict:
+    """Validate and extract :meth:`SDHQuery.histogram` keyword args."""
+    allowed = (
+        "bucket_width",
+        "num_buckets",
+        "error_bound",
+        "levels",
+        "heuristic",
+        "type_filter",
+        "type_pair",
+        "policy",
+        "rng",
+    )
+    unknown = (
+        set(body) - set(allowed) - {"dataset", "timeout"}
+    )
+    if unknown:
+        raise _BadRequest(
+            f"unknown query parameters: {sorted(unknown)}; "
+            f"allowed: {sorted(allowed)}"
+        )
+    params = {key: body[key] for key in allowed if body.get(key) is not None}
+    if "type_pair" in params:
+        pair = params["type_pair"]
+        if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+            raise _BadRequest("type_pair must be a two-element list")
+        params["type_pair"] = tuple(pair)
+    if "policy" in params:
+        try:
+            params["policy"] = OverflowPolicy[str(params["policy"]).upper()]
+        except KeyError:
+            names = [p.name.lower() for p in OverflowPolicy]
+            raise _BadRequest(
+                f"unknown overflow policy {body['policy']!r}; "
+                f"pick from {names}"
+            )
+    return params
+
+
+def _handle_rdf(state: _ServiceState, body: dict) -> dict:
+    particles = state.resolve_dataset(_dataset_ref(body))
+    num_buckets = body.get("num_buckets", 100)
+    finite_size = body.get("finite_size", "corrected")
+
+    def run() -> tuple[Any, SDHStats]:
+        plan = state.cache.get_or_build(particles)
+        stats = SDHStats()
+        hist = plan.histogram(num_buckets=num_buckets, stats=stats)
+        return rdf_from_histogram(hist, particles, finite_size), stats
+
+    rdf, stats = state.executor.submit(run, timeout=body.get("timeout", ...))
+    state.absorb_stats("rdf", stats)
+    return {
+        "dataset": particles.fingerprint(),
+        "r": rdf.r.tolist(),
+        "g": rdf.g.tolist(),
+        "edges": rdf.edges.tolist(),
+        "density": rdf.density,
+        "num_particles": rdf.num_particles,
+        "dim": rdf.dim,
+    }
+
+
+# ----------------------------------------------------------------------
+class SDHService:
+    """A running (or startable) SDH query server.
+
+    Usable three ways: as a context manager (tests, examples), via
+    :meth:`start`/:meth:`shutdown` (embedding), or via
+    :meth:`serve_forever` (the ``repro-sdh serve`` CLI).
+
+    Parameters mirror :class:`ServiceConfig`; pass either a config or
+    individual overrides.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None, **overrides: Any):
+        if config is None:
+            config = ServiceConfig(**overrides)
+        elif overrides:
+            raise ServiceError("pass a config or overrides, not both")
+        self.config = config
+        self.state = _ServiceState(config)
+        self._httpd = ThreadingHTTPServer(
+            (config.host, config.port), _Handler
+        )
+        self._httpd.daemon_threads = True
+        self._httpd.state = self.state  # type: ignore[attr-defined]
+        self._httpd.verbose = False  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — port is concrete even for 0."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should talk to."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def preload(self, particles: ParticleSet, name: str | None = None) -> str:
+        """Register (and index) a dataset before serving traffic."""
+        key = self.state.register(particles, name)
+        self.state.cache.get_or_build(particles)
+        return key
+
+    def start(self) -> "SDHService":
+        """Serve on a background thread; returns self for chaining."""
+        if self._thread is not None:
+            raise ServiceError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="sdh-service",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self, verbose: bool = False) -> None:
+        """Serve on the calling thread until interrupted (CLI mode)."""
+        self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop serving and release the worker pool."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.state.executor.shutdown(wait=False)
+
+    def __enter__(self) -> "SDHService":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()

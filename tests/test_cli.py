@@ -124,3 +124,18 @@ class TestParser:
 
     def test_prog_name(self):
         assert build_parser().prog == "repro-sdh"
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.port == 8787
+        assert args.workers == 4
+        assert args.queue == 16
+        assert args.cache == 8
+        assert args.dataset == []
+
+    def test_serve_repeatable_datasets(self):
+        args = build_parser().parse_args(
+            ["serve", "--dataset", "a.npz", "--dataset", "b.npz:mem"]
+        )
+        assert args.dataset == ["a.npz", "b.npz:mem"]

@@ -26,6 +26,10 @@ EXPECTED_SNIPPETS = {
         "matches min-image brute force",
         "coordination number",
     ],
+    "service_quickstart.py": [
+        "identical to direct compute_sdh",
+        "plan cache: 1 build",
+    ],
 }
 
 

@@ -144,3 +144,63 @@ class TestScaling:
         ps = ParticleSet(rng.uniform(size=(10, 2)))
         with pytest.raises(DatasetError):
             ps.scale_to(0)
+
+
+class TestFingerprint:
+    def test_stable_and_deterministic(self):
+        pts = np.array([[0.1, 0.2], [0.8, 0.9], [0.4, 0.5]])
+        a = ParticleSet(pts)
+        b = ParticleSet(pts.copy())
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() == a.fingerprint()  # cached path
+        assert len(a.fingerprint()) == 64  # hex SHA-256
+        int(a.fingerprint(), 16)
+
+    def test_sensitive_to_coordinates(self):
+        pts = np.array([[0.1, 0.2], [0.8, 0.9]])
+        moved = pts.copy()
+        moved[0, 0] += 1e-12
+        box = AABB.from_arrays([0.0, 0.0], [2.0, 2.0])
+        assert (
+            ParticleSet(pts, box).fingerprint()
+            != ParticleSet(moved, box).fingerprint()
+        )
+
+    def test_sensitive_to_order(self):
+        pts = np.array([[0.1, 0.2], [0.8, 0.9]])
+        assert (
+            ParticleSet(pts).fingerprint()
+            != ParticleSet(pts[::-1]).fingerprint()
+        )
+
+    def test_sensitive_to_box(self):
+        pts = np.array([[0.1, 0.2], [0.8, 0.9]])
+        small = AABB.from_arrays([0.0, 0.0], [1.0, 1.0])
+        large = AABB.from_arrays([0.0, 0.0], [2.0, 2.0])
+        assert (
+            ParticleSet(pts, small).fingerprint()
+            != ParticleSet(pts, large).fingerprint()
+        )
+
+    def test_sensitive_to_types_and_names(self):
+        pts = np.array([[0.1, 0.2], [0.8, 0.9]])
+        plain = ParticleSet(pts)
+        typed = ParticleSet(pts, types=np.array([0, 1]))
+        named = ParticleSet(
+            pts, types=np.array([0, 1]), type_names={0: "C", 1: "O"}
+        )
+        renamed = ParticleSet(
+            pts, types=np.array([0, 1]), type_names={0: "C", 1: "N"}
+        )
+        prints = {
+            p.fingerprint() for p in (plain, typed, named, renamed)
+        }
+        assert len(prints) == 4
+
+    def test_derived_sets_fingerprint_differently(self):
+        pts = np.random.default_rng(0).uniform(size=(20, 3))
+        ps = ParticleSet(pts)
+        subset = ps.select(np.arange(10))
+        grown = ps.scale_to(30, rng=np.random.default_rng(1))
+        assert len({ps.fingerprint(), subset.fingerprint(),
+                    grown.fingerprint()}) == 3

@@ -1,0 +1,152 @@
+"""Tests for repro.service.cache (the LRU plan cache)."""
+
+import threading
+
+import pytest
+
+from repro.core.query import SDHQuery, build_plan
+from repro.data import uniform
+from repro.errors import ServiceError
+from repro.service import PlanCache
+
+
+@pytest.fixture
+def datasets():
+    return [uniform(60 + 10 * i, dim=2, rng=i) for i in range(4)]
+
+
+class CountingBuilder:
+    """A build_plan wrapper recording every invocation."""
+
+    def __init__(self):
+        self.calls = []
+        self.lock = threading.Lock()
+
+    def __call__(self, particles):
+        with self.lock:
+            self.calls.append(particles.fingerprint())
+        return build_plan(particles)
+
+
+class TestBasics:
+    def test_build_on_miss_then_hit(self, datasets):
+        builder = CountingBuilder()
+        cache = PlanCache(capacity=4, builder=builder)
+        plan = cache.get_or_build(datasets[0])
+        assert isinstance(plan, SDHQuery)
+        again = cache.get_or_build(datasets[0])
+        assert again is plan
+        assert builder.calls == [datasets[0].fingerprint()]
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.builds == 1
+
+    def test_fingerprint_keying_ignores_identity(self, datasets):
+        # Equal content in a distinct object must hit, not rebuild.
+        builder = CountingBuilder()
+        cache = PlanCache(capacity=4, builder=builder)
+        cache.get_or_build(uniform(100, dim=2, rng=42))
+        cache.get_or_build(uniform(100, dim=2, rng=42))
+        assert len(builder.calls) == 1
+        assert cache.stats.hits == 1
+
+    def test_distinct_datasets_get_distinct_plans(self, datasets):
+        cache = PlanCache(capacity=4)
+        plans = [cache.get_or_build(d) for d in datasets]
+        assert len({id(p) for p in plans}) == len(datasets)
+        assert cache.stats.builds == len(datasets)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ServiceError):
+            PlanCache(capacity=0)
+
+    def test_contains_len_keys(self, datasets):
+        cache = PlanCache(capacity=4)
+        cache.get_or_build(datasets[0])
+        assert datasets[0].fingerprint() in cache
+        assert datasets[1].fingerprint() not in cache
+        assert len(cache) == 1
+        assert cache.keys() == [datasets[0].fingerprint()]
+
+
+class TestEviction:
+    def test_lru_eviction_order(self, datasets):
+        builder = CountingBuilder()
+        cache = PlanCache(capacity=2, builder=builder)
+        cache.get_or_build(datasets[0])
+        cache.get_or_build(datasets[1])
+        cache.get_or_build(datasets[0])  # refresh 0; 1 is now LRU
+        cache.get_or_build(datasets[2])  # evicts 1
+        assert datasets[1].fingerprint() not in cache
+        assert datasets[0].fingerprint() in cache
+        assert cache.stats.evictions == 1
+        # Re-requesting the evicted dataset rebuilds.
+        cache.get_or_build(datasets[1])
+        assert builder.calls.count(datasets[1].fingerprint()) == 2
+
+    def test_explicit_evict_and_clear(self, datasets):
+        cache = PlanCache(capacity=4)
+        cache.get_or_build(datasets[0])
+        cache.get_or_build(datasets[1])
+        assert cache.evict(datasets[0].fingerprint())
+        assert not cache.evict(datasets[0].fingerprint())
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.evictions == 2
+
+    def test_snapshot_shape(self, datasets):
+        cache = PlanCache(capacity=3)
+        cache.get_or_build(datasets[0])
+        body = cache.snapshot()
+        assert body["size"] == 1
+        assert body["capacity"] == 3
+        assert body["builds"] == 1
+        key = datasets[0].fingerprint()
+        assert body["plans"][key]["num_particles"] == datasets[0].size
+        assert 0.0 <= body["hit_rate"] <= 1.0
+
+
+class TestConcurrency:
+    def test_racing_requests_build_once(self, datasets):
+        """N threads racing on a cold key must trigger exactly one build."""
+        builder = CountingBuilder()
+        cache = PlanCache(capacity=4, builder=builder)
+        barrier = threading.Barrier(8)
+        plans = []
+        plans_lock = threading.Lock()
+
+        def worker():
+            barrier.wait()
+            plan = cache.get_or_build(datasets[0])
+            with plans_lock:
+                plans.append(plan)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(builder.calls) == 1
+        assert len({id(p) for p in plans}) == 1
+        assert cache.stats.builds == 1
+
+    def test_concurrent_mixed_keys(self, datasets):
+        builder = CountingBuilder()
+        cache = PlanCache(capacity=len(datasets), builder=builder)
+        barrier = threading.Barrier(12)
+
+        def worker(i):
+            barrier.wait()
+            cache.get_or_build(datasets[i % len(datasets)])
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(12)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # One build per distinct dataset, regardless of interleaving.
+        assert sorted(builder.calls) == sorted(
+            d.fingerprint() for d in datasets
+        )

@@ -1,0 +1,150 @@
+"""Tests for repro.service.executor (the bounded worker pool)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import QueryTimeout, ServerOverloaded, ServiceError
+from repro.service import QueryExecutor
+
+
+class TestBasics:
+    def test_runs_and_returns(self):
+        with QueryExecutor(max_workers=2) as pool:
+            assert pool.submit(lambda a, b: a + b, 2, 3) == 5
+            assert pool.stats.completed == 1
+            assert pool.stats.submitted == 1
+
+    def test_exceptions_propagate_and_count(self):
+        def boom():
+            raise ValueError("kaboom")
+
+        with QueryExecutor(max_workers=1) as pool:
+            with pytest.raises(ValueError, match="kaboom"):
+                pool.submit(boom)
+            assert pool.stats.failures == 1
+            # The failed slot is released; the pool keeps working.
+            assert pool.submit(lambda: 7) == 7
+
+    def test_config_validation(self):
+        with pytest.raises(ServiceError):
+            QueryExecutor(max_workers=0)
+        with pytest.raises(ServiceError):
+            QueryExecutor(max_workers=1, max_queue=-1)
+
+    def test_shutdown_rejects_new_work(self):
+        pool = QueryExecutor(max_workers=1)
+        pool.shutdown()
+        with pytest.raises(ServiceError, match="shut down"):
+            pool.submit(lambda: 1)
+
+
+class TestTimeout:
+    def test_slow_call_times_out(self):
+        release = threading.Event()
+        with QueryExecutor(max_workers=1, default_timeout=0.05) as pool:
+            with pytest.raises(QueryTimeout):
+                pool.submit(release.wait)
+            assert pool.stats.timeouts == 1
+            release.set()
+
+    def test_per_call_timeout_overrides_default(self):
+        with QueryExecutor(max_workers=1, default_timeout=0.01) as pool:
+            result = pool.submit(
+                lambda: (time.sleep(0.05), "done")[1], timeout=5.0
+            )
+            assert result == "done"
+
+    def test_timed_out_work_still_occupies_slot(self):
+        """Timeouts bound client latency, not admission: the slot frees
+        only when the worker finishes."""
+        release = threading.Event()
+        pool = QueryExecutor(max_workers=1, max_queue=0, default_timeout=0.05)
+        try:
+            with pytest.raises(QueryTimeout):
+                pool.submit(release.wait)
+            # Worker still holds the only slot.
+            with pytest.raises(ServerOverloaded):
+                pool.submit(lambda: 1)
+            release.set()
+            deadline = time.time() + 5.0
+            while pool.in_flight and time.time() < deadline:
+                time.sleep(0.01)
+            assert pool.submit(lambda: 2) == 2
+        finally:
+            release.set()
+            pool.shutdown()
+
+
+class TestBackpressure:
+    def test_overload_rejected_not_queued(self):
+        gate = threading.Event()
+        started = threading.Barrier(3)  # 2 workers + main
+
+        def occupy():
+            started.wait()
+            gate.wait()
+
+        pool = QueryExecutor(max_workers=2, max_queue=0, default_timeout=None)
+        try:
+            holders = [
+                threading.Thread(target=pool.submit, args=(occupy,))
+                for _ in range(2)
+            ]
+            for t in holders:
+                t.start()
+            started.wait(timeout=5.0)  # both workers are busy
+            with pytest.raises(ServerOverloaded, match="at capacity"):
+                pool.submit(lambda: 1)
+            assert pool.stats.rejected == 1
+            gate.set()
+            for t in holders:
+                t.join(timeout=5.0)
+            assert pool.stats.completed == 2
+        finally:
+            gate.set()
+            pool.shutdown()
+
+    def test_queue_slots_admit_beyond_workers(self):
+        gate = threading.Event()
+        running = threading.Event()
+
+        pool = QueryExecutor(max_workers=1, max_queue=1, default_timeout=None)
+        results = []
+
+        def submit_and_record():
+            results.append(pool.submit(lambda: "queued"))
+
+        try:
+            holder = threading.Thread(
+                target=pool.submit,
+                args=(lambda: (running.set(), gate.wait()),),
+            )
+            holder.start()
+            assert running.wait(timeout=5.0)
+            # One more fits in the queue...
+            waiter = threading.Thread(target=submit_and_record)
+            waiter.start()
+            deadline = time.time() + 5.0
+            while pool.in_flight < 2 and time.time() < deadline:
+                time.sleep(0.01)
+            # ...but the third is turned away.
+            with pytest.raises(ServerOverloaded):
+                pool.submit(lambda: 1)
+            gate.set()
+            holder.join(timeout=5.0)
+            waiter.join(timeout=5.0)
+            assert results == ["queued"]
+        finally:
+            gate.set()
+            pool.shutdown()
+
+    def test_snapshot_shape(self):
+        with QueryExecutor(max_workers=3, max_queue=5) as pool:
+            pool.submit(lambda: None)
+            body = pool.snapshot()
+        assert body["max_workers"] == 3
+        assert body["max_queue"] == 5
+        assert body["submitted"] == 1
+        assert body["in_flight"] == 0

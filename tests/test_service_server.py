@@ -1,0 +1,257 @@
+"""End-to-end tests for the SDH query service over localhost HTTP."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import compute_sdh
+from repro.data import random_types, save_particles, uniform
+from repro.errors import (
+    BucketSpecError,
+    DatasetNotFound,
+    QueryError,
+    ServerOverloaded,
+    ServiceError,
+)
+from repro.physics import rdf_from_histogram
+from repro.service import SDHClient, SDHService, ServiceConfig
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return uniform(300, dim=2, rng=11)
+
+
+@pytest.fixture()
+def service():
+    with SDHService(max_workers=2, max_queue=4) as running:
+        yield running
+
+
+@pytest.fixture()
+def client(service):
+    return SDHClient(service.url)
+
+
+class TestLifecycle:
+    def test_healthz(self, client):
+        assert client.health()
+
+    def test_unknown_routes_are_404(self, client):
+        with pytest.raises(ServiceError, match="no such route"):
+            client._request("GET", "/v1/nope")
+        with pytest.raises(ServiceError, match="no such route"):
+            client._request("POST", "/v1/nope", {})
+
+    def test_config_or_overrides_not_both(self):
+        with pytest.raises(ServiceError):
+            SDHService(ServiceConfig(), max_workers=2)
+
+
+class TestRegisterAndQuery:
+    def test_register_inline_and_query(self, client, dataset):
+        key = client.register(dataset)
+        assert key == dataset.fingerprint()
+        hist = client.sdh(key, num_buckets=8)
+        direct = compute_sdh(dataset, num_buckets=8)
+        np.testing.assert_array_equal(hist.counts, direct.counts)
+        np.testing.assert_allclose(hist.edges, direct.edges)
+
+    def test_register_by_path_npz_and_alias(self, client, dataset, tmp_path):
+        path = tmp_path / "d.npz"
+        save_particles(path, dataset)
+        key = client.register(path=str(path), name="mine")
+        assert key == dataset.fingerprint()
+        by_name = client.sdh("mine", num_buckets=6)
+        by_key = client.sdh(key, num_buckets=6)
+        np.testing.assert_array_equal(by_name.counts, by_key.counts)
+
+    def test_register_typed_roundtrip(self, client):
+        typed = random_types(
+            uniform(150, dim=2, rng=3), {"C": 2, "O": 1}, rng=4
+        )
+        key = client.register(typed)
+        hist = client.sdh(key, num_buckets=5, type_filter="C")
+        direct = compute_sdh(typed, num_buckets=5, type_filter="C")
+        np.testing.assert_array_equal(hist.counts, direct.counts)
+
+    def test_bucket_width_query(self, client, dataset):
+        key = client.register(dataset)
+        hist = client.sdh(key, bucket_width=0.25)
+        direct = compute_sdh(dataset, bucket_width=0.25)
+        np.testing.assert_array_equal(hist.counts, direct.counts)
+
+    def test_approximate_query(self, client, dataset):
+        key = client.register(dataset)
+        hist = client.sdh(key, num_buckets=16, levels=2, heuristic=1, rng=9)
+        # Approximate histograms conserve total pair mass.
+        assert hist.total == pytest.approx(dataset.num_pairs)
+
+    def test_rdf_matches_direct(self, client, dataset):
+        key = client.register(dataset)
+        remote = client.rdf(key, num_buckets=24)
+        direct = rdf_from_histogram(
+            compute_sdh(dataset, num_buckets=24), dataset
+        )
+        np.testing.assert_allclose(remote.g, direct.g)
+        np.testing.assert_allclose(remote.r, direct.r)
+
+    def test_register_validation(self, client, dataset):
+        with pytest.raises(ServiceError):
+            client.register()
+        with pytest.raises(ServiceError):
+            client.register(dataset, path="also.npz")
+
+
+class TestPlanReuse:
+    def test_one_build_across_queries(self, service, client, dataset):
+        """The acceptance criterion: two queries, one pyramid build."""
+        key = client.register(dataset)
+        client.sdh(key, num_buckets=8)
+        client.sdh(key, num_buckets=32)  # different query, same plan
+        stats = client.stats()
+        assert stats["cache"]["builds"] == 1
+        assert stats["cache"]["misses"] == 1
+        assert stats["cache"]["hits"] == 1
+        assert key in stats["cache"]["plans"]
+
+    def test_eager_build_on_register(self, client, dataset):
+        client.register(dataset, build=True)
+        stats = client.stats()
+        assert stats["cache"]["builds"] == 1
+        assert stats["cache"]["misses"] == 1
+
+
+class TestErrorPaths:
+    def test_unknown_dataset_404(self, client):
+        with pytest.raises(DatasetNotFound, match="not registered"):
+            client.sdh("deadbeef", num_buckets=4)
+
+    def test_bad_bucket_spec_roundtrips_message(self, client, dataset):
+        key = client.register(dataset)
+        with pytest.raises(BucketSpecError, match="at least one bucket"):
+            client.sdh(key, num_buckets=-2)
+
+    def test_query_error_roundtrips_message(self, client, dataset):
+        key = client.register(dataset)
+        # Exactly the library's QueryError type and message text.
+        with pytest.raises(
+            QueryError, match="exactly one of bucket_width"
+        ):
+            client.sdh(key)
+
+    def test_unknown_parameter_rejected(self, client, dataset):
+        key = client.register(dataset)
+        with pytest.raises(ServiceError, match="unknown query parameters"):
+            client._request(
+                "POST", "/v1/sdh",
+                {"dataset": key, "num_buckets": 4, "wat": 1},
+            )
+
+    def test_malformed_json_rejected(self, service):
+        import urllib.error
+        import urllib.request
+
+        request = urllib.request.Request(
+            f"{service.url}/v1/sdh",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=10)
+        assert info.value.code == 400
+
+    def test_oversized_queue_rejected_as_503(self, dataset):
+        """Saturate a 1-worker/0-queue server; the overflow request
+        must come back as ServerOverloaded, not hang."""
+        config = ServiceConfig(max_workers=1, max_queue=0, timeout=None)
+        with SDHService(config) as service:
+            client = SDHClient(service.url)
+            key = client.register(uniform(2500, dim=2, rng=1))
+            rejected = []
+            done = []
+            lock = threading.Lock()
+
+            def fire():
+                try:
+                    done.append(client.sdh(key, num_buckets=64))
+                except ServerOverloaded:
+                    with lock:
+                        rejected.append(1)
+
+            threads = [threading.Thread(target=fire) for _ in range(6)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert done, "at least one query must get through"
+            assert rejected, "an oversized burst must see 503s"
+            stats = client.stats()
+            assert stats["executor"]["rejected"] == len(rejected)
+
+
+class TestConcurrencySmoke:
+    def test_parallel_clients_match_direct(self, dataset):
+        """N concurrent /v1/sdh requests, all bit-identical to
+        compute_sdh on the same inputs."""
+        stack = SDHService(max_workers=4, max_queue=16)
+        with stack as service:
+            self._run_smoke(service, dataset)
+
+    def _run_smoke(self, service, dataset):
+        client = SDHClient(service.url)
+        key = client.register(dataset)
+        expected = {
+            l: compute_sdh(dataset, num_buckets=l).counts
+            for l in (4, 8, 16, 32)
+        }
+        results = {}
+        errors = []
+        lock = threading.Lock()
+
+        def fire(i):
+            buckets = (4, 8, 16, 32)[i % 4]
+            try:
+                own = SDHClient(service.url)  # independent connection
+                hist = own.sdh(key, num_buckets=buckets)
+                with lock:
+                    results[i] = (buckets, hist.counts)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                with lock:
+                    errors.append(exc)
+
+        threads = [
+            threading.Thread(target=fire, args=(i,)) for i in range(12)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(results) == 12
+        for buckets, counts in results.values():
+            np.testing.assert_array_equal(counts, expected[buckets])
+        # All 12 queries shared one plan build.
+        stats = SDHClient(service.url).stats()
+        assert stats["cache"]["builds"] == 1
+
+
+class TestStats:
+    def test_stats_shape(self, client, dataset):
+        key = client.register(dataset, name="d")
+        client.sdh(key, num_buckets=8)
+        client.sdh(key, num_buckets=8, levels=1)
+        client.rdf(key, num_buckets=8)
+        stats = client.stats()
+        assert stats["uptime_seconds"] > 0
+        assert stats["datasets"][key]["num_particles"] == dataset.size
+        assert "d" in stats["datasets"][key]["aliases"]
+        assert stats["requests"]["sdh"] == 2
+        assert stats["requests"]["rdf"] == 1
+        assert stats["engines"]["exact"]["queries"] == 1
+        assert stats["engines"]["approx"]["queries"] == 1
+        assert stats["engines"]["rdf"]["queries"] == 1
+        assert stats["engines"]["exact"]["distance_computations"] > 0
+        assert stats["executor"]["completed"] == 3
