@@ -1,0 +1,175 @@
+"""Parallel engine scaling: wall-clock vs worker-process count.
+
+Not a paper figure — the 2009 paper ran single-threaded — but the
+honest accounting for this repo's multi-core DM-SDH engine: one shared
+pyramid (built once, coordinates exported through POSIX shared memory),
+the unresolved cell-pair frontier stride-sharded over worker processes,
+partial histograms merged bit-identically.
+
+Run modes:
+
+* ``pytest benchmarks/bench_parallel_scaling.py`` — module-scoped sweep
+  at a CI-friendly size, with correctness (bit-identical vs the serial
+  grid engine) asserted on every run;
+* ``python benchmarks/bench_parallel_scaling.py [--smoke]`` — the same
+  sweep as a script; ``--smoke`` shrinks the dataset so the whole run
+  fits in a couple of minutes on one core.
+
+The >= 2x speedup acceptance criterion at 4 workers only applies on
+hosts that actually have >= 4 cores; on smaller machines the sweep
+still runs (measuring honestly) but the assertion is skipped.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.bench import format_table, make_dataset
+from repro.core import UniformBuckets, dm_sdh_grid
+from repro.parallel import live_segments, parallel_sdh
+from repro.quadtree import GridPyramid
+
+from _common import timed, write_result
+
+#: Dataset sizes: the pytest/CI sweep must finish quickly on one core;
+#: the full sweep matches the issue's N >= 100k 3D target.
+SMOKE_N = 20_000
+FULL_N = 120_000
+NUM_BUCKETS = 16
+DIM = 3
+
+#: Worker counts to sweep — capped at the host's core count (running
+#: more processes than cores only measures oversubscription noise).
+CANDIDATE_WORKERS = (1, 2, 4, 8)
+
+
+def worker_counts() -> list[int]:
+    cores = os.cpu_count() or 1
+    counts = [w for w in CANDIDATE_WORKERS if w <= max(cores, 2)]
+    return counts or [1]
+
+
+def run_sweep(n: int) -> dict:
+    """Time the serial grid engine and the parallel engine per worker
+    count; returns ``{"serial": t, "workers": {w: t}, "speedup": {...}}``.
+    """
+    data = make_dataset("uniform", n, dim=DIM, seed=31)
+    spec = UniformBuckets.with_count(data.max_possible_distance, NUM_BUCKETS)
+    pyramid = GridPyramid(data)
+
+    reference, t_serial = timed(lambda: dm_sdh_grid(pyramid, spec=spec))
+    times: dict[int, float] = {}
+    for workers in worker_counts():
+        hist, seconds = timed(
+            lambda w=workers: parallel_sdh(pyramid, spec=spec, workers=w)
+        )
+        np.testing.assert_array_equal(reference.counts, hist.counts)
+        times[workers] = seconds
+    assert live_segments() == set(), "leaked shared-memory segments"
+
+    speedup = {w: t_serial / t for w, t in times.items()}
+    return {
+        "n": n,
+        "serial": t_serial,
+        "workers": times,
+        "speedup": speedup,
+    }
+
+
+def render(sweep: dict) -> str:
+    rows = [["grid (serial)", f"{sweep['serial']:.3f}", "1.00x"]]
+    for workers, seconds in sweep["workers"].items():
+        rows.append(
+            [
+                f"parallel w={workers}",
+                f"{seconds:.3f}",
+                f"{sweep['speedup'][workers]:.2f}x",
+            ]
+        )
+    return format_table(
+        ["engine", "time [s]", "speedup"],
+        rows,
+        title=(
+            f"Parallel DM-SDH scaling (N={sweep['n']}, {DIM}D, "
+            f"l={NUM_BUCKETS}, cores={os.cpu_count()})"
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def scaling_data():
+    sweep = run_sweep(SMOKE_N)
+    write_result("parallel_scaling", render(sweep))
+    return sweep
+
+
+class TestParallelScaling:
+    def test_bit_identical_already_checked(self, scaling_data):
+        """run_sweep asserts counts match the serial engine per worker
+        count; this test pins the sweep actually covered w=1 and w=2."""
+        assert 1 in scaling_data["workers"]
+        assert 2 in scaling_data["workers"]
+
+    def test_no_shared_memory_leak(self, scaling_data):
+        assert live_segments() == set()
+
+    @pytest.mark.skipif(
+        (os.cpu_count() or 1) < 4,
+        reason="speedup criterion needs >= 4 physical cores",
+    )
+    def test_speedup_at_four_workers(self, scaling_data):
+        """Acceptance criterion: >= 2x at 4 workers on real multi-core
+        hardware.  The smoke-size dataset is sharded fine enough that
+        four cores should clear 2x comfortably."""
+        assert scaling_data["speedup"][4] >= 2.0
+
+
+def test_benchmark_parallel_two_workers(benchmark, scaling_data):
+    data = make_dataset("uniform", 8000, dim=DIM, seed=31)
+    spec = UniformBuckets.with_count(data.max_possible_distance, NUM_BUCKETS)
+    pyramid = GridPyramid(data)
+    benchmark.pedantic(
+        lambda: parallel_sdh(pyramid, spec=spec, workers=2),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"small sweep (N={SMOKE_N}) instead of N={FULL_N}",
+    )
+    args = parser.parse_args(argv)
+
+    sweep = run_sweep(SMOKE_N if args.smoke else FULL_N)
+    write_result("parallel_scaling", render(sweep))
+    cores = os.cpu_count() or 1
+    if cores >= 4 and 4 in sweep["speedup"]:
+        if sweep["speedup"][4] < 2.0:
+            print(
+                f"FAIL: speedup at 4 workers is {sweep['speedup'][4]:.2f}x "
+                "(< 2.0x acceptance threshold)"
+            )
+            return 1
+        print(f"OK: {sweep['speedup'][4]:.2f}x at 4 workers")
+    else:
+        print(
+            f"speedup criterion skipped: host has {cores} core(s); "
+            "measured honestly above"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,7 @@ Run:  python examples/quickstart.py
 import time
 
 from repro import (
+    SDHRequest,
     SDHStats,
     UniformBuckets,
     adm_sdh,
@@ -29,9 +30,11 @@ def main() -> None:
     spec = UniformBuckets.with_count(particles.max_possible_distance, 32)
 
     # --- exact, via density maps -----------------------------------
+    # SDHRequest is the canonical query description: the same object
+    # validates once and works in the library, the CLI, and over HTTP.
     stats = SDHStats()
     start = time.perf_counter()
-    exact = compute_sdh(particles, spec=spec, stats=stats)
+    exact = compute_sdh(particles, SDHRequest(spec=spec), stats=stats)
     dm_seconds = time.perf_counter() - start
     print(f"\nDM-SDH (exact) took {dm_seconds:.2f}s")
     print(

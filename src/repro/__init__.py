@@ -27,13 +27,17 @@ from .core import (
     BucketSpec,
     CustomBuckets,
     DistanceHistogram,
+    Engine,
+    EngineCapabilities,
     GridSDHEngine,
     OverflowPolicy,
     SDHQuery,
+    SDHRequest,
     SDHStats,
     TreeSDHEngine,
     UniformBuckets,
     adm_sdh,
+    available_engines,
     brute_force_cross_sdh,
     brute_force_sdh,
     build_plan,
@@ -44,10 +48,15 @@ from .core import (
     dm_sdh_exponent,
     dm_sdh_grid,
     dm_sdh_tree,
+    get_engine,
     make_allocator,
     non_covering_factor,
     predict_error,
+    register_engine,
+    resolve_engine_name,
+    unregister_engine,
 )
+from .parallel import parallel_sdh
 from .data import (
     ParticleSet,
     Trajectory,
@@ -97,6 +106,8 @@ __all__ = [
     "DensityMapTree",
     "DistanceHistogram",
     "DistanceOverflowError",
+    "Engine",
+    "EngineCapabilities",
     "GeometryError",
     "GridPyramid",
     "GridSDHEngine",
@@ -109,6 +120,7 @@ __all__ = [
     "Region",
     "ReproError",
     "SDHQuery",
+    "SDHRequest",
     "SDHStats",
     "ServerOverloaded",
     "ServiceError",
@@ -119,6 +131,7 @@ __all__ = [
     "UniformBuckets",
     "UnionRegion",
     "adm_sdh",
+    "available_engines",
     "brute_force_cross_sdh",
     "brute_force_sdh",
     "build_plan",
@@ -131,14 +144,19 @@ __all__ = [
     "dm_sdh_tree",
     "figure1_dataset",
     "gaussian_clusters",
+    "get_engine",
     "kd_sdh",
     "lattice",
     "load_particles",
     "load_xyz",
     "make_allocator",
     "non_covering_factor",
+    "parallel_sdh",
     "predict_error",
     "random_types",
+    "register_engine",
+    "resolve_engine_name",
+    "unregister_engine",
     "random_walk_trajectory",
     "save_particles",
     "save_xyz",

@@ -22,7 +22,7 @@ from typing import Sequence
 
 import numpy as np
 
-from .core import SDHStats, compute_sdh
+from .core import SDHRequest, SDHStats, compute_sdh
 from .data import (
     ParticleSet,
     load_particles,
@@ -69,8 +69,15 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--buckets", type=int, help="total bucket count l")
     sdh.add_argument(
         "--engine",
-        choices=("auto", "grid", "tree", "brute"),
+        choices=("auto", "grid", "tree", "brute", "parallel"),
         default="auto",
+    )
+    sdh.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the parallel engine "
+        "(>1 makes --engine auto pick it)",
     )
     sdh.add_argument(
         "--error-bound",
@@ -138,6 +145,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-query time budget in seconds (0 = unlimited)",
     )
     serve.add_argument(
+        "--parallel-threshold",
+        type=int,
+        default=None,
+        metavar="N",
+        help="route exact auto-engine queries on datasets of >= N "
+        "particles to the multi-process parallel engine",
+    )
+    serve.add_argument(
+        "--parallel-workers",
+        type=int,
+        default=0,
+        help="processes for auto-routed parallel queries "
+        "(0 = one per core)",
+    )
+    serve.add_argument(
         "--verbose", action="store_true", help="log each HTTP request"
     )
 
@@ -189,17 +211,17 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_sdh(args: argparse.Namespace) -> int:
     data = _load(args.input)
     stats = SDHStats()
-    histogram = compute_sdh(
-        data,
+    request = SDHRequest(
         bucket_width=args.width,
         num_buckets=args.buckets,
         engine=args.engine,
         use_mbr=args.mbr,
         error_bound=args.error_bound,
         heuristic=args.heuristic,
-        stats=stats,
         periodic=args.periodic,
+        workers=args.workers,
     )
+    histogram = compute_sdh(data, request, stats=stats)
     print(histogram.to_text())
     print(f"total pairs: {histogram.total:.0f}")
     if args.stats:
@@ -215,7 +237,7 @@ def _cmd_sdh(args: argparse.Namespace) -> int:
 def _cmd_rdf(args: argparse.Namespace) -> int:
     data = _load(args.input)
     histogram = compute_sdh(
-        data, num_buckets=args.buckets, periodic=args.periodic
+        data, SDHRequest(num_buckets=args.buckets, periodic=args.periodic)
     )
     rdf = rdf_from_histogram(
         histogram,
@@ -237,6 +259,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_workers=args.workers,
         max_queue=args.queue,
         timeout=None if args.timeout <= 0 else args.timeout,
+        parallel_threshold=args.parallel_threshold,
+        parallel_workers=args.parallel_workers,
     )
     service = SDHService(config)
     for entry in args.dataset:

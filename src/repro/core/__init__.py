@@ -37,6 +37,14 @@ from .error_model import (
     survivor_population,
 )
 from .dm_sdh_grid import GridSDHEngine, dm_sdh_grid
+from .engines import (
+    Engine,
+    EngineCapabilities,
+    available_engines,
+    get_engine,
+    register_engine,
+    unregister_engine,
+)
 from .heuristics import (
     AllocationContext,
     Allocator,
@@ -48,7 +56,8 @@ from .heuristics import (
 )
 from .histogram import DistanceHistogram
 from .instrumentation import SDHStats
-from .query import SDHQuery, build_plan, compute_sdh
+from .query import SDHQuery, build_plan, compute_sdh, resolve_engine_name
+from .request import SDHRequest
 
 __all__ = [
     "PAPER_TABLE3",
@@ -58,23 +67,28 @@ __all__ = [
     "CustomBuckets",
     "DistanceHistogram",
     "DistributionModelAllocator",
+    "Engine",
+    "EngineCapabilities",
     "EvenSplitAllocator",
     "GridSDHEngine",
     "OverflowPolicy",
     "PredictedError",
     "ProportionalAllocator",
     "SDHQuery",
+    "SDHRequest",
     "SDHStats",
     "SingleBucketAllocator",
     "TreeSDHEngine",
     "UniformBuckets",
     "adm_sdh",
     "approximate_cost",
+    "available_engines",
     "brute_force_cross_sdh",
     "brute_force_sdh",
     "build_plan",
     "choose_levels_for_error",
     "compute_sdh",
+    "get_engine",
     "covering_factor",
     "covering_factor_model",
     "dm_sdh_exponent",
@@ -87,5 +101,8 @@ __all__ = [
     "make_allocator",
     "non_covering_factor",
     "predict_error",
+    "register_engine",
+    "resolve_engine_name",
     "survivor_population",
+    "unregister_engine",
 ]

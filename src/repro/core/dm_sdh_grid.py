@@ -211,13 +211,23 @@ class GridSDHEngine:
         self.stats.levels_visited = last_level - start + 1
 
         self._intra_cell(start)
+        self._drain(start, self._start_pairs(start), last_level)
+        return self.histogram
 
-        # Level-by-level worklist of unresolved pair batches, as pairs
-        # of per-axis index arrays of shape (n, d).
-        level = start
-        batches: Iterator[tuple[np.ndarray, np.ndarray]] = self._start_pairs(
-            start
-        )
+    def _drain(
+        self,
+        level: int,
+        batches: "Iterator[tuple[np.ndarray, np.ndarray]]",
+        last_level: int,
+    ) -> None:
+        """Run the level-by-level worklist from ``level`` down to the end.
+
+        ``batches`` yields same-level cell-pair batches as pairs of
+        per-axis index arrays of shape (n, d).  Unresolved pairs are
+        expanded to their children and re-drained until ``last_level``
+        settles everything (distances in exact mode, the allocator in
+        approximate mode).
+        """
         while True:
             carry: list[tuple[np.ndarray, np.ndarray]] = []
             for idx_a, idx_b in batches:
@@ -229,7 +239,32 @@ class GridSDHEngine:
                 break
             level += 1
             batches = iter(self._expand(carry, child_level=level))
-        return self.histogram
+
+    # ------------------------------------------------------------------
+    # Resumable entry points (used by the parallel engine's workers)
+    # ------------------------------------------------------------------
+    def process_pairs(
+        self, level: int, idx_a: np.ndarray, idx_b: np.ndarray
+    ) -> None:
+        """Fully resolve one batch of same-level cell pairs.
+
+        Picks up the algorithm mid-descent: the pairs are processed at
+        ``level`` and their unresolved children drained down to the leaf
+        map exactly as :meth:`run` would have.  Counts accumulate into
+        :attr:`histogram` / :attr:`stats`; a parallel worker calls this
+        for its shard of the frontier and ships both back for merging.
+        """
+        last_level = self.pyramid.leaf_level
+        self._drain(level, iter([(idx_a, idx_b)]), last_level)
+
+    def process_intra_cells(self, cells: np.ndarray) -> None:
+        """Compute intra-cell leaf distances for the given cells only.
+
+        The parallel engine shards the leaf cells of an oversized first
+        map (where :meth:`run` would call ``_intra_leaf_distances`` for
+        all of them) across workers.
+        """
+        self._intra_leaf_distances(self.pyramid.leaf_level, cells=cells)
 
     # ------------------------------------------------------------------
     # Level geometry tables
@@ -380,13 +415,18 @@ class GridSDHEngine:
         # distances directly (start == leaf level by construction).
         self._intra_leaf_distances(start)
 
-    def _intra_leaf_distances(self, level: int) -> None:
+    def _intra_leaf_distances(
+        self, level: int, cells: np.ndarray | None = None
+    ) -> None:
         if level != self.pyramid.leaf_level:
             raise QueryError(
                 "direct intra-cell distances only happen on the leaf map"
             )
         counts = self.pyramid.counts(level)
-        cells = np.flatnonzero(counts >= 2)
+        if cells is None:
+            cells = np.flatnonzero(counts >= 2)
+        else:
+            cells = np.asarray(cells, dtype=np.int64)
         if cells.size == 0:
             return
         if self.on_leaf_pairs is not None:

@@ -1,0 +1,152 @@
+"""Capability-based SDH engine registry.
+
+The dispatch in :mod:`repro.core.query` used to be a hard-coded tuple
+of names plus an if-chain of ``raise QueryError`` branches; adding an
+engine meant editing the dispatcher.  This module turns both into data:
+
+* an engine registers itself with :func:`register_engine`, supplying a
+  runner and an :class:`EngineCapabilities` record;
+* :func:`get_engine` resolves a name (or fails listing what exists);
+* :meth:`Engine.check` rejects a request that asks for a feature the
+  engine lacks, with one uniform error message.
+
+The runner protocol is
+
+``run(particles, request, spec, *, stats, rng) -> DistanceHistogram``
+
+where ``request`` is a normalized :class:`~repro.core.request.SDHRequest`
+and ``spec`` its resolved :class:`~repro.core.buckets.BucketSpec`.
+The built-in engines (brute / tree / grid / parallel) are registered by
+:mod:`repro.core.query` at import time; external code can plug in more
+without touching the dispatcher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import QueryError
+
+__all__ = [
+    "EngineCapabilities",
+    "Engine",
+    "register_engine",
+    "unregister_engine",
+    "get_engine",
+    "available_engines",
+]
+
+
+@dataclass(frozen=True)
+class EngineCapabilities:
+    """What query varieties an engine supports.
+
+    Each flag guards one :class:`~repro.core.request.SDHRequest` feature;
+    :meth:`Engine.check` compares the request against these and raises a
+    single :class:`~repro.errors.QueryError` naming every unsupported
+    feature at once.
+    """
+
+    periodic: bool = False
+    restricted: bool = False
+    approximate: bool = False
+    mbr: bool = False
+    workers: bool = False
+
+
+@dataclass(frozen=True)
+class Engine:
+    """A registered engine: a name, a runner, and its capabilities."""
+
+    name: str
+    run: Callable
+    capabilities: EngineCapabilities = field(
+        default_factory=EngineCapabilities
+    )
+
+    def check(self, request) -> None:
+        """Raise :class:`QueryError` if the request needs missing features."""
+        caps = self.capabilities
+        missing = []
+        if request.periodic and not caps.periodic:
+            missing.append("periodic boundaries")
+        if request.restricted and not caps.restricted:
+            missing.append("restricted queries")
+        if request.approximate and not caps.approximate:
+            missing.append("approximate mode")
+        if request.use_mbr and not caps.mbr:
+            missing.append("MBR resolution")
+        if (
+            request.workers is not None
+            and request.workers > 1
+            and not caps.workers
+        ):
+            missing.append("multi-process workers")
+        if missing:
+            raise QueryError(
+                f"engine {self.name!r} does not support "
+                + ", ".join(missing)
+            )
+
+
+_REGISTRY: dict[str, Engine] = {}
+
+
+def register_engine(
+    name: str,
+    run: Callable,
+    capabilities: EngineCapabilities | None = None,
+    replace: bool = False,
+) -> Engine:
+    """Register an engine under ``name`` and return the registry entry.
+
+    ``replace=False`` (the default) refuses to shadow an existing
+    registration, so accidental double-registration fails loudly.
+    """
+    if not isinstance(name, str) or not name:
+        raise QueryError("engine name must be a non-empty string")
+    key = name.lower()
+    if key == "auto":
+        raise QueryError("'auto' is the dispatcher's selector, not an engine")
+    if key in _REGISTRY and not replace:
+        raise QueryError(
+            f"engine {key!r} is already registered; pass replace=True "
+            "to override"
+        )
+    entry = Engine(
+        name=key,
+        run=run,
+        capabilities=capabilities or EngineCapabilities(),
+    )
+    _REGISTRY[key] = entry
+    return entry
+
+
+def unregister_engine(name: str) -> None:
+    """Remove a registration (mainly for tests plugging in fakes)."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise QueryError(f"engine {key!r} is not registered")
+    del _REGISTRY[key]
+
+
+def get_engine(name: str) -> Engine:
+    """Resolve a registered engine by name.
+
+    The error message lists what *is* registered (plus the ``auto``
+    selector), so a typo is self-diagnosing.
+    """
+    key = name.lower() if isinstance(name, str) else name
+    entry = _REGISTRY.get(key)
+    if entry is None:
+        raise QueryError(
+            f"unknown engine {name!r}; pick from "
+            f"{('auto', *sorted(_REGISTRY))}"
+        )
+    return entry
+
+
+def available_engines() -> tuple[str, ...]:
+    """Sorted names of every registered engine (``auto`` not included)."""
+    return tuple(sorted(_REGISTRY))

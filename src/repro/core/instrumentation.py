@@ -61,6 +61,36 @@ class SDHStats:
             self.resolved_distances.get(level, 0.0) + resolved_distances
         )
 
+    def merge(self, other: "SDHStats") -> "SDHStats":
+        """Fold another run's counters into this one (returns self).
+
+        Used by the parallel engine: each worker accumulates stats for
+        its shard of the frontier, and the parent merges them so the
+        totals equal what a single-process run would have recorded.
+        Counters are sums; ``start_level`` keeps the first known value
+        and ``levels_visited`` the maximum (workers each descend the
+        same level range, not disjoint ones).
+        """
+        if self.start_level is None:
+            self.start_level = other.start_level
+        for level, examined in other.resolve_calls.items():
+            self.resolve_calls[level] = (
+                self.resolve_calls.get(level, 0) + examined
+            )
+        for level, resolved in other.resolved_pairs.items():
+            self.resolved_pairs[level] = (
+                self.resolved_pairs.get(level, 0) + resolved
+            )
+        for level, distances in other.resolved_distances.items():
+            self.resolved_distances[level] = (
+                self.resolved_distances.get(level, 0.0) + distances
+            )
+        self.distance_computations += other.distance_computations
+        self.approximated_distances += other.approximated_distances
+        self.approximated_pairs += other.approximated_pairs
+        self.levels_visited = max(self.levels_visited, other.levels_visited)
+        return self
+
     @property
     def total_resolve_calls(self) -> int:
         """Operation-1 count: all cell-pair resolution attempts."""

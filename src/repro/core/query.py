@@ -1,23 +1,30 @@
 """High-level SDH query interface.
 
-:func:`compute_sdh` is the one-call front door of the library: pick a
-dataset, a bucket width (or a full spec), optionally an engine, an
-approximation budget, a query region or a type restriction — and get a
-:class:`~repro.core.histogram.DistanceHistogram` back.  It dispatches to
+The canonical entry points take an :class:`~repro.core.request.SDHRequest`
+— one frozen dataclass describing the whole query — and dispatch through
+the capability-based engine registry (:mod:`repro.core.engines`):
 
-* the brute-force baseline (``engine="brute"``),
-* the node-recursive reference engine (``engine="tree"``, the paper's
-  in-index pruning for region- and type-restricted queries),
-* the vectorized engine (``engine="grid"``, the default; restricted
-  queries run on it by subsetting the qualifying particles), or
-* ADM-SDH (when ``error_bound``, ``levels`` or ``op_budget`` is given).
+* ``compute_sdh(particles, request)`` — one-shot;
+* ``SDHQuery.run(request)`` — against a prebuilt, reusable plan (the
+  scenario the paper's storage discussion assumes, where the quadtree
+  is a persistent index answering many queries);
+* the classic keyword style (``compute_sdh(particles, num_buckets=8)``)
+  still works as a thin shim that builds the request internally.
 
-:class:`SDHQuery` is the reusable-plan variant: build the density maps
-once, then answer many queries against them (the scenario the paper's
-storage discussion assumes, where the quadtree is a persistent index).
+Registered engines:
+
+* ``brute`` — the O(N^2) baseline;
+* ``tree`` — the node-recursive reference engine (the paper's in-index
+  pruning for region- and type-restricted queries);
+* ``grid`` — the vectorized engine (the ``auto`` default; restricted
+  queries run on it by subsetting, approximate requests run ADM-SDH);
+* ``parallel`` — the multi-core engine (:mod:`repro.parallel`), chosen
+  by ``auto`` whenever ``workers`` asks for more than one process.
 """
 
 from __future__ import annotations
+
+import warnings
 
 import numpy as np
 
@@ -28,153 +35,185 @@ from ..quadtree.grid import GridPyramid
 from ..quadtree.tree import DensityMapTree
 from .approximate import adm_sdh
 from .brute_force import brute_force_sdh
-from .buckets import BucketSpec, OverflowPolicy, UniformBuckets
+from .buckets import BucketSpec, OverflowPolicy
 from .dm_sdh import dm_sdh_tree
 from .dm_sdh_grid import dm_sdh_grid
+from .engines import EngineCapabilities, get_engine, register_engine
 from .heuristics import Allocator
 from .histogram import DistanceHistogram
 from .instrumentation import SDHStats
+from .request import SDHRequest
 
-__all__ = ["compute_sdh", "build_plan", "SDHQuery"]
-
-_ENGINES = ("auto", "grid", "tree", "brute")
+__all__ = [
+    "compute_sdh",
+    "build_plan",
+    "SDHQuery",
+    "resolve_engine_name",
+]
 
 
 def compute_sdh(
     particles: ParticleSet,
-    bucket_width: float | None = None,
-    spec: BucketSpec | None = None,
-    num_buckets: int | None = None,
-    engine: str = "auto",
-    use_mbr: bool = False,
-    region: Region | None = None,
-    type_filter: int | str | None = None,
-    type_pair: tuple[int | str, int | str] | None = None,
-    error_bound: float | None = None,
-    levels: int | None = None,
-    heuristic: int | str | Allocator = 3,
-    policy: OverflowPolicy = OverflowPolicy.RAISE,
+    request: SDHRequest | BucketSpec | float | None = None,
+    *,
     stats: SDHStats | None = None,
     rng: np.random.Generator | int | None = None,
-    periodic: bool = False,
+    **kwargs,
 ) -> DistanceHistogram:
     """Compute a spatial distance histogram.
 
-    Parameters
-    ----------
-    particles:
-        The dataset.
-    bucket_width / spec / num_buckets:
-        The query: give a width ``p`` (standard query covering the box
-        diagonal), a total bucket count ``l`` (the paper's experimental
-        parameterization, ``p = diagonal / l``), or a full spec.
-    engine:
-        ``"auto"`` (the vectorized grid engine, with restricted queries
-        answered by subsetting), ``"grid"``, ``"tree"`` (the paper's
-        in-index pruning) or ``"brute"``.
-    use_mbr:
-        Resolve cells via particle MBRs (Sec. III-C.3 optimization).
-    region / type_filter / type_pair:
-        The query varieties of Sec. III-C.3.
-    error_bound / levels / heuristic:
-        Switch to approximate ADM-SDH (Sec. V): visit ``levels`` maps or
-        as many as the covering-factor model needs for ``error_bound``,
-        then distribute remaining counts with the chosen heuristic.
-    policy:
-        Overflow handling for distances past the last edge.
-    stats / rng:
-        Operation counters and randomness for sampled heuristics.
-    periodic:
-        Measure distances under the minimum-image convention over the
-        simulation box (grid/brute engines and ADM-SDH; the in-index
-        tree engine is non-periodic).
+    The primary form is ``compute_sdh(particles, SDHRequest(...))``;
+    see :class:`~repro.core.request.SDHRequest` for every query knob.
+    ``stats`` and ``rng`` are runtime arguments (counters and sampling
+    randomness), not part of the query itself.
+
+    Two shims keep older call styles working:
+
+    * plain keywords (``compute_sdh(data, num_buckets=8,
+      engine="grid")``) build the request internally — same semantics,
+      no warning;
+    * a bare number or :class:`BucketSpec` as the second positional
+      argument is read as ``bucket_width`` / ``spec``.
+
+    Passing *both* a request and keyword overrides is ambiguous and
+    deprecated: the keywords win, a :class:`DeprecationWarning` is
+    emitted, and callers should use ``request.replace(...)`` instead.
     """
-    resolved_spec = _resolve_query_spec(
-        particles, bucket_width, spec, num_buckets, periodic=periodic
-    )
-    approx = error_bound is not None or levels is not None
-    restricted = (
-        region is not None or type_filter is not None or type_pair is not None
-    )
-    chosen = _choose_engine(engine, approx, restricted)
-    if periodic and chosen == "tree":
-        raise QueryError(
-            "the node-tree engine does not support periodic boundaries; "
-            "use engine='grid' or 'brute'"
+    request = _coerce_request(request, kwargs)
+    spec = request.resolved_spec(particles)
+    engine = get_engine(resolve_engine_name(request))
+    engine.check(request)
+    return engine.run(particles, request, spec, stats=stats, rng=rng)
+
+
+def resolve_engine_name(request: SDHRequest) -> str:
+    """Map ``engine="auto"`` to a concrete registered engine.
+
+    ``auto`` means the vectorized grid engine, except that a request
+    for more than one worker selects the multi-core parallel engine.
+    Explicit names pass through untouched (the registry validates them).
+    """
+    if request.engine != "auto":
+        return request.engine
+    if request.workers is not None and request.workers > 1:
+        return "parallel"
+    return "grid"
+
+
+def _coerce_request(request, kwargs: dict) -> SDHRequest:
+    """Normalize the shim surface into one validated SDHRequest."""
+    if request is not None and not isinstance(request, SDHRequest):
+        if isinstance(request, BucketSpec):
+            kwargs.setdefault("spec", request)
+        elif isinstance(request, (int, float)) and not isinstance(
+            request, bool
+        ):
+            kwargs.setdefault("bucket_width", float(request))
+        else:
+            raise QueryError(
+                "the second argument must be an SDHRequest, a BucketSpec "
+                f"or a bucket width, got {type(request).__name__}"
+            )
+        request = None
+    if request is None:
+        request = SDHRequest(**kwargs)
+    elif kwargs:
+        warnings.warn(
+            "passing keyword overrides alongside an SDHRequest is "
+            "deprecated; build the query with request.replace(...)",
+            DeprecationWarning,
+            stacklevel=3,
         )
+        request = request.replace(**kwargs)
+    return request.normalize()
 
-    if chosen == "brute":
-        filtered = _filter_brute(particles, region, type_filter, type_pair)
-        if filtered is not None:
-            particles_a, particles_b = filtered
-            if particles_b is not None:
-                from .brute_force import brute_force_cross_sdh
 
-                return brute_force_cross_sdh(
-                    particles_a, particles_b, resolved_spec, policy=policy,
-                    stats=stats or SDHStats(), periodic=periodic,
-                )
-            particles = particles_a
-        return brute_force_sdh(
-            particles, spec=resolved_spec, policy=policy,
-            stats=stats or SDHStats(), periodic=periodic,
-        )
+# ----------------------------------------------------------------------
+# Engine runners (registered at the bottom of the module)
+# ----------------------------------------------------------------------
+def _run_brute(particles, request, spec, *, stats, rng):
+    filtered = _filter_brute(
+        particles, request.region, request.type_filter, request.type_pair
+    )
+    if filtered is not None:
+        particles_a, particles_b = filtered
+        if particles_b is not None:
+            from .brute_force import brute_force_cross_sdh
 
-    if approx:
+            return brute_force_cross_sdh(
+                particles_a, particles_b, spec, policy=request.policy,
+                stats=stats or SDHStats(), periodic=request.periodic,
+            )
+        particles = particles_a
+    return brute_force_sdh(
+        particles, spec=spec, policy=request.policy,
+        stats=stats or SDHStats(), periodic=request.periodic,
+    )
+
+
+def _run_tree(particles, request, spec, *, stats, rng):
+    tree = DensityMapTree(particles, with_mbr=request.use_mbr)
+    return dm_sdh_tree(
+        tree,
+        spec=spec,
+        use_mbr=request.use_mbr,
+        region=request.region,
+        type_filter=request.type_filter,
+        type_pair=request.type_pair,
+        policy=request.policy,
+        stats=stats,
+    )
+
+
+def _run_grid(particles, request, spec, *, stats, rng):
+    if request.approximate:
         return adm_sdh(
             particles,
-            spec=resolved_spec,
-            levels=levels,
-            error_bound=error_bound,
-            heuristic=heuristic,
-            use_mbr=use_mbr,
-            policy=policy,
+            spec=spec,
+            levels=request.levels,
+            error_bound=request.error_bound,
+            heuristic=request.heuristic,
+            use_mbr=request.use_mbr,
+            policy=request.policy,
             stats=stats,
             rng=rng,
-            periodic=periodic,
+            periodic=request.periodic,
         )
 
-    if chosen == "tree":
-        tree = DensityMapTree(particles, with_mbr=use_mbr)
-        return dm_sdh_tree(
-            tree,
-            spec=resolved_spec,
-            use_mbr=use_mbr,
-            region=region,
-            type_filter=type_filter,
-            type_pair=type_pair,
-            policy=policy,
-            stats=stats,
+    def run_full(subset: ParticleSet) -> DistanceHistogram:
+        return dm_sdh_grid(
+            subset, spec=spec, use_mbr=request.use_mbr,
+            policy=request.policy, stats=stats, periodic=request.periodic,
         )
 
-    if restricted:
-        return _restricted_via_grid(
-            particles, resolved_spec, region, type_filter, type_pair,
-            use_mbr, policy, stats, periodic=periodic,
+    if request.restricted:
+        return _restricted_subsets(particles, spec, request, run_full)
+    return run_full(particles)
+
+
+def _run_parallel(particles, request, spec, *, stats, rng):
+    # Imported lazily: repro.parallel imports this module's siblings,
+    # and the registry must be populated before the first query anyway.
+    from ..parallel.engine import parallel_sdh
+
+    def run_full(subset) -> DistanceHistogram:
+        return parallel_sdh(
+            subset, spec=spec, workers=request.workers,
+            policy=request.policy, stats=stats, periodic=request.periodic,
         )
 
-    return dm_sdh_grid(
-        particles,
-        spec=resolved_spec,
-        use_mbr=use_mbr,
-        policy=policy,
-        stats=stats,
-        periodic=periodic,
-    )
+    if request.restricted:
+        return _restricted_subsets(particles, spec, request, run_full)
+    return run_full(particles)
 
 
-def _restricted_via_grid(
+def _restricted_subsets(
     particles: ParticleSet,
     spec: BucketSpec,
-    region: Region | None,
-    type_filter: int | str | None,
-    type_pair: tuple[int | str, int | str] | None,
-    use_mbr: bool,
-    policy: OverflowPolicy,
-    stats: SDHStats | None,
-    periodic: bool = False,
+    request: SDHRequest,
+    run_full,
 ) -> DistanceHistogram:
-    """Restricted queries on the vectorized engine via subsetting.
+    """Restricted queries on a plain engine via subsetting.
 
     The paper's in-index approach (engine="tree") prunes inside the
     prebuilt quadtree; materializing the qualifying subset and running
@@ -183,8 +222,8 @@ def _restricted_via_grid(
     ``h(A x B) = h(A u B) - h(A) - h(B)`` for disjoint A, B.
     """
     current = particles
-    if region is not None:
-        mask = region.contains_points(current.positions)
+    if request.region is not None:
+        mask = request.region.contains_points(current.positions)
         if not mask.any():
             raise QueryError("query region contains no particles")
         current = current.select(mask)
@@ -192,19 +231,17 @@ def _restricted_via_grid(
     def run(subset: ParticleSet) -> DistanceHistogram:
         if subset.size < 2:
             return DistanceHistogram(spec)
-        return dm_sdh_grid(
-            subset, spec=spec, use_mbr=use_mbr, policy=policy,
-            stats=stats, periodic=periodic,
-        )
+        return run_full(subset)
 
-    if type_filter is not None:
-        return run(current.of_type(type_filter))
-    if type_pair is not None:
-        subset_a = current.of_type(type_pair[0])
-        subset_b = current.of_type(type_pair[1])
+    if request.type_filter is not None:
+        return run(current.of_type(request.type_filter))
+    if request.type_pair is not None:
+        pair = request.type_pair
+        subset_a = current.of_type(pair[0])
+        subset_b = current.of_type(pair[1])
         both = current.select(
-            (current.types == current.resolve_type(type_pair[0]))
-            | (current.types == current.resolve_type(type_pair[1]))
+            (current.types == current.resolve_type(pair[0]))
+            | (current.types == current.resolve_type(pair[1]))
         )
         union_hist = run(both)
         cross = union_hist.counts - run(subset_a).counts - run(
@@ -219,6 +256,7 @@ def build_plan(
     use_mbr: bool = False,
     height: int | None = None,
     beta: float | None = None,
+    request: SDHRequest | None = None,
 ) -> "SDHQuery":
     """Build a reusable :class:`SDHQuery` plan for a dataset.
 
@@ -228,7 +266,14 @@ def build_plan(
     rebuilding.  Callers that hold plans keyed by
     :meth:`~repro.data.particles.ParticleSet.fingerprint` get the
     paper's persistent-index behaviour: one index, many queries.
+
+    When a ``request`` is given, the plan is built to serve it (today
+    that means honouring ``use_mbr``; the request's
+    :meth:`~repro.core.request.SDHRequest.plan_key` names the variant
+    for cache keying).
     """
+    if request is not None:
+        use_mbr = use_mbr or request.use_mbr
     return SDHQuery(particles, use_mbr=use_mbr, height=height, beta=beta)
 
 
@@ -240,7 +285,7 @@ class SDHQuery:
     parent pointers because the data never changes), and SDH queries
     with different bucket widths arrive over time.  This class captures
     that usage: construction pays the indexing cost, each
-    :meth:`histogram` call only pays query time.
+    :meth:`run` / :meth:`histogram` call only pays query time.
     """
 
     def __init__(
@@ -298,6 +343,96 @@ class SDHQuery:
             )
         return self._tree
 
+    def run(
+        self,
+        request: SDHRequest,
+        *,
+        stats: SDHStats | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> DistanceHistogram:
+        """Answer one :class:`SDHRequest` against the prebuilt density maps.
+
+        The plan analogue of :func:`compute_sdh`: the same request
+        vocabulary, but plain/approximate/parallel queries reuse the
+        cached pyramid and ``engine="tree"`` the lazily built node tree
+        instead of re-indexing per call.
+        """
+        if not isinstance(request, SDHRequest):
+            raise QueryError(
+                "SDHQuery.run takes an SDHRequest; use histogram(...) "
+                "for keyword-style queries"
+            )
+        request = request.normalize()
+        spec = request.resolved_spec(self._particles)
+        name = resolve_engine_name(request)
+        engine = get_engine(name)
+        engine.check(request)
+        if name == "brute":
+            return engine.run(
+                self._particles, request, spec, stats=stats, rng=rng
+            )
+        if name == "tree":
+            return dm_sdh_tree(
+                self.tree,
+                spec=spec,
+                use_mbr=request.use_mbr,
+                region=request.region,
+                type_filter=request.type_filter,
+                type_pair=request.type_pair,
+                policy=request.policy,
+                stats=stats,
+            )
+        if request.approximate:
+            return adm_sdh(
+                self._pyramid,
+                spec=spec,
+                levels=request.levels,
+                error_bound=request.error_bound,
+                heuristic=request.heuristic,
+                use_mbr=request.use_mbr,
+                policy=request.policy,
+                stats=stats,
+                rng=rng,
+                periodic=request.periodic,
+            )
+        if request.restricted:
+            # Subsets index their own (small) pyramids; the prebuilt
+            # one answers the unrestricted queries.
+            def run_full(subset: ParticleSet) -> DistanceHistogram:
+                if name == "parallel":
+                    from ..parallel.engine import parallel_sdh
+
+                    return parallel_sdh(
+                        subset, spec=spec, workers=request.workers,
+                        policy=request.policy, stats=stats,
+                        periodic=request.periodic,
+                    )
+                return dm_sdh_grid(
+                    subset, spec=spec, use_mbr=False,
+                    policy=request.policy, stats=stats,
+                    periodic=request.periodic,
+                )
+
+            return _restricted_subsets(
+                self._particles, spec, request, run_full
+            )
+        if name == "parallel":
+            from ..parallel.engine import parallel_sdh
+
+            return parallel_sdh(
+                self._pyramid, spec=spec, workers=request.workers,
+                policy=request.policy, stats=stats,
+                periodic=request.periodic,
+            )
+        return dm_sdh_grid(
+            self._pyramid,
+            spec=spec,
+            use_mbr=request.use_mbr,
+            policy=request.policy,
+            stats=stats,
+            periodic=request.periodic,
+        )
+
     def histogram(
         self,
         bucket_width: float | None = None,
@@ -313,102 +448,35 @@ class SDHQuery:
         stats: SDHStats | None = None,
         rng: np.random.Generator | int | None = None,
         in_index: bool = False,
+        workers: int | None = None,
+        periodic: bool = False,
     ) -> DistanceHistogram:
-        """Answer one SDH query against the prebuilt density maps.
+        """Keyword shim over :meth:`run`.
 
         Parameters are as in :func:`compute_sdh` minus the engine knob:
-        approximate queries run ADM-SDH on the pyramid, everything else
-        the vectorized exact engine.  Restricted queries default to
-        subset-then-grid (see ``_restricted_via_grid``); pass
+        approximate queries run ADM-SDH on the pyramid, ``workers > 1``
+        the parallel engine, everything else the vectorized exact
+        engine.  Restricted queries default to subset-then-grid; pass
         ``in_index=True`` for the paper's Sec. III-C.3 in-index pruning
         on the node tree instead.
         """
-        resolved_spec = _resolve_query_spec(
-            self._particles, bucket_width, spec, num_buckets
-        )
-        restricted = (
-            region is not None
-            or type_filter is not None
-            or type_pair is not None
-        )
-        approx = error_bound is not None or levels is not None
-        if restricted:
-            if approx:
-                raise QueryError(
-                    "restricted queries are exact-only in this version"
-                )
-            if in_index:
-                return dm_sdh_tree(
-                    self.tree,
-                    spec=resolved_spec,
-                    use_mbr=self._use_mbr,
-                    region=region,
-                    type_filter=type_filter,
-                    type_pair=type_pair,
-                    policy=policy,
-                    stats=stats,
-                )
-            return _restricted_via_grid(
-                self._particles, resolved_spec, region, type_filter,
-                type_pair, False, policy, stats,
-            )
-        if approx:
-            return adm_sdh(
-                self._pyramid,
-                spec=resolved_spec,
-                levels=levels,
-                error_bound=error_bound,
-                heuristic=heuristic,
-                use_mbr=self._use_mbr,
-                policy=policy,
-                stats=stats,
-                rng=rng,
-            )
-        return dm_sdh_grid(
-            self._pyramid,
-            spec=resolved_spec,
+        request = SDHRequest(
+            bucket_width=bucket_width,
+            spec=spec,
+            num_buckets=num_buckets,
+            engine="tree" if in_index else "auto",
             use_mbr=self._use_mbr,
+            region=region,
+            type_filter=type_filter,
+            type_pair=type_pair,
+            error_bound=error_bound,
+            levels=levels,
+            heuristic=heuristic,
             policy=policy,
-            stats=stats,
+            periodic=periodic,
+            workers=workers,
         )
-
-
-def _resolve_query_spec(
-    particles: ParticleSet,
-    bucket_width: float | None,
-    spec: BucketSpec | None,
-    num_buckets: int | None,
-    periodic: bool = False,
-) -> BucketSpec:
-    given = sum(
-        value is not None for value in (bucket_width, spec, num_buckets)
-    )
-    if given != 1:
-        raise QueryError(
-            "provide exactly one of bucket_width / spec / num_buckets"
-        )
-    if spec is not None:
-        return spec
-    if periodic:
-        reach = particles.max_periodic_distance
-    else:
-        reach = particles.max_possible_distance
-    if bucket_width is not None:
-        return UniformBuckets.cover(reach, bucket_width)
-    assert num_buckets is not None
-    return UniformBuckets.with_count(reach, num_buckets)
-
-
-def _choose_engine(engine: str, approx: bool, restricted: bool) -> str:
-    if engine not in _ENGINES:
-        raise QueryError(f"unknown engine {engine!r}; pick from {_ENGINES}")
-    if approx and restricted:
-        raise QueryError("approximate restricted queries are not supported")
-    if engine == "auto":
-        return "grid"
-    if approx and engine in ("tree", "brute"):
-        raise QueryError("approximate mode runs on the grid engine")
-    return engine
+        return self.run(request, stats=stats, rng=rng)
 
 
 def _filter_brute(
@@ -431,3 +499,35 @@ def _filter_brute(
     if type_pair is not None:
         return current.of_type(type_pair[0]), current.of_type(type_pair[1])
     return current, None
+
+
+# ----------------------------------------------------------------------
+# Built-in engine registrations.  ``replace=True`` keeps re-imports
+# (e.g. under importlib.reload in tests) idempotent.
+# ----------------------------------------------------------------------
+register_engine(
+    "brute",
+    _run_brute,
+    EngineCapabilities(periodic=True, restricted=True, mbr=True),
+    replace=True,
+)
+register_engine(
+    "tree",
+    _run_tree,
+    EngineCapabilities(restricted=True, mbr=True),
+    replace=True,
+)
+register_engine(
+    "grid",
+    _run_grid,
+    EngineCapabilities(
+        periodic=True, restricted=True, approximate=True, mbr=True
+    ),
+    replace=True,
+)
+register_engine(
+    "parallel",
+    _run_parallel,
+    EngineCapabilities(periodic=True, restricted=True, workers=True),
+    replace=True,
+)

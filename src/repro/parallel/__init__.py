@@ -1,0 +1,18 @@
+"""Multi-core parallel DM-SDH execution.
+
+The grid engine (:mod:`repro.core.dm_sdh_grid`) resolves the pyramid's
+cell-pair frontier on one core; this package shards that frontier
+across a :class:`concurrent.futures.ProcessPoolExecutor` and merges the
+per-worker partial histograms — an exact, order-independent sum, so the
+result is bit-identical to the single-core run (CADISHI-style cell-pair
+parallelism; Reuter & Köfinger 2018).
+
+Coordinates travel through :mod:`multiprocessing.shared_memory` (one
+segment per run, see :mod:`repro.parallel.shm`), never through task
+pickles.
+"""
+
+from .engine import parallel_sdh
+from .shm import SharedArrayBundle, live_segments
+
+__all__ = ["parallel_sdh", "SharedArrayBundle", "live_segments"]

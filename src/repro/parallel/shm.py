@@ -1,0 +1,171 @@
+"""Shared-memory transport for the parallel engine's large arrays.
+
+The parallel engine must hand every worker the sorted particle
+coordinates and the pyramid's CSR leaf offsets.  Pickling them into
+each task would copy the whole dataset per task; instead the parent
+packs all arrays into **one** :class:`multiprocessing.shared_memory`
+segment and ships only a small picklable :class:`BundleDescriptor`.
+Workers attach and wrap zero-copy numpy views.
+
+Lifecycle: the parent creates the bundle, forks/spawns the pool,
+and — in a ``finally`` — closes and unlinks the segment after the pool
+has shut down.  Workers only ever ``close()`` their attachment.
+:func:`live_segments` exposes the names of segments this process has
+created and not yet unlinked, so tests can assert nothing leaks even
+when a run dies mid-flight.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = [
+    "ArraySpec",
+    "BundleDescriptor",
+    "SharedArrayBundle",
+    "attach",
+    "live_segments",
+]
+
+# Offsets are aligned so every array view starts on a cache line.
+_ALIGN = 64
+
+#: Names of segments created (and not yet unlinked) by this process.
+_LIVE: set[str] = set()
+
+
+def live_segments() -> frozenset[str]:
+    """Segment names this process currently owns (leak-check hook)."""
+    return frozenset(_LIVE)
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Placement of one array inside the segment (picklable)."""
+
+    name: str
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+
+
+@dataclass(frozen=True)
+class BundleDescriptor:
+    """Everything a worker needs to attach: segment name + array layout."""
+
+    segment: str
+    arrays: tuple[ArraySpec, ...]
+
+
+class SharedArrayBundle:
+    """Named numpy arrays packed into one shared-memory segment.
+
+    Parent side::
+
+        bundle = SharedArrayBundle({"positions": pos, "starts": starts})
+        try:
+            ... fan out tasks carrying bundle.descriptor() ...
+        finally:
+            bundle.unlink()
+
+    Worker side: :func:`attach` the descriptor once per process and keep
+    the returned handle alive as long as the views are in use.
+    """
+
+    def __init__(self, arrays: dict[str, np.ndarray]):
+        specs: list[ArraySpec] = []
+        offset = 0
+        prepared: dict[str, np.ndarray] = {}
+        for name, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            prepared[name] = array
+            specs.append(
+                ArraySpec(
+                    name=name,
+                    dtype=array.dtype.str,
+                    shape=tuple(array.shape),
+                    offset=offset,
+                )
+            )
+            offset += -(-array.nbytes // _ALIGN) * _ALIGN
+        # SharedMemory refuses zero-size segments; keep a minimal one so
+        # the degenerate all-empty case still round-trips.
+        segment_name = f"repro-sdh-{secrets.token_hex(6)}"
+        self._shm = shared_memory.SharedMemory(
+            name=segment_name, create=True, size=max(offset, _ALIGN)
+        )
+        _LIVE.add(self._shm.name)
+        self._specs = tuple(specs)
+        self._unlinked = False
+        self._closed = False
+        for spec in self._specs:
+            view = np.ndarray(
+                spec.shape,
+                dtype=np.dtype(spec.dtype),
+                buffer=self._shm.buf,
+                offset=spec.offset,
+            )
+            view[...] = prepared[spec.name]
+
+    @property
+    def name(self) -> str:
+        """The OS-level segment name."""
+        return self._shm.name
+
+    def descriptor(self) -> BundleDescriptor:
+        """The picklable attachment recipe for workers."""
+        return BundleDescriptor(segment=self._shm.name, arrays=self._specs)
+
+    def close(self) -> None:
+        """Drop this process's mapping (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (idempotent; also closes)."""
+        self.close()
+        if not self._unlinked:
+            self._unlinked = True
+            self._shm.unlink()
+            _LIVE.discard(self._shm.name)
+
+    def __enter__(self) -> "SharedArrayBundle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.unlink()
+
+    def __del__(self):  # pragma: no cover - safety net
+        try:
+            self.unlink()
+        except Exception:
+            pass
+
+
+def attach(
+    descriptor: BundleDescriptor,
+) -> tuple[dict[str, np.ndarray], shared_memory.SharedMemory]:
+    """Attach to a bundle and return ``(views, handle)``.
+
+    The views are read-only, zero-copy windows into the segment; the
+    caller must keep ``handle`` alive while using them and ``close()``
+    it when done (workers never ``unlink`` — the parent owns the
+    segment).
+    """
+    handle = shared_memory.SharedMemory(name=descriptor.segment, create=False)
+    views: dict[str, np.ndarray] = {}
+    for spec in descriptor.arrays:
+        view = np.ndarray(
+            spec.shape,
+            dtype=np.dtype(spec.dtype),
+            buffer=handle.buf,
+            offset=spec.offset,
+        )
+        view.flags.writeable = False
+        views[spec.name] = view
+    return views, handle

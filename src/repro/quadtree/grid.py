@@ -53,6 +53,46 @@ class GridPyramid:
         self._build()
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_components(
+        cls,
+        particles: ParticleSet,
+        height: int,
+        leaf_starts: np.ndarray,
+        sorted_positions: np.ndarray,
+    ) -> "GridPyramid":
+        """Reassemble a pyramid from its leaf-level arrays without rebuilding.
+
+        This is the parallel engine's worker-side constructor: the
+        parent ships ``sorted_positions`` and ``leaf_starts`` through
+        shared memory, and each worker wraps zero-copy views of them
+        into a pyramid whose per-level counts are re-pooled from the
+        leaf counts (cheap — the whole pyramid holds ~(2^d/(2^d-1))×
+        the leaf cell count).  ``particles`` must already hold the
+        *sorted* positions, so :attr:`order` is the identity and is not
+        materialized.  MBR arrays are not reconstructed.
+        """
+        self = cls.__new__(cls)
+        if height < 1:
+            raise TreeError(f"height must be >= 1, got {height}")
+        self._particles = particles
+        self._height = int(height)
+        self._with_mbr = False
+        self._leaf_starts = np.asarray(leaf_starts, dtype=np.int64)
+        self._sorted_positions = sorted_positions
+        self._order = None  # identity by construction; never gathered
+        grid = 1 << (self._height - 1)
+        dim = particles.dim
+        if self._leaf_starts.size != grid**dim + 1:
+            raise TreeError(
+                f"leaf_starts has {self._leaf_starts.size} entries, "
+                f"expected {grid ** dim + 1} for height {self._height}"
+            )
+        leaf_counts = np.diff(self._leaf_starts)
+        self._counts = self._pool_counts(leaf_counts, grid, dim)
+        self._child_offsets = self._make_child_offsets(dim)
+        return self
+
     @property
     def particles(self) -> ParticleSet:
         """The indexed dataset."""
@@ -206,11 +246,21 @@ class GridPyramid:
         np.cumsum(leaf_counts, out=starts[1:])
         self._leaf_starts = starts
 
-        # Count pyramid, finest to coarsest, by 2x sum-pooling per axis.
-        self._counts: list[np.ndarray] = [None] * height  # type: ignore
-        shaped = leaf_counts.reshape((grid,) * dim, order="F")
-        self._counts[height - 1] = leaf_counts.astype(np.int64)
-        current = shaped
+        self._counts = self._pool_counts(leaf_counts, grid, dim)
+        self._child_offsets = self._make_child_offsets(dim)
+
+        if self._with_mbr:
+            self._build_mbrs(flat, positions, grid, dim)
+
+    @staticmethod
+    def _pool_counts(
+        leaf_counts: np.ndarray, grid: int, dim: int
+    ) -> "list[np.ndarray]":
+        """Count pyramid, finest to coarsest, by 2x sum-pooling per axis."""
+        height = grid.bit_length()  # grid == 2**(height-1)
+        counts: list[np.ndarray] = [None] * height  # type: ignore
+        counts[height - 1] = np.asarray(leaf_counts, dtype=np.int64)
+        current = counts[height - 1].reshape((grid,) * dim, order="F")
         for level in range(height - 2, -1, -1):
             pooled = current
             for axis in range(dim):
@@ -220,19 +270,19 @@ class GridPyramid:
                 )
                 pooled = pooled.reshape(new_shape).sum(axis=axis + 1)
             current = pooled
-            self._counts[level] = np.ascontiguousarray(
+            counts[level] = np.ascontiguousarray(
                 current.reshape(-1, order="F")
             ).astype(np.int64)
+        return counts
 
-        # Child-offset table in the same axis order as encode/decode.
+    @staticmethod
+    def _make_child_offsets(dim: int) -> np.ndarray:
+        """Child-offset table in the same axis order as encode/decode."""
         offsets = np.zeros((2**dim, dim), dtype=np.int64)
         for code in range(2**dim):
             for axis in range(dim):
                 offsets[code, axis] = (code >> axis) & 1
-        self._child_offsets = offsets
-
-        if self._with_mbr:
-            self._build_mbrs(flat, positions, grid, dim)
+        return offsets
 
     def _build_mbrs(
         self,

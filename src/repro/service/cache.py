@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..core.query import SDHQuery, build_plan
+from ..core.request import SDHRequest
 from ..data.particles import ParticleSet
 from ..errors import ServiceError
 
@@ -105,13 +106,21 @@ class PlanCache:
             return list(self._plans)
 
     # ------------------------------------------------------------------
-    def get_or_build(self, particles: ParticleSet) -> SDHQuery:
+    def get_or_build(
+        self, particles: ParticleSet, request: SDHRequest | None = None
+    ) -> SDHQuery:
         """The plan for ``particles``, building it on first sight.
 
         Keyed by content fingerprint: re-registering byte-identical data
-        under a different name still hits the same plan.
+        under a different name still hits the same plan.  Requests whose
+        :meth:`SDHRequest.plan_key` is non-empty (e.g. MBR resolution)
+        get their own variant key ``"<fingerprint>:<plan_key>"`` so a
+        plain plan and an MBR-augmented plan can coexist.
         """
         key = particles.fingerprint()
+        variant = request.plan_key() if request is not None else ""
+        if variant:
+            key = f"{key}:{variant}"
         plan = self._lookup(key)
         if plan is not None:
             return plan
@@ -122,7 +131,10 @@ class PlanCache:
             plan = self._lookup(key, count=False)
             if plan is not None:
                 return plan
-            built = self._builder(particles)
+            if variant:
+                built = self._builder(particles, request=request)
+            else:
+                built = self._builder(particles)
             self._insert(key, built)
             return built
 

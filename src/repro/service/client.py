@@ -135,6 +135,47 @@ class SDHClient:
         spec = CustomBuckets(payload["edges"])
         return DistanceHistogram(spec, np.asarray(payload["counts"]))
 
+    def sdh_batch(
+        self,
+        dataset: str,
+        queries: list[dict],
+        timeout: float | None = None,
+        return_errors: bool = False,
+    ) -> list[DistanceHistogram | Exception]:
+        """Many SDH queries against one dataset (``POST /v1/sdh/batch``).
+
+        Each entry of ``queries`` is a dict of ``POST /v1/sdh`` query
+        keywords (no ``dataset``).  The server amortizes a single
+        density-map pyramid over the whole batch.  Per-item failures
+        are rebuilt as library exceptions: with ``return_errors=True``
+        they come back in-place in the result list, otherwise the
+        first one is raised.
+        """
+        body: dict[str, Any] = {"dataset": dataset, "queries": queries}
+        if timeout is not None:
+            body["timeout"] = timeout
+        payload = self._request("POST", "/v1/sdh/batch", body)
+        results: list[DistanceHistogram | Exception] = []
+        for entry in payload["results"]:
+            if "error" in entry:
+                error = entry["error"]
+                klass = getattr(_errors, str(error["type"]), None)
+                if not (
+                    isinstance(klass, type)
+                    and issubclass(klass, _errors.ReproError)
+                ):
+                    klass = ServiceError
+                rebuilt = klass(str(error["message"]))
+                if not return_errors:
+                    raise rebuilt
+                results.append(rebuilt)
+            else:
+                spec = CustomBuckets(entry["edges"])
+                results.append(
+                    DistanceHistogram(spec, np.asarray(entry["counts"]))
+                )
+        return results
+
     def rdf(self, dataset: str, **params: Any) -> RadialDistributionFunction:
         """One RDF query; keywords as in ``POST /v1/rdf``.
 

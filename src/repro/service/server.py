@@ -7,8 +7,15 @@ Endpoints:
   returned dataset id is the content fingerprint; an optional ``name``
   registers a human-friendly alias.
 * ``POST /v1/sdh`` — compute a distance histogram against a registered
-  dataset.  The plan cache guarantees the density-map pyramid is built
-  once per dataset no matter how many queries arrive.
+  dataset.  The body is parsed once into a
+  :class:`~repro.core.request.SDHRequest`; the plan cache guarantees
+  the density-map pyramid is built once per dataset no matter how many
+  queries arrive.  Large datasets can be routed to the multi-process
+  ``parallel`` engine via :attr:`ServiceConfig.parallel_threshold`.
+* ``POST /v1/sdh/batch`` — answer a list of bucket specs against one
+  dataset, amortizing a single pyramid across all of them.  Per-item
+  failures come back as ``{"error": ...}`` entries instead of failing
+  the whole batch.
 * ``POST /v1/rdf`` — compute g(r) (an SDH normalized per the paper's
   Eq. 1).
 * ``GET /v1/stats`` — cache, executor, per-engine operation counters,
@@ -25,6 +32,7 @@ original exception type with its message intact.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -33,8 +41,9 @@ from typing import Any
 
 import numpy as np
 
-from ..core.buckets import OverflowPolicy
 from ..core.instrumentation import SDHStats
+from ..core.query import resolve_engine_name
+from ..core.request import SDHRequest
 from ..data.io import load_particles, load_xyz
 from ..data.particles import ParticleSet
 from ..errors import (
@@ -76,6 +85,13 @@ class ServiceConfig:
     max_workers: int = 4
     max_queue: int = 16
     timeout: float | None = 30.0
+    #: Route exact ``engine="auto"`` queries against datasets of at
+    #: least this many particles to the multi-process parallel engine.
+    #: ``None`` (the default) never auto-routes.
+    parallel_threshold: int | None = None
+    #: Worker-process count for auto-routed parallel queries;
+    #: 0 means "one per CPU core".
+    parallel_workers: int = 0
 
 
 @dataclass
@@ -224,6 +240,9 @@ class _Handler(BaseHTTPRequestHandler):
             elif self.path == "/v1/sdh":
                 self.state.count_request("sdh")
                 self._send(200, _handle_sdh(self.state, body))
+            elif self.path == "/v1/sdh/batch":
+                self.state.count_request("sdh_batch")
+                self._send(200, _handle_batch(self.state, body))
             elif self.path == "/v1/rdf":
                 self.state.count_request("rdf")
                 self._send(200, _handle_rdf(self.state, body))
@@ -348,29 +367,157 @@ def _particles_from_json(body: dict) -> ParticleSet:
     return ParticleSet(positions, box, types, type_names)
 
 
-def _handle_sdh(state: _ServiceState, body: dict) -> dict:
-    particles = state.resolve_dataset(_dataset_ref(body))
-    params = _sdh_params(body)
+#: Body keys consumed by the protocol layer, not the query itself.
+_PROTOCOL_KEYS = frozenset({"dataset", "timeout", "rng"})
 
-    def run() -> tuple[Any, SDHStats]:
-        plan = state.cache.get_or_build(particles)
-        stats = SDHStats()
-        hist = plan.histogram(stats=stats, **params)
-        return hist, stats
+#: Wire-level query fields, straight from the request schema.
+_WIRE_FIELDS = SDHRequest.json_field_names()
 
-    hist, stats = state.executor.submit(run, timeout=body.get("timeout", ...))
-    engine = "approx" if (
-        params.get("error_bound") is not None
-        or params.get("levels") is not None
-    ) else "exact"
-    state.absorb_stats(engine, stats)
+
+def _parse_request(body: dict, *, protocol: frozenset = _PROTOCOL_KEYS):
+    """Parse one JSON body into an :class:`SDHRequest` plus rng seed.
+
+    Unknown keys are a protocol error (:class:`_BadRequest`, so the
+    envelope carries ``ServiceError``); inconsistent-but-recognized
+    queries fall through to :meth:`SDHRequest.from_dict`, which raises
+    the library's own :class:`~repro.errors.QueryError` so clients can
+    re-raise the exact type.
+    """
+    unknown = set(body) - _WIRE_FIELDS - protocol
+    if unknown:
+        allowed = sorted(_WIRE_FIELDS | {"rng"})
+        raise _BadRequest(
+            f"unknown query parameters: {sorted(unknown)}; "
+            f"allowed: {allowed}"
+        )
+    payload = {
+        key: body[key]
+        for key in _WIRE_FIELDS
+        if body.get(key) is not None
+    }
+    return SDHRequest.from_dict(payload), body.get("rng")
+
+
+def _maybe_parallel(
+    config: ServiceConfig, particles: ParticleSet, request: SDHRequest
+) -> SDHRequest:
+    """Upgrade an auto-engine exact query to the parallel engine when
+    the dataset crosses :attr:`ServiceConfig.parallel_threshold`."""
+    if (
+        config.parallel_threshold is None
+        or request.engine != "auto"
+        or request.workers is not None
+        or request.approximate
+        or particles.size < config.parallel_threshold
+    ):
+        return request
+    workers = config.parallel_workers or (os.cpu_count() or 1)
+    if workers <= 1:
+        return request
+    return request.replace(workers=workers)
+
+
+def _engine_label(request: SDHRequest) -> str:
+    """Stats-aggregate bucket: approx / parallel / exact."""
+    if request.approximate:
+        return "approx"
+    if resolve_engine_name(request) == "parallel":
+        return "parallel"
+    return "exact"
+
+
+def _histogram_body(hist: Any, request: SDHRequest) -> dict:
     return {
-        "dataset": particles.fingerprint(),
         "edges": hist.edges.tolist(),
         "counts": hist.counts.tolist(),
         "total": hist.total,
         "num_buckets": int(hist.counts.size),
-        "approximate": engine == "approx",
+        "approximate": request.approximate,
+        "engine": resolve_engine_name(request),
+    }
+
+
+def _handle_sdh(state: _ServiceState, body: dict) -> dict:
+    particles = state.resolve_dataset(_dataset_ref(body))
+    request, rng = _parse_request(body)
+    request = _maybe_parallel(state.config, particles, request)
+
+    def run() -> tuple[Any, SDHStats]:
+        plan = state.cache.get_or_build(particles, request)
+        stats = SDHStats()
+        hist = plan.run(request, stats=stats, rng=rng)
+        return hist, stats
+
+    hist, stats = state.executor.submit(run, timeout=body.get("timeout", ...))
+    state.absorb_stats(_engine_label(request), stats)
+    response = {"dataset": particles.fingerprint()}
+    response.update(_histogram_body(hist, request))
+    return response
+
+
+def _handle_batch(state: _ServiceState, body: dict) -> dict:
+    """One dataset, many bucket specs: a single pyramid answers all.
+
+    Items are parsed up front; bad ones become per-item error entries
+    rather than failing the batch, and every runnable item shares one
+    executor slot (one admission-control unit per batch)."""
+    particles = state.resolve_dataset(_dataset_ref(body))
+    queries = body.get("queries")
+    if not isinstance(queries, list) or not queries:
+        raise _BadRequest(
+            "batch body must carry 'queries': a non-empty list of "
+            "query objects"
+        )
+    parsed: list[Any] = []
+    for index, item in enumerate(queries):
+        if not isinstance(item, dict):
+            parsed.append(_BadRequest(f"queries[{index}] must be an object"))
+            continue
+        try:
+            request, rng = _parse_request(
+                item, protocol=frozenset({"rng"})
+            )
+            parsed.append((_maybe_parallel(state.config, particles, request), rng))
+        except ReproError as exc:
+            parsed.append(exc)
+
+    def run() -> tuple[list[dict], list[tuple[str, SDHStats]]]:
+        results: list[dict] = []
+        absorbed: list[tuple[str, SDHStats]] = []
+        for entry in parsed:
+            if isinstance(entry, Exception):
+                results.append(_error_entry(entry))
+                continue
+            request, rng = entry
+            stats = SDHStats()
+            try:
+                plan = state.cache.get_or_build(particles, request)
+                hist = plan.run(request, stats=stats, rng=rng)
+            except ReproError as exc:
+                results.append(_error_entry(exc))
+                continue
+            absorbed.append((_engine_label(request), stats))
+            results.append(_histogram_body(hist, request))
+        return results, absorbed
+
+    results, absorbed = state.executor.submit(
+        run, timeout=body.get("timeout", ...)
+    )
+    for label, stats in absorbed:
+        state.absorb_stats(label, stats)
+    return {
+        "dataset": particles.fingerprint(),
+        "count": len(results),
+        "results": results,
+    }
+
+
+def _error_entry(exc: Exception) -> dict:
+    return {
+        "error": {
+            "type": type(exc).__name__.lstrip("_"),
+            "message": str(exc),
+        }
     }
 
 
@@ -381,54 +528,15 @@ def _dataset_ref(body: dict) -> str:
     return ref
 
 
-def _sdh_params(body: dict) -> dict:
-    """Validate and extract :meth:`SDHQuery.histogram` keyword args."""
-    allowed = (
-        "bucket_width",
-        "num_buckets",
-        "error_bound",
-        "levels",
-        "heuristic",
-        "type_filter",
-        "type_pair",
-        "policy",
-        "rng",
-    )
-    unknown = (
-        set(body) - set(allowed) - {"dataset", "timeout"}
-    )
-    if unknown:
-        raise _BadRequest(
-            f"unknown query parameters: {sorted(unknown)}; "
-            f"allowed: {sorted(allowed)}"
-        )
-    params = {key: body[key] for key in allowed if body.get(key) is not None}
-    if "type_pair" in params:
-        pair = params["type_pair"]
-        if not isinstance(pair, (list, tuple)) or len(pair) != 2:
-            raise _BadRequest("type_pair must be a two-element list")
-        params["type_pair"] = tuple(pair)
-    if "policy" in params:
-        try:
-            params["policy"] = OverflowPolicy[str(params["policy"]).upper()]
-        except KeyError:
-            names = [p.name.lower() for p in OverflowPolicy]
-            raise _BadRequest(
-                f"unknown overflow policy {body['policy']!r}; "
-                f"pick from {names}"
-            )
-    return params
-
-
 def _handle_rdf(state: _ServiceState, body: dict) -> dict:
     particles = state.resolve_dataset(_dataset_ref(body))
-    num_buckets = body.get("num_buckets", 100)
+    request = SDHRequest(num_buckets=body.get("num_buckets", 100)).normalize()
     finite_size = body.get("finite_size", "corrected")
 
     def run() -> tuple[Any, SDHStats]:
-        plan = state.cache.get_or_build(particles)
+        plan = state.cache.get_or_build(particles, request)
         stats = SDHStats()
-        hist = plan.histogram(num_buckets=num_buckets, stats=stats)
+        hist = plan.run(request, stats=stats)
         return rdf_from_histogram(hist, particles, finite_size), stats
 
     rdf, stats = state.executor.submit(run, timeout=body.get("timeout", ...))

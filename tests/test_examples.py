@@ -30,6 +30,10 @@ EXPECTED_SNIPPETS = {
         "identical to direct compute_sdh",
         "plan cache: 1 build",
     ],
+    "parallel_requests.py": [
+        "available engines",
+        "bit-identical to the serial grid engine",
+    ],
 }
 
 

@@ -5,6 +5,7 @@ import threading
 import pytest
 
 from repro.core.query import SDHQuery, build_plan
+from repro.core.request import SDHRequest
 from repro.data import uniform
 from repro.errors import ServiceError
 from repro.service import PlanCache
@@ -26,6 +27,27 @@ class CountingBuilder:
         with self.lock:
             self.calls.append(particles.fingerprint())
         return build_plan(particles)
+
+
+class TestRequestVariants:
+    def test_plain_requests_share_the_bare_key(self, datasets):
+        cache = PlanCache(capacity=4)
+        request = SDHRequest(num_buckets=8).normalize()
+        plan = cache.get_or_build(datasets[0])
+        same = cache.get_or_build(datasets[0], request)
+        assert same is plan
+        assert cache.keys() == [datasets[0].fingerprint()]
+
+    def test_mbr_request_gets_its_own_variant(self, datasets):
+        cache = PlanCache(capacity=4)
+        fingerprint = datasets[0].fingerprint()
+        plain = cache.get_or_build(datasets[0])
+        mbr_request = SDHRequest(num_buckets=8, use_mbr=True).normalize()
+        mbr = cache.get_or_build(datasets[0], mbr_request)
+        assert mbr is not plain
+        assert set(cache.keys()) == {fingerprint, f"{fingerprint}:mbr"}
+        assert cache.get_or_build(datasets[0], mbr_request) is mbr
+        assert cache.stats.builds == 2
 
 
 class TestBasics:

@@ -238,6 +238,130 @@ class TestConcurrencySmoke:
         assert stats["cache"]["builds"] == 1
 
 
+class TestBatchEndpoint:
+    def test_batch_matches_singles(self, client, dataset):
+        key = client.register(dataset)
+        results = client.sdh_batch(
+            key,
+            [
+                {"num_buckets": 4},
+                {"num_buckets": 8},
+                {"bucket_width": 0.25},
+            ],
+        )
+        assert len(results) == 3
+        for result, expected in zip(
+            results,
+            [
+                compute_sdh(dataset, num_buckets=4),
+                compute_sdh(dataset, num_buckets=8),
+                compute_sdh(dataset, bucket_width=0.25),
+            ],
+        ):
+            np.testing.assert_array_equal(result.counts, expected.counts)
+
+    def test_batch_shares_one_plan_build(self, client, dataset):
+        key = client.register(dataset)
+        client.sdh_batch(key, [{"num_buckets": b} for b in (4, 8, 16, 32)])
+        stats = client.stats()
+        assert stats["cache"]["builds"] == 1
+        assert stats["requests"]["sdh_batch"] == 1
+        assert stats["engines"]["exact"]["queries"] == 4
+        # The whole batch occupied a single executor slot.
+        assert stats["executor"]["completed"] == 1
+
+    def test_batch_per_item_errors(self, client, dataset):
+        key = client.register(dataset)
+        results = client.sdh_batch(
+            key,
+            [
+                {"num_buckets": 8},
+                {},  # inconsistent: no parameterization
+                {"wat": 1},  # unknown key
+                {"num_buckets": 4},
+            ],
+            return_errors=True,
+        )
+        assert len(results) == 4
+        assert isinstance(results[1], QueryError)
+        assert "exactly one of bucket_width" in str(results[1])
+        assert isinstance(results[2], ServiceError)
+        assert "unknown query parameters" in str(results[2])
+        np.testing.assert_array_equal(
+            results[0].counts, compute_sdh(dataset, num_buckets=8).counts
+        )
+        np.testing.assert_array_equal(
+            results[3].counts, compute_sdh(dataset, num_buckets=4).counts
+        )
+
+    def test_batch_raises_first_error_by_default(self, client, dataset):
+        key = client.register(dataset)
+        with pytest.raises(QueryError, match="exactly one of bucket_width"):
+            client.sdh_batch(key, [{"num_buckets": 8}, {}])
+
+    def test_empty_batch_rejected(self, client, dataset):
+        key = client.register(dataset)
+        with pytest.raises(ServiceError, match="non-empty list"):
+            client.sdh_batch(key, [])
+
+
+class TestParallelRouting:
+    def test_threshold_routes_to_parallel_engine(self, dataset):
+        config = ServiceConfig(
+            max_workers=2,
+            max_queue=4,
+            parallel_threshold=100,
+            parallel_workers=2,
+        )
+        with SDHService(config) as service:
+            client = SDHClient(service.url)
+            key = client.register(dataset)
+            hist = client.sdh(key, num_buckets=8)
+            direct = compute_sdh(dataset, num_buckets=8)
+            np.testing.assert_array_equal(hist.counts, direct.counts)
+            stats = client.stats()
+            assert stats["engines"]["parallel"]["queries"] == 1
+            assert "exact" not in stats["engines"]
+
+    def test_small_datasets_stay_serial(self, dataset):
+        config = ServiceConfig(
+            max_workers=2,
+            max_queue=4,
+            parallel_threshold=dataset.size + 1,
+            parallel_workers=2,
+        )
+        with SDHService(config) as service:
+            client = SDHClient(service.url)
+            key = client.register(dataset)
+            client.sdh(key, num_buckets=8)
+            stats = client.stats()
+            assert stats["engines"]["exact"]["queries"] == 1
+            assert "parallel" not in stats["engines"]
+
+    def test_explicit_workers_over_the_wire(self, client, dataset):
+        key = client.register(dataset)
+        hist = client.sdh(key, num_buckets=8, workers=2)
+        direct = compute_sdh(dataset, num_buckets=8)
+        np.testing.assert_array_equal(hist.counts, direct.counts)
+        stats = client.stats()
+        assert stats["engines"]["parallel"]["queries"] == 1
+
+    def test_approximate_never_auto_routed(self, dataset):
+        config = ServiceConfig(
+            max_workers=2,
+            max_queue=4,
+            parallel_threshold=1,
+            parallel_workers=2,
+        )
+        with SDHService(config) as service:
+            client = SDHClient(service.url)
+            key = client.register(dataset)
+            client.sdh(key, num_buckets=8, levels=1, rng=5)
+            stats = client.stats()
+            assert stats["engines"]["approx"]["queries"] == 1
+            assert "parallel" not in stats["engines"]
+
+
 class TestStats:
     def test_stats_shape(self, client, dataset):
         key = client.register(dataset, name="d")
