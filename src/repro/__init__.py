@@ -88,6 +88,12 @@ from .errors import (
     TreeError,
 )
 from .geometry import AABB, BallRegion, RectRegion, Region, UnionRegion
+from .observability import (
+    MetricsRegistry,
+    configure_logging,
+    get_registry,
+    trace_span,
+)
 from .partition import KDPartition, kd_sdh
 from .quadtree import DensityMapTree, GridPyramid, tree_height
 
@@ -112,6 +118,7 @@ __all__ = [
     "GridPyramid",
     "GridSDHEngine",
     "KDPartition",
+    "MetricsRegistry",
     "OverflowPolicy",
     "ParticleSet",
     "QueryError",
@@ -137,6 +144,7 @@ __all__ = [
     "build_plan",
     "choose_levels_for_error",
     "compute_sdh",
+    "configure_logging",
     "covering_factor",
     "covering_factor_model",
     "dm_sdh_exponent",
@@ -145,6 +153,7 @@ __all__ = [
     "figure1_dataset",
     "gaussian_clusters",
     "get_engine",
+    "get_registry",
     "kd_sdh",
     "lattice",
     "load_particles",
@@ -161,6 +170,7 @@ __all__ = [
     "save_particles",
     "save_xyz",
     "synthetic_bilayer",
+    "trace_span",
     "tree_height",
     "uniform",
     "zipf_clustered",

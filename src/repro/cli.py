@@ -34,6 +34,7 @@ from .data import (
     zipf_clustered,
 )
 from .errors import ReproError
+from .observability import configure_logging, trace_span
 from .physics import rdf_from_histogram
 from .quadtree import GridPyramid
 
@@ -49,9 +50,27 @@ def build_parser() -> argparse.ArgumentParser:
             "(Tu, Chen & Pandit, ICDE 2009)"
         ),
     )
+    # Shared on every subcommand so `repro-sdh sdh --log-json` works
+    # (argparse only accepts top-level flags before the subcommand).
+    logopts = argparse.ArgumentParser(add_help=False)
+    logopts.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="minimum level of structured log output "
+        "(default: warning, or info with --log-json)",
+    )
+    logopts.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit logs as one JSON object per line (per-phase spans, "
+        "trace IDs; see docs/OBSERVABILITY.md)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    gen = sub.add_parser("generate", help="write a synthetic dataset")
+    gen = sub.add_parser(
+        "generate", help="write a synthetic dataset", parents=[logopts]
+    )
     gen.add_argument("output", help="target file (.npz or .xyz)")
     gen.add_argument(
         "--family",
@@ -62,7 +81,9 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--dim", type=int, choices=(2, 3), default=3)
     gen.add_argument("--seed", type=int, default=0)
 
-    sdh = sub.add_parser("sdh", help="compute a distance histogram")
+    sdh = sub.add_parser(
+        "sdh", help="compute a distance histogram", parents=[logopts]
+    )
     sdh.add_argument("input", help="dataset file (.npz or .xyz)")
     group = sdh.add_mutually_exclusive_group(required=True)
     group.add_argument("--width", type=float, help="bucket width p")
@@ -98,7 +119,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true", help="print operation counters"
     )
 
-    rdf = sub.add_parser("rdf", help="compute g(r) from a dataset")
+    rdf = sub.add_parser(
+        "rdf", help="compute g(r) from a dataset", parents=[logopts]
+    )
     rdf.add_argument("input", help="dataset file (.npz or .xyz)")
     rdf.add_argument("--buckets", type=int, default=100)
     rdf.add_argument(
@@ -107,10 +130,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="minimum-image distances and torus normalization",
     )
 
-    info = sub.add_parser("info", help="summarize a dataset")
+    info = sub.add_parser(
+        "info", help="summarize a dataset", parents=[logopts]
+    )
     info.add_argument("input", help="dataset file (.npz or .xyz)")
 
-    serve = sub.add_parser("serve", help="run the SDH query service")
+    serve = sub.add_parser(
+        "serve", help="run the SDH query service", parents=[logopts]
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
         "--port", type=int, default=8787, help="0 picks a free port"
@@ -170,6 +197,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    # --log-json without an explicit level means "show the spans":
+    # structured output is only useful if the INFO-level phase events
+    # actually appear.
+    level = args.log_level or ("info" if args.log_json else "warning")
+    configure_logging(level, json_output=args.log_json)
     try:
         if args.command == "generate":
             return _cmd_generate(args)
@@ -209,7 +241,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_sdh(args: argparse.Namespace) -> int:
-    data = _load(args.input)
+    with trace_span("load_dataset", path=args.input) as span:
+        data = _load(args.input)
+        span.annotate(particles=data.size)
     stats = SDHStats()
     request = SDHRequest(
         bucket_width=args.width,

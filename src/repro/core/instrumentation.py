@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["SDHStats"]
+__all__ = ["SDHStats", "publish_stats"]
 
 
 @dataclass
@@ -135,3 +135,46 @@ class SDHStats:
             f"distances={self.distance_computations}, "
             f"approx={self.approximated_distances:g})"
         )
+
+
+def publish_stats(stats: SDHStats, engine: str, registry=None) -> None:
+    """Fold one run's :class:`SDHStats` into a metrics registry.
+
+    Bridges the per-run operation counters (the paper's two operation
+    kinds) into the process-wide cumulative metrics so dashboards see
+    per-level resolution behaviour across *all* queries — the registry
+    analogue of what a single ``stats=`` argument shows for one run.
+    Levels become the ``level`` label of the per-level counters.
+    """
+    from ..observability import get_registry
+
+    reg = registry if registry is not None else get_registry()
+    reg.counter(
+        "sdh_queries_total", "SDH computations completed.", ("engine",)
+    ).labels(engine=engine).inc()
+    resolve = reg.counter(
+        "sdh_resolve_calls_total",
+        "Cell-pair resolution attempts (operation 1), by pyramid level.",
+        ("engine", "level"),
+    )
+    resolved = reg.counter(
+        "sdh_resolved_pairs_total",
+        "Cell pairs that resolved, by pyramid level.",
+        ("engine", "level"),
+    )
+    for level, examined in stats.resolve_calls.items():
+        resolve.labels(engine=engine, level=level).inc(examined)
+    for level, pairs in stats.resolved_pairs.items():
+        resolved.labels(engine=engine, level=level).inc(pairs)
+    if stats.distance_computations:
+        reg.counter(
+            "sdh_distance_computations_total",
+            "Point-to-point distances computed (operation 2).",
+            ("engine",),
+        ).labels(engine=engine).inc(stats.distance_computations)
+    if stats.approximated_distances:
+        reg.counter(
+            "sdh_approximated_distances_total",
+            "Pair-distances distributed by ADM-SDH heuristics.",
+            ("engine",),
+        ).labels(engine=engine).inc(stats.approximated_distances)

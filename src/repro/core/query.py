@@ -31,6 +31,7 @@ import numpy as np
 from ..data.particles import ParticleSet
 from ..errors import QueryError
 from ..geometry import Region
+from ..observability import trace_span
 from ..quadtree.grid import GridPyramid
 from ..quadtree.tree import DensityMapTree
 from .approximate import adm_sdh
@@ -41,7 +42,7 @@ from .dm_sdh_grid import dm_sdh_grid
 from .engines import EngineCapabilities, get_engine, register_engine
 from .heuristics import Allocator
 from .histogram import DistanceHistogram
-from .instrumentation import SDHStats
+from .instrumentation import SDHStats, publish_stats
 from .request import SDHRequest
 
 __all__ = [
@@ -81,9 +82,15 @@ def compute_sdh(
     """
     request = _coerce_request(request, kwargs)
     spec = request.resolved_spec(particles)
-    engine = get_engine(resolve_engine_name(request))
+    name = resolve_engine_name(request)
+    engine = get_engine(name)
     engine.check(request)
-    return engine.run(particles, request, spec, stats=stats, rng=rng)
+    if stats is None:
+        stats = SDHStats()
+    with trace_span("query", engine=name, particles=particles.size):
+        result = engine.run(particles, request, spec, stats=stats, rng=rng)
+    publish_stats(stats, name)
+    return result
 
 
 def resolve_engine_name(request: SDHRequest) -> str:
@@ -297,9 +304,13 @@ class SDHQuery:
     ):
         self._particles = particles
         self._use_mbr = use_mbr
-        self._pyramid = GridPyramid(
-            particles, height=height, beta=beta, with_mbr=use_mbr
-        )
+        with trace_span(
+            "plan_build", particles=particles.size, use_mbr=use_mbr
+        ) as span:
+            self._pyramid = GridPyramid(
+                particles, height=height, beta=beta, with_mbr=use_mbr
+            )
+            span.annotate(height=self._pyramid.height)
         self._tree: DensityMapTree | None = None
         self._height = height
         self._beta = beta
@@ -367,6 +378,19 @@ class SDHQuery:
         name = resolve_engine_name(request)
         engine = get_engine(name)
         engine.check(request)
+        if stats is None:
+            stats = SDHStats()
+        with trace_span(
+            "plan_query",
+            engine=name,
+            particles=self._particles.size,
+            approximate=request.approximate,
+        ):
+            result = self._dispatch(name, engine, request, spec, stats, rng)
+        publish_stats(stats, name)
+        return result
+
+    def _dispatch(self, name, engine, request, spec, stats, rng):
         if name == "brute":
             return engine.run(
                 self._particles, request, spec, stats=stats, rng=rng

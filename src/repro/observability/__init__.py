@@ -1,0 +1,74 @@
+"""Observability: metrics, trace spans, and structured logging.
+
+Dependency-free (stdlib only) instrumentation shared by every layer of
+the stack — see ``docs/OBSERVABILITY.md`` for the full metric and
+logging reference:
+
+* :mod:`~repro.observability.metrics` — a thread-safe
+  :class:`MetricsRegistry` of counters, gauges, and histograms with
+  labels, rendered in the Prometheus text format (the service exposes
+  it at ``GET /metrics``);
+* :mod:`~repro.observability.tracing` — :func:`trace_span` wall-clock
+  phase timing plus request-scoped trace IDs carried on a contextvar;
+* :mod:`~repro.observability.logs` — structured logging setup with a
+  JSON formatter (``repro-sdh <cmd> --log-json``).
+
+The module-level default registry (:func:`get_registry`) is what the
+library records into when callers don't pass their own; it accumulates
+for the lifetime of the process, exactly like a Prometheus client
+registry.
+"""
+
+from __future__ import annotations
+
+from .logs import JsonFormatter, configure_logging, get_logger, log_event
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricSample,
+    MetricsRegistry,
+    render_prometheus,
+)
+from .tracing import (
+    Span,
+    bind_trace_id,
+    current_trace_id,
+    new_trace_id,
+    trace_span,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonFormatter",
+    "MetricSample",
+    "MetricsRegistry",
+    "Span",
+    "bind_trace_id",
+    "configure_logging",
+    "current_trace_id",
+    "get_logger",
+    "get_registry",
+    "log_event",
+    "new_trace_id",
+    "render_prometheus",
+    "set_registry",
+    "trace_span",
+]
+
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default metrics registry."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry (tests); returns the previous one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous

@@ -1,0 +1,161 @@
+"""Structured (JSON-capable) logging for the repro library.
+
+Everything logs under the ``repro.*`` logger hierarchy and carries its
+structured payload in ``record.fields`` (a dict), never interpolated
+into the message — so the same records render as human-readable lines
+or as one-JSON-object-per-line depending on the configured formatter:
+
+* :func:`configure_logging` — installs a stream handler on the
+  ``repro`` root logger (idempotent; reconfiguring replaces it), either
+  human-readable or JSON (``repro-sdh --log-json``);
+* :func:`get_logger` — a namespaced child logger;
+* :func:`log_event` — emit one structured event with arbitrary fields.
+
+The JSON lines look like::
+
+    {"ts": 1722950000.123, "level": "info", "logger": "repro.trace",
+     "event": "span:plan_build", "trace_id": "a1b2...",
+     "phase": "plan_build", "duration_seconds": 0.1834}
+
+The active trace ID (:func:`repro.observability.tracing.current_trace_id`)
+is stamped onto every record at emit time, in both output modes.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Any, TextIO
+
+__all__ = [
+    "JsonFormatter",
+    "configure_logging",
+    "get_logger",
+    "log_event",
+]
+
+ROOT_LOGGER = "repro"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+    "critical": logging.CRITICAL,
+}
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """The ``repro`` logger, or a dotted child (``get_logger("service")``)."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def log_event(
+    logger: logging.Logger, level: int, event: str, **fields: Any
+) -> None:
+    """Emit one structured event; ``fields`` ride on ``record.fields``."""
+    logger.log(level, event, extra={"fields": fields})
+
+
+def _record_fields(record: logging.LogRecord) -> dict:
+    fields = getattr(record, "fields", None)
+    return fields if isinstance(fields, dict) else {}
+
+
+def _record_trace_id(record: logging.LogRecord) -> str | None:
+    # Imported lazily: tracing imports this module for its logger.
+    from .tracing import current_trace_id
+
+    fields = _record_fields(record)
+    return fields.get("trace_id") or current_trace_id()
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line; structured fields merged at top level."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        body: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        trace_id = _record_trace_id(record)
+        if trace_id:
+            body["trace_id"] = trace_id
+        for key, value in _record_fields(record).items():
+            if key not in body:
+                body[key] = _jsonable(value)
+        if record.exc_info:
+            body["exception"] = self.formatException(record.exc_info)
+        return json.dumps(body, default=str)
+
+
+class HumanFormatter(logging.Formatter):
+    """``HH:MM:SS level logger event key=value ...`` lines."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = time.strftime("%H:%M:%S", time.localtime(record.created))
+        parts = [
+            f"{stamp} {record.levelname.lower():<7} "
+            f"{record.name} {record.getMessage()}"
+        ]
+        trace_id = _record_trace_id(record)
+        if trace_id:
+            parts.append(f"trace_id={trace_id}")
+        parts.extend(
+            f"{key}={_jsonable(value)}"
+            for key, value in _record_fields(record).items()
+        )
+        line = " ".join(parts)
+        if record.exc_info:
+            line += "\n" + self.formatException(record.exc_info)
+        return line
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+def configure_logging(
+    level: int | str = "warning",
+    json_output: bool = False,
+    stream: TextIO | None = None,
+) -> logging.Logger:
+    """Configure the ``repro`` logger hierarchy; returns the root.
+
+    Idempotent: calling again replaces the previously installed handler
+    (so tests and REPL sessions can reconfigure freely).  Records do not
+    propagate to the Python root logger, keeping library output from
+    colliding with application logging setups.
+    """
+    if isinstance(level, str):
+        try:
+            level = _LEVELS[level.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown log level {level!r}; "
+                f"choose from {sorted(_LEVELS)}"
+            ) from None
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_installed", False):
+            root.removeHandler(handler)
+            handler.close()
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler._repro_installed = True  # type: ignore[attr-defined]
+    handler.setFormatter(JsonFormatter() if json_output else HumanFormatter())
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+    return root

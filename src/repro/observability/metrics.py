@@ -1,0 +1,436 @@
+"""Dependency-free metrics: counters, gauges, histograms with labels.
+
+A small, thread-safe subset of the Prometheus client-library data model
+(stdlib only, like the rest of the service layer):
+
+* :class:`MetricsRegistry` owns a namespace of metrics and renders them
+  in the Prometheus text exposition format (``GET /metrics``);
+* :class:`Counter` / :class:`Gauge` / :class:`Histogram` are the three
+  instrument kinds, each optionally split by a fixed set of label names
+  (``counter.labels(engine="grid").inc()``);
+* :meth:`MetricsRegistry.add_collector` registers scrape-time callbacks
+  so state that already keeps its own counters (the plan cache, the
+  query executor) is folded into the exposition without double
+  bookkeeping.
+
+Instruments are created idempotently: asking a registry twice for the
+same name returns the same object (with a type/label-compatibility
+check), so modules can declare their metrics at call sites without
+import-order coordination.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Callable, Iterable, Mapping, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricSample",
+    "MetricsRegistry",
+    "render_prometheus",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default latency buckets, in seconds — tuned for query phases that
+#: range from sub-millisecond leaf scans to multi-second pyramid builds.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+class MetricSample:
+    """One already-materialized metric family for scrape-time collectors.
+
+    ``values`` maps a label dict (or None for an unlabelled metric) to a
+    number; ``kind`` is ``"counter"`` or ``"gauge"``.
+    """
+
+    __slots__ = ("name", "kind", "help", "values")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        values: Sequence[tuple[Mapping[str, str] | None, float]],
+    ):
+        if kind not in ("counter", "gauge"):
+            raise ValueError(f"collector samples must be counter/gauge, got {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.values = list(values)
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def _format_labels(labels: Mapping[str, str] | None, extra: str = "") -> str:
+    parts = []
+    if labels:
+        parts.extend(
+            f'{key}="{_escape_label_value(str(value))}"'
+            for key, value in labels.items()
+        )
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 2**53:
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Metric:
+    """Shared machinery: a family of children keyed by label values."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str]):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name: {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name: {label!r}")
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], object] = {}
+
+    def labels(self, **labelvalues: object):
+        """The child instrument for one combination of label values."""
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labelvalues))}"
+            )
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = self._new_child()
+            return child
+
+    def _default_child(self):
+        if self.labelnames:
+            raise ValueError(
+                f"{self.name} is labelled by {self.labelnames}; "
+                "call .labels(...) first"
+            )
+        return self.labels()
+
+    def _new_child(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _child_items(self) -> list[tuple[dict[str, str] | None, object]]:
+        with self._lock:
+            items = list(self._children.items())
+        rows = []
+        for key, child in items:
+            labels = dict(zip(self.labelnames, key)) if self.labelnames else None
+            rows.append((labels, child))
+        return rows
+
+
+class _CounterChild:
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Counter(_Metric):
+    """A monotonically increasing count (rendered with a ``_total`` name
+    left to the caller — pass the full metric name)."""
+
+    kind = "counter"
+
+    def _new_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+    def render(self) -> Iterable[str]:
+        for labels, child in self._child_items():
+            yield f"{self.name}{_format_labels(labels)} {_format_value(child.value)}"
+
+
+class _GaugeChild:
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (live segments, in-flight work)."""
+
+    kind = "gauge"
+
+    def _new_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(self, value: float) -> None:
+        self._default_child().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default_child().dec(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+    def render(self) -> Iterable[str]:
+        for labels, child in self._child_items():
+            yield f"{self.name}{_format_labels(labels)} {_format_value(child.value)}"
+
+
+class _HistogramChild:
+    __slots__ = ("_lock", "_bounds", "_counts", "_sum", "_count")
+
+    def __init__(self, bounds: tuple[float, ...]):
+        self._lock = threading.Lock()
+        self._bounds = bounds
+        self._counts = [0] * len(bounds)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            # Buckets store per-interval counts; render() cumulates.
+            for i, bound in enumerate(self._bounds):
+                if value <= bound:
+                    self._counts[i] += 1
+                    break
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "buckets": dict(zip(self._bounds, self._counts)),
+                "sum": self._sum,
+                "count": self._count,
+            }
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket distribution (Prometheus ``le`` convention)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help, labelnames)
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if bounds != sorted(set(bounds)):
+            raise ValueError("histogram bucket bounds must be distinct")
+        if not math.isinf(bounds[-1]):
+            bounds.append(math.inf)
+        self.buckets = tuple(bounds)
+
+    def _new_child(self) -> _HistogramChild:
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._default_child().observe(value)
+
+    def snapshot(self) -> dict:
+        return self._default_child().snapshot()
+
+    def render(self) -> Iterable[str]:
+        for labels, child in self._child_items():
+            snap = child.snapshot()
+            cumulative = 0
+            for bound in self.buckets:
+                cumulative += snap["buckets"][bound]
+                le = _format_labels(labels, f'le="{_format_value(bound)}"')
+                yield f"{self.name}_bucket{le} {cumulative}"
+            plain = _format_labels(labels)
+            yield f"{self.name}_sum{plain} {_format_value(snap['sum'])}"
+            yield f"{self.name}_count{plain} {snap['count']}"
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """A namespace of metrics plus scrape-time collectors.
+
+    Instrument getters are idempotent per name; a kind or label mismatch
+    on re-declaration raises, so two modules cannot silently share a
+    name with different meanings.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+        self._collectors: list[Callable[[], Iterable[MetricSample]]] = []
+
+    # -- declaration ---------------------------------------------------
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._declare(Counter, name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._declare(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._declare(Histogram, name, help, labelnames, buckets=buckets)
+
+    def _declare(self, cls, name, help, labelnames, **kwargs) -> _Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = cls(name, help, labelnames, **kwargs)
+                return metric
+        if not isinstance(metric, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"requested {cls.kind}"
+            )
+        if metric.labelnames != tuple(labelnames):
+            raise ValueError(
+                f"metric {name!r} already registered with labels "
+                f"{metric.labelnames}, requested {tuple(labelnames)}"
+            )
+        return metric
+
+    def get(self, name: str) -> _Metric | None:
+        """The metric registered under ``name``, or None."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def add_collector(
+        self, collector: Callable[[], Iterable[MetricSample]]
+    ) -> None:
+        """Register a scrape-time callback producing :class:`MetricSample`s."""
+        with self._lock:
+            self._collectors.append(collector)
+
+    def remove_collector(
+        self, collector: Callable[[], Iterable[MetricSample]]
+    ) -> None:
+        """Drop a previously registered collector (idempotent)."""
+        with self._lock:
+            try:
+                self._collectors.remove(collector)
+            except ValueError:
+                pass
+
+    # -- exposition ----------------------------------------------------
+    def render(self) -> str:
+        """The Prometheus text exposition of every metric + collector."""
+        with self._lock:
+            metrics = sorted(self._metrics.values(), key=lambda m: m.name)
+            collectors = list(self._collectors)
+        lines: list[str] = []
+        for metric in metrics:
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            lines.extend(metric.render())
+        for collector in collectors:
+            for sample in collector():
+                if sample.help:
+                    lines.append(f"# HELP {sample.name} {sample.help}")
+                lines.append(f"# TYPE {sample.name} {sample.kind}")
+                for labels, value in sample.values:
+                    lines.append(
+                        f"{sample.name}{_format_labels(labels)} "
+                        f"{_format_value(value)}"
+                    )
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def snapshot(self) -> dict:
+        """A JSON-ready dump: metric name -> {labels-tuple: value}."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        body: dict[str, dict] = {}
+        for metric in metrics:
+            entry: dict[str, object] = {}
+            for labels, child in metric._child_items():
+                key = (
+                    ",".join(f"{k}={v}" for k, v in labels.items())
+                    if labels
+                    else ""
+                )
+                if isinstance(metric, Histogram):
+                    entry[key] = child.snapshot()
+                else:
+                    entry[key] = child.value
+            body[metric.name] = entry
+        return body
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Module-level alias of :meth:`MetricsRegistry.render`."""
+    return registry.render()

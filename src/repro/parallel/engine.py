@@ -26,8 +26,10 @@ one shared segment per run, created and unlinked by the parent.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable
 
@@ -45,6 +47,7 @@ from ..core.instrumentation import SDHStats
 from ..data.particles import ParticleSet
 from ..errors import QueryError
 from ..geometry import AABB
+from ..observability import get_logger, get_registry, log_event, trace_span
 from ..quadtree.grid import GridPyramid
 from .shm import SharedArrayBundle, attach
 
@@ -157,6 +160,18 @@ def parallel_sdh(
         "pair_chunk": pair_chunk,
         "distance_chunk": distance_chunk,
     }
+    registry = get_registry()
+    task_seconds = registry.histogram(
+        "sdh_parallel_task_seconds",
+        "Wall-clock seconds per parallel worker shard.",
+        ("kind",),
+    )
+    tasks_total = registry.counter(
+        "sdh_parallel_tasks_total",
+        "Parallel worker shards completed.",
+        ("kind",),
+    )
+    log = get_logger("parallel")
     pool = ProcessPoolExecutor(
         max_workers=min(workers, len(tasks)),
         mp_context=ctx,
@@ -164,15 +179,30 @@ def parallel_sdh(
         initargs=(bundle.descriptor(), config),
     )
     try:
-        futures = [pool.submit(_run_task, task) for task in tasks]
-        try:
-            for future in futures:
-                counts, worker_stats = future.result()
-                engine.histogram.add_counts(counts)
-                run_stats.merge(worker_stats)
-        except BaseException:
-            pool.shutdown(wait=True, cancel_futures=True)
-            raise
+        with trace_span(
+            "parallel_fanout",
+            workers=min(workers, len(tasks)),
+            tasks=len(tasks),
+            particles=pyramid.particles.size,
+        ):
+            futures = [pool.submit(_run_task, task) for task in tasks]
+            try:
+                for task, future in zip(tasks, futures):
+                    counts, worker_stats, seconds, pid = future.result()
+                    engine.histogram.add_counts(counts)
+                    run_stats.merge(worker_stats)
+                    kind = task[0]
+                    task_seconds.labels(kind=kind).observe(seconds)
+                    tasks_total.labels(kind=kind).inc()
+                    if log.isEnabledFor(logging.DEBUG):
+                        log_event(
+                            log, logging.DEBUG, "parallel_task_done",
+                            kind=kind, worker_pid=pid,
+                            duration_seconds=round(seconds, 9),
+                        )
+            except BaseException:
+                pool.shutdown(wait=True, cancel_futures=True)
+                raise
     finally:
         pool.shutdown(wait=True)
         bundle.unlink()
@@ -303,12 +333,18 @@ def _init_worker(descriptor, config) -> None:
     )
 
 
-def _run_task(task: tuple) -> tuple[np.ndarray, SDHStats]:
-    """Resolve one shard and return its partial (counts, stats)."""
+def _run_task(task: tuple) -> tuple[np.ndarray, SDHStats, float, int]:
+    """Resolve one shard; returns ``(counts, stats, seconds, pid)``.
+
+    The duration is measured inside the worker so the parent can
+    attribute wall-clock per shard kind (and per worker process)
+    without including pool queueing time.
+    """
     engine = _WORKER_ENGINE
     assert engine is not None, "worker used before initialization"
     engine.histogram = DistanceHistogram(engine.spec)
     engine.stats = SDHStats()
+    started = time.perf_counter()
     if task[0] == "intra":
         engine.process_intra_cells(task[1])
     elif task[0] == "triangle":
@@ -316,7 +352,8 @@ def _run_task(task: tuple) -> tuple[np.ndarray, SDHStats]:
     else:
         _, level, idx_a, idx_b = task
         engine.process_pairs(level, idx_a, idx_b)
-    return engine.histogram.counts, engine.stats
+    seconds = time.perf_counter() - started
+    return engine.histogram.counts, engine.stats, seconds, os.getpid()
 
 
 def _run_triangle(engine: GridSDHEngine, t: int, shards: int) -> None:

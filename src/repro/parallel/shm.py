@@ -17,11 +17,14 @@ when a run dies mid-flight.
 
 from __future__ import annotations
 
+import logging
 import secrets
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
 import numpy as np
+
+from ..observability import get_logger, get_registry, log_event
 
 __all__ = [
     "ArraySpec",
@@ -37,10 +40,20 @@ _ALIGN = 64
 #: Names of segments created (and not yet unlinked) by this process.
 _LIVE: set[str] = set()
 
+_log = get_logger("parallel.shm")
+
 
 def live_segments() -> frozenset[str]:
     """Segment names this process currently owns (leak-check hook)."""
     return frozenset(_LIVE)
+
+
+def _publish_live_count() -> None:
+    get_registry().gauge(
+        "sdh_shm_live_segments",
+        "Shared-memory segments created by this process and not yet "
+        "unlinked (must return to 0 between parallel runs).",
+    ).set(len(_LIVE))
 
 
 @dataclass(frozen=True)
@@ -99,6 +112,21 @@ class SharedArrayBundle:
             name=segment_name, create=True, size=max(offset, _ALIGN)
         )
         _LIVE.add(self._shm.name)
+        registry = get_registry()
+        registry.counter(
+            "sdh_shm_segments_created_total",
+            "Shared-memory segments created for parallel runs.",
+        ).inc()
+        registry.counter(
+            "sdh_shm_bytes_total",
+            "Bytes allocated in shared-memory segments.",
+        ).inc(self._shm.size)
+        _publish_live_count()
+        log_event(
+            _log, logging.DEBUG, "shm_segment_created",
+            segment=self._shm.name, bytes=self._shm.size,
+            arrays=[spec.name for spec in specs],
+        )
         self._specs = tuple(specs)
         self._unlinked = False
         self._closed = False
@@ -133,6 +161,11 @@ class SharedArrayBundle:
             self._unlinked = True
             self._shm.unlink()
             _LIVE.discard(self._shm.name)
+            _publish_live_count()
+            log_event(
+                _log, logging.DEBUG, "shm_segment_unlinked",
+                segment=self._shm.name,
+            )
 
     def __enter__(self) -> "SharedArrayBundle":
         return self

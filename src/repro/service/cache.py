@@ -50,7 +50,12 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
     def snapshot(self) -> dict:
-        """A JSON-ready copy of the counters."""
+        """A JSON-ready copy of the counters.
+
+        Not synchronized by itself: callers must hold the owning
+        :class:`PlanCache`'s lock (as :meth:`PlanCache.snapshot` does)
+        or the fields may be read mid-update.
+        """
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -58,6 +63,22 @@ class CacheStats:
             "builds": self.builds,
             "hit_rate": self.hit_rate,
         }
+
+
+class _BuildLockEntry:
+    """One per-key build lock plus the number of builders using it.
+
+    The refcount ties the entry's lifetime to in-flight builds: evicting
+    or clearing the *plan* while a build races on the same key cannot
+    strand (or prematurely drop) the lock, because the last builder out
+    removes the entry itself.
+    """
+
+    __slots__ = ("lock", "waiters")
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.waiters = 0
 
 
 class PlanCache:
@@ -84,7 +105,7 @@ class PlanCache:
         self._builder = builder
         self._plans: OrderedDict[str, SDHQuery] = OrderedDict()
         self._lock = threading.Lock()
-        self._build_locks: dict[str, threading.Lock] = {}
+        self._build_locks: dict[str, _BuildLockEntry] = {}
         self.stats = CacheStats()
 
     @property
@@ -126,17 +147,24 @@ class PlanCache:
             return plan
         # Serialize builds per key: the loser of the race finds the
         # winner's plan on its second lookup instead of rebuilding.
+        # Locks are refcounted by in-flight builders and dropped when
+        # the last one leaves, so the lock table tracks *builds in
+        # progress*, not every key ever seen — a server facing millions
+        # of distinct datasets does not grow it without bound.
         build_lock = self._build_lock_for(key)
-        with build_lock:
-            plan = self._lookup(key, count=False)
-            if plan is not None:
-                return plan
-            if variant:
-                built = self._builder(particles, request=request)
-            else:
-                built = self._builder(particles)
-            self._insert(key, built)
-            return built
+        try:
+            with build_lock:
+                plan = self._lookup(key, count=False)
+                if plan is not None:
+                    return plan
+                if variant:
+                    built = self._builder(particles, request=request)
+                else:
+                    built = self._builder(particles)
+                self._insert(key, built)
+                return built
+        finally:
+            self._release_build_lock(key)
 
     def peek(self, key: str) -> SDHQuery | None:
         """The cached plan for a fingerprint, without counting a lookup.
@@ -187,10 +215,26 @@ class PlanCache:
 
     def _build_lock_for(self, key: str) -> threading.Lock:
         with self._lock:
-            lock = self._build_locks.get(key)
-            if lock is None:
-                lock = self._build_locks[key] = threading.Lock()
-            return lock
+            entry = self._build_locks.get(key)
+            if entry is None:
+                entry = self._build_locks[key] = _BuildLockEntry()
+            entry.waiters += 1
+            return entry.lock
+
+    def _release_build_lock(self, key: str) -> None:
+        with self._lock:
+            entry = self._build_locks.get(key)
+            if entry is None:  # pragma: no cover - defensive
+                return
+            entry.waiters -= 1
+            if entry.waiters <= 0:
+                del self._build_locks[key]
+
+    def build_lock_count(self) -> int:
+        """Build locks currently held or awaited (leak-check hook:
+        returns to 0 once no build is in flight)."""
+        with self._lock:
+            return len(self._build_locks)
 
     def _insert(self, key: str, plan: SDHQuery) -> None:
         with self._lock:
@@ -198,6 +242,5 @@ class PlanCache:
             self._plans.move_to_end(key)
             self.stats.builds += 1
             while len(self._plans) > self._capacity:
-                evicted, _ = self._plans.popitem(last=False)
-                self._build_locks.pop(evicted, None)
+                self._plans.popitem(last=False)
                 self.stats.evictions += 1

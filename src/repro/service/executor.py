@@ -20,6 +20,7 @@ server work, which is why it pairs with the admission bound.
 from __future__ import annotations
 
 import concurrent.futures
+import contextvars
 import threading
 from dataclasses import dataclass
 from typing import Any, Callable
@@ -40,7 +41,13 @@ class ExecutorStats:
     failures: int = 0
 
     def snapshot(self) -> dict:
-        """A JSON-ready copy of the counters."""
+        """A JSON-ready copy of the counters.
+
+        Not synchronized by itself: callers must hold the owning
+        :class:`QueryExecutor`'s lock (as :meth:`QueryExecutor.snapshot`
+        does) or ``GET /v1/stats`` can serve torn values such as
+        ``completed > submitted``.
+        """
         return {
             "submitted": self.submitted,
             "completed": self.completed,
@@ -124,8 +131,6 @@ class QueryExecutor:
         """
         if timeout is ...:
             timeout = self._default_timeout
-        if self._shutdown:
-            raise ServiceError("executor has been shut down")
         if not self._admission.acquire(blocking=False):
             with self._lock:
                 self.stats.rejected += 1
@@ -133,12 +138,38 @@ class QueryExecutor:
                 f"server at capacity ({self._max_workers} running, "
                 f"{self._max_queue} queued); retry later"
             )
+        # The shutdown check happens *after* the permit is held and
+        # under the same lock shutdown() takes, closing the race where
+        # a submit admitted before shutdown reaches a closed pool.
         with self._lock:
-            self.stats.submitted += 1
-            self._in_flight += 1
-        future = self._pool.submit(
-            self._run_admitted, fn, args, kwargs
-        )
+            if self._shutdown:
+                stopped = True
+            else:
+                stopped = False
+                self.stats.submitted += 1
+                self._in_flight += 1
+        if stopped:
+            self._admission.release()
+            raise ServiceError("executor has been shut down")
+        # Run the work in the caller's contextvar context so request-
+        # scoped state (the observability trace ID) follows the query
+        # onto the worker thread.
+        context = contextvars.copy_context()
+        try:
+            future = self._pool.submit(
+                context.run, self._run_admitted, fn, args, kwargs
+            )
+        except BaseException as exc:
+            # pool.submit failed (e.g. a shutdown racing past the check
+            # above): the admitted slot must be returned, or capacity
+            # shrinks permanently by one permit per failure.
+            with self._lock:
+                self._in_flight -= 1
+                self.stats.failures += 1
+            self._admission.release()
+            if isinstance(exc, RuntimeError):
+                raise ServiceError("executor has been shut down") from exc
+            raise
         try:
             result = future.result(timeout=timeout)
         except concurrent.futures.TimeoutError:
@@ -168,16 +199,23 @@ class QueryExecutor:
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
-        """JSON-ready state: counters plus the pool configuration."""
-        body = self.stats.snapshot()
+        """JSON-ready state: counters plus the pool configuration.
+
+        Counters and ``in_flight`` are read in one critical section so
+        a concurrent ``GET /v1/stats`` never sees a torn multi-field
+        update (e.g. ``completed > submitted``).
+        """
+        with self._lock:
+            body = self.stats.snapshot()
+            body["in_flight"] = self._in_flight
         body["max_workers"] = self._max_workers
         body["max_queue"] = self._max_queue
-        body["in_flight"] = self.in_flight
         return body
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop accepting work and optionally wait for running queries."""
-        self._shutdown = True
+        with self._lock:
+            self._shutdown = True
         self._pool.shutdown(wait=wait)
 
     def __enter__(self) -> "QueryExecutor":

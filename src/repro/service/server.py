@@ -20,7 +20,15 @@ Endpoints:
   Eq. 1).
 * ``GET /v1/stats`` — cache, executor, per-engine operation counters,
   and the dataset registry.
+* ``GET /metrics`` — the same counters (plus the library's phase-span
+  histograms and per-level resolve counters) in the Prometheus text
+  exposition format; see ``docs/OBSERVABILITY.md``.
 * ``GET /healthz`` — liveness probe.
+
+Every request is tagged with a trace ID — the client's ``X-Trace-Id``
+header when present, a fresh one otherwise — echoed in the response's
+``X-Trace-Id`` header and stamped on every log record the request
+produces, including spans recorded on executor worker threads.
 
 Errors travel as a JSON envelope ``{"error": {"type", "message"}}``
 with the HTTP status drawn from the :class:`~repro.errors.ServiceError`
@@ -32,6 +40,7 @@ original exception type with its message intact.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import threading
 import time
@@ -52,6 +61,15 @@ from ..errors import (
     ServiceError,
 )
 from ..geometry import AABB
+from ..observability import (
+    MetricSample,
+    MetricsRegistry,
+    bind_trace_id,
+    current_trace_id,
+    get_logger,
+    get_registry,
+    log_event,
+)
 from ..physics.rdf import rdf_from_histogram
 from .cache import PlanCache
 from .executor import QueryExecutor
@@ -60,6 +78,14 @@ __all__ = ["SDHService", "ServiceConfig"]
 
 #: Largest accepted request body (inline uploads of ~1M 3D particles).
 _MAX_BODY_BYTES = 256 * 1024 * 1024
+
+#: Level of per-request access-log events.
+_ACCESS_LEVEL = logging.INFO
+
+
+def _sample(name: str, kind: str, help: str, value: float) -> MetricSample:
+    """One unlabelled scrape-time sample."""
+    return MetricSample(name, kind, help, [(None, float(value))])
 
 
 class _BadRequest(ServiceError):
@@ -142,6 +168,17 @@ class _ServiceState:
         self._engines: dict[str, _EngineAggregate] = {}
         self._requests: dict[str, int] = {}
         self._started = time.monotonic()
+        self.metrics = get_registry()
+        self.http_seconds = self.metrics.histogram(
+            "sdh_http_request_seconds",
+            "HTTP request latency by route.",
+            ("route",),
+        )
+        self.http_requests = self.metrics.counter(
+            "sdh_http_requests_total",
+            "HTTP requests served, by route and status code.",
+            ("route", "status"),
+        )
 
     # -- dataset registry ----------------------------------------------
     def register(self, particles: ParticleSet, name: str | None) -> str:
@@ -201,6 +238,85 @@ class _ServiceState:
             "requests": requests,
         }
 
+    def metrics_text(self) -> str:
+        """The ``GET /metrics`` Prometheus exposition.
+
+        The library's own instruments (phase spans, per-level resolve
+        counters, shared-memory gauges) render from the process
+        registry; the cache/executor/engine counters — which keep their
+        own stats objects — are folded in at scrape time from locked
+        snapshots, so the exposition never double-counts and never
+        serves torn values.
+        """
+        cache = self.cache.snapshot()
+        executor = self.executor.snapshot()
+        with self._lock:
+            engines = {
+                name: agg.snapshot() for name, agg in self._engines.items()
+            }
+            uptime = time.monotonic() - self._started
+        samples = [
+            _sample("sdh_uptime_seconds", "gauge",
+                    "Seconds since this server started.", uptime),
+            _sample("sdh_cache_hits_total", "counter",
+                    "Plan-cache lookups served from cache.", cache["hits"]),
+            _sample("sdh_cache_misses_total", "counter",
+                    "Plan-cache lookups that required a build.",
+                    cache["misses"]),
+            _sample("sdh_cache_evictions_total", "counter",
+                    "Plans evicted from the cache.", cache["evictions"]),
+            _sample("sdh_cache_builds_total", "counter",
+                    "Density-map pyramid builds.", cache["builds"]),
+            _sample("sdh_cache_plans", "gauge",
+                    "Plans currently resident in the cache.", cache["size"]),
+            _sample("sdh_cache_capacity", "gauge",
+                    "Plan-cache capacity.", cache["capacity"]),
+            _sample("sdh_executor_submitted_total", "counter",
+                    "Queries admitted to the worker pool.",
+                    executor["submitted"]),
+            _sample("sdh_executor_completed_total", "counter",
+                    "Queries that finished successfully.",
+                    executor["completed"]),
+            _sample("sdh_executor_rejected_total", "counter",
+                    "Queries rejected by admission control (503).",
+                    executor["rejected"]),
+            _sample("sdh_executor_timeouts_total", "counter",
+                    "Queries that exceeded the server time budget (504).",
+                    executor["timeouts"]),
+            _sample("sdh_executor_failures_total", "counter",
+                    "Queries that raised.", executor["failures"]),
+            _sample("sdh_executor_in_flight", "gauge",
+                    "Queries currently running or queued.",
+                    executor["in_flight"]),
+        ]
+        if engines:
+            samples.append(
+                MetricSample(
+                    "sdh_service_queries_total", "counter",
+                    "Queries answered, by engine aggregate.",
+                    [({"engine": name}, agg["queries"])
+                     for name, agg in engines.items()],
+                )
+            )
+        scratch = MetricsRegistry()
+        scratch.add_collector(lambda: samples)
+        return self.metrics.render() + scratch.render()
+
+
+#: Bounded route labels for the latency/request metrics (unknown paths
+#: collapse into "other" so clients cannot explode label cardinality).
+_ROUTE_LABELS = {
+    ("GET", "/healthz"): "healthz",
+    ("GET", "/metrics"): "metrics",
+    ("GET", "/v1/stats"): "stats",
+    ("POST", "/v1/datasets"): "datasets",
+    ("POST", "/v1/sdh"): "sdh",
+    ("POST", "/v1/sdh/batch"): "sdh_batch",
+    ("POST", "/v1/rdf"): "rdf",
+}
+
+_access_log = get_logger("service.access")
+
 
 class _Handler(BaseHTTPRequestHandler):
     """One request; all state lives on ``server.state``."""
@@ -218,40 +334,76 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routing -------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
-        try:
-            if self.path == "/healthz":
-                self._send(200, {"status": "ok"})
-            elif self.path == "/v1/stats":
-                self.state.count_request("stats")
-                self._send(200, self.state.stats_body())
-            else:
-                self._send_error_body(
-                    404, "ServiceError", f"no such route: GET {self.path}"
-                )
-        except Exception as exc:  # pragma: no cover - defensive
-            self._send_exception(exc)
+        self._traced(self._route_get)
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        try:
-            body = self._read_json()
-            if self.path == "/v1/datasets":
-                self.state.count_request("datasets")
-                self._send(200, _handle_register(self.state, body))
-            elif self.path == "/v1/sdh":
-                self.state.count_request("sdh")
-                self._send(200, _handle_sdh(self.state, body))
-            elif self.path == "/v1/sdh/batch":
-                self.state.count_request("sdh_batch")
-                self._send(200, _handle_batch(self.state, body))
-            elif self.path == "/v1/rdf":
-                self.state.count_request("rdf")
-                self._send(200, _handle_rdf(self.state, body))
-            else:
-                self._send_error_body(
-                    404, "ServiceError", f"no such route: POST {self.path}"
+        self._traced(self._route_post)
+
+    def _traced(self, route_fn: Any) -> None:
+        """Bind a trace ID, time the request, record metrics + access log.
+
+        The trace ID comes from the client's ``X-Trace-Id`` header when
+        present (so callers can correlate with their own systems) and is
+        generated otherwise; either way every response echoes it and
+        every log record emitted while handling the request — including
+        on executor worker threads — carries it.
+        """
+        incoming = (self.headers.get("X-Trace-Id") or "").strip() or None
+        started = time.perf_counter()
+        self._status = 500
+        route = _ROUTE_LABELS.get((self.command, self.path), "other")
+        with bind_trace_id(incoming) as trace_id:
+            try:
+                route_fn()
+            except Exception as exc:
+                self._send_exception(exc)
+            seconds = time.perf_counter() - started
+            state = self.state
+            state.http_seconds.labels(route=route).observe(seconds)
+            state.http_requests.labels(
+                route=route, status=self._status
+            ).inc()
+            if _access_log.isEnabledFor(_ACCESS_LEVEL):
+                log_event(
+                    _access_log, _ACCESS_LEVEL, "http_request",
+                    method=self.command, path=self.path, route=route,
+                    status=self._status,
+                    duration_seconds=round(seconds, 9),
+                    trace_id=trace_id,
                 )
-        except Exception as exc:
-            self._send_exception(exc)
+
+    def _route_get(self) -> None:
+        if self.path == "/healthz":
+            self._send(200, {"status": "ok"})
+        elif self.path == "/metrics":
+            self.state.count_request("metrics")
+            self._send_text(200, self.state.metrics_text())
+        elif self.path == "/v1/stats":
+            self.state.count_request("stats")
+            self._send(200, self.state.stats_body())
+        else:
+            self._send_error_body(
+                404, "ServiceError", f"no such route: GET {self.path}"
+            )
+
+    def _route_post(self) -> None:
+        body = self._read_json()
+        if self.path == "/v1/datasets":
+            self.state.count_request("datasets")
+            self._send(200, _handle_register(self.state, body))
+        elif self.path == "/v1/sdh":
+            self.state.count_request("sdh")
+            self._send(200, _handle_sdh(self.state, body))
+        elif self.path == "/v1/sdh/batch":
+            self.state.count_request("sdh_batch")
+            self._send(200, _handle_batch(self.state, body))
+        elif self.path == "/v1/rdf":
+            self.state.count_request("rdf")
+            self._send(200, _handle_rdf(self.state, body))
+        else:
+            self._send_error_body(
+                404, "ServiceError", f"no such route: POST {self.path}"
+            )
 
     # -- plumbing ------------------------------------------------------
     def _read_json(self) -> dict:
@@ -273,10 +425,25 @@ class _Handler(BaseHTTPRequestHandler):
         return body
 
     def _send(self, status: int, payload: dict) -> None:
-        data = json.dumps(payload).encode("utf-8")
+        self._send_bytes(
+            status, json.dumps(payload).encode("utf-8"), "application/json"
+        )
+
+    def _send_text(self, status: int, text: str) -> None:
+        self._send_bytes(
+            status, text.encode("utf-8"), "text/plain; charset=utf-8"
+        )
+
+    def _send_bytes(
+        self, status: int, data: bytes, content_type: str
+    ) -> None:
+        self._status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
+        trace_id = current_trace_id()
+        if trace_id:
+            self.send_header("X-Trace-Id", trace_id)
         self.end_headers()
         self.wfile.write(data)
 

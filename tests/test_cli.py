@@ -139,3 +139,47 @@ class TestParser:
             ["serve", "--dataset", "a.npz", "--dataset", "b.npz:mem"]
         )
         assert args.dataset == ["a.npz", "b.npz:mem"]
+
+
+class TestLogging:
+    @pytest.fixture
+    def dataset(self, tmp_path):
+        path = tmp_path / "d.npz"
+        save_particles(path, uniform(300, dim=2, rng=6))
+        return str(path)
+
+    @pytest.fixture(autouse=True)
+    def quiet_afterwards(self):
+        yield
+        from repro.observability import configure_logging
+
+        configure_logging("warning")
+
+    def test_log_json_emits_phase_spans(self, dataset, capsys):
+        import json
+
+        assert main(["sdh", dataset, "--buckets", "4", "--log-json"]) == 0
+        captured = capsys.readouterr()
+        assert "total pairs" in captured.out  # stdout stays the payload
+        events = [
+            json.loads(line) for line in captured.err.splitlines() if line
+        ]
+        by_name = {body["event"]: body for body in events}
+        load = by_name["span:load_dataset"]
+        assert load["particles"] == 300
+        assert load["duration_seconds"] >= 0
+        query = by_name["span:query"]
+        assert query["engine"] in ("grid", "tree")
+        assert query["level"] == "info"
+
+    def test_default_logging_is_quiet(self, dataset, capsys):
+        assert main(["sdh", dataset, "--buckets", "4"]) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_log_level_flag_works_after_subcommand(self, dataset, capsys):
+        assert main(
+            ["sdh", dataset, "--buckets", "4", "--log-level", "info"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "span:query" in err  # human-formatted, not JSON
+        assert not err.lstrip().startswith("{")

@@ -192,3 +192,32 @@ class TestSharedMemoryHygiene:
         bundle.unlink()
         bundle.unlink()
         assert live_segments() == set()
+
+    def test_no_leak_under_repeated_midflight_failures(self):
+        """Stress: several back-to-back runs that die inside the workers
+        must each unlink their segment — one leaked permit-equivalent
+        per failure would show up as a growing live set."""
+        data = uniform(600, dim=2, rng=44)
+        pyramid = GridPyramid(data)
+        spec = UniformBuckets(0.05, 3)  # reach 0.15 << box diagonal
+        for _ in range(3):
+            with pytest.raises(DistanceOverflowError):
+                parallel_sdh(
+                    pyramid,
+                    spec=spec,
+                    workers=WORKERS,
+                    policy=OverflowPolicy.RAISE,
+                )
+            assert live_segments() == set()
+        # And a healthy run straight after still works and stays clean.
+        parallel_sdh(pyramid, bucket_width=0.25, workers=WORKERS)
+        assert live_segments() == set()
+
+    def test_live_segment_gauge_returns_to_zero(self):
+        from repro.observability import get_registry
+
+        data = uniform(400, dim=2, rng=45)
+        parallel_sdh(GridPyramid(data), bucket_width=0.3, workers=WORKERS)
+        gauge = get_registry().get("sdh_shm_live_segments")
+        assert gauge is not None
+        assert gauge.value == 0

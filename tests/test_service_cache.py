@@ -152,7 +152,7 @@ class TestConcurrency:
         assert len({id(p) for p in plans}) == 1
         assert cache.stats.builds == 1
 
-    def test_concurrent_mixed_keys(self, datasets):
+    def test_concurrent_mixed_keys_prune_build_locks(self, datasets):
         builder = CountingBuilder()
         cache = PlanCache(capacity=len(datasets), builder=builder)
         barrier = threading.Barrier(12)
@@ -172,3 +172,85 @@ class TestConcurrency:
         assert sorted(builder.calls) == sorted(
             d.fingerprint() for d in datasets
         )
+        assert cache.build_lock_count() == 0
+
+
+class TestBuildLockHygiene:
+    """Regression tests: the per-key build-lock table must track builds
+    in flight, not every key ever seen (it used to grow forever)."""
+
+    def test_locks_pruned_after_each_build(self, datasets):
+        cache = PlanCache(capacity=len(datasets))
+        for data in datasets:
+            cache.get_or_build(data)
+            assert cache.build_lock_count() == 0
+        # Hits never touch the lock table at all.
+        cache.get_or_build(datasets[0])
+        assert cache.build_lock_count() == 0
+
+    def test_evict_and_clear_leave_no_locks(self, datasets):
+        cache = PlanCache(capacity=2)
+        for data in datasets:  # forces LRU evictions along the way
+            cache.get_or_build(data)
+        cache.evict(datasets[-1].fingerprint())
+        cache.clear()
+        assert cache.build_lock_count() == 0
+        assert len(cache._build_locks) == 0
+
+    def test_racing_losers_release_their_refcounts(self, datasets):
+        builder = CountingBuilder()
+        cache = PlanCache(capacity=4, builder=builder)
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            cache.get_or_build(datasets[0])
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(builder.calls) == 1
+        assert cache.build_lock_count() == 0
+
+    def test_lock_lives_exactly_while_build_is_in_flight(self, datasets):
+        started = threading.Event()
+        release = threading.Event()
+
+        def slow_builder(particles):
+            started.set()
+            assert release.wait(timeout=5.0)
+            return build_plan(particles)
+
+        cache = PlanCache(capacity=2, builder=slow_builder)
+        worker = threading.Thread(
+            target=cache.get_or_build, args=(datasets[0],)
+        )
+        worker.start()
+        assert started.wait(timeout=5.0)
+        assert cache.build_lock_count() == 1
+        # Clearing the plan table mid-build must not strand the lock …
+        cache.clear()
+        release.set()
+        worker.join(timeout=5.0)
+        # … and the builder drops it on the way out.
+        assert cache.build_lock_count() == 0
+        assert datasets[0].fingerprint() in cache
+
+    def test_failed_build_still_releases_lock(self, datasets):
+        calls = []
+
+        def flaky_builder(particles):
+            calls.append(particles.fingerprint())
+            if len(calls) == 1:
+                raise RuntimeError("transient build failure")
+            return build_plan(particles)
+
+        cache = PlanCache(capacity=2, builder=flaky_builder)
+        with pytest.raises(RuntimeError, match="transient"):
+            cache.get_or_build(datasets[0])
+        assert cache.build_lock_count() == 0
+        # The key is not poisoned: the next request simply rebuilds.
+        assert cache.get_or_build(datasets[0]) is not None
+        assert cache.build_lock_count() == 0

@@ -148,3 +148,133 @@ class TestBackpressure:
         assert body["max_queue"] == 5
         assert body["submitted"] == 1
         assert body["in_flight"] == 0
+
+
+def _permits(pool):
+    """Free admission slots (BoundedSemaphore internal counter)."""
+    return pool._admission._value
+
+
+class TestPermitHygiene:
+    """Regression tests: a submit that never reaches a worker must hand
+    its admission permit back, or capacity shrinks by one per failure."""
+
+    def test_failed_pool_submit_preserves_capacity(self):
+        pool = QueryExecutor(max_workers=2, max_queue=1)
+        full = _permits(pool)
+
+        def exploding_submit(*args, **kwargs):
+            raise RuntimeError("cannot schedule new futures")
+
+        original = pool._pool.submit
+        pool._pool.submit = exploding_submit
+        try:
+            for _ in range(full + 2):  # more failures than permits exist
+                with pytest.raises(ServiceError, match="shut down"):
+                    pool.submit(lambda: 1)
+        finally:
+            pool._pool.submit = original
+        assert _permits(pool) == full
+        assert pool.in_flight == 0
+        assert pool.stats.failures == full + 2
+        # The pool is still fully usable afterwards.
+        assert pool.submit(lambda: 9) == 9
+        pool.shutdown()
+
+    def test_non_runtime_submit_failure_propagates_and_releases(self):
+        pool = QueryExecutor(max_workers=1, max_queue=0)
+        full = _permits(pool)
+        pool._pool.submit = lambda *a, **k: (_ for _ in ()).throw(
+            MemoryError("no threads")
+        )
+        with pytest.raises(MemoryError):
+            pool.submit(lambda: 1)
+        assert _permits(pool) == full
+        assert pool.in_flight == 0
+        pool.shutdown()
+
+    def test_shutdown_rejection_returns_permit(self):
+        pool = QueryExecutor(max_workers=2, max_queue=2)
+        full = _permits(pool)
+        pool.shutdown()
+        for _ in range(full + 3):
+            with pytest.raises(ServiceError, match="shut down"):
+                pool.submit(lambda: 1)
+        assert _permits(pool) == full
+        assert pool.in_flight == 0
+
+
+class TestStatsConsistency:
+    """Regression tests: counters and snapshots are read under the
+    executor's lock, so concurrent readers never see torn state."""
+
+    def test_snapshot_blocks_on_the_owning_lock(self):
+        with QueryExecutor(max_workers=1) as pool:
+            result = {}
+
+            def snapshotter():
+                result["body"] = pool.snapshot()
+
+            with pool._lock:  # simulate a writer mid-update
+                reader = threading.Thread(target=snapshotter)
+                reader.start()
+                reader.join(timeout=0.2)
+                assert reader.is_alive(), (
+                    "snapshot() returned while the executor lock was "
+                    "held — it is reading counters unsynchronized"
+                )
+            reader.join(timeout=5.0)
+            assert not reader.is_alive()
+            assert result["body"]["submitted"] == 0
+
+    def test_counters_balance_under_concurrent_load(self):
+        def ok():
+            time.sleep(0.001)
+
+        def boom():
+            raise ValueError("expected")
+
+        pool = QueryExecutor(max_workers=4, max_queue=64, default_timeout=5.0)
+        errors = []
+
+        def client(i):
+            try:
+                pool.submit(boom if i % 3 == 0 else ok)
+            except ValueError:
+                pass
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        observed = []
+        stop = threading.Event()
+
+        def observer():
+            while not stop.is_set():
+                body = pool.snapshot()
+                observed.append(body)
+
+        watcher = threading.Thread(target=observer)
+        watcher.start()
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(60)
+        ]
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=10.0)
+        finally:
+            stop.set()
+            watcher.join(timeout=5.0)
+            pool.shutdown()
+        assert errors == []
+        # Every concurrent snapshot must be internally consistent.
+        for body in observed:
+            settled = body["completed"] + body["failures"] + body["timeouts"]
+            assert settled <= body["submitted"]
+            assert 0 <= body["in_flight"] <= 4 + 64
+        final = pool.snapshot()
+        assert final["submitted"] == 60
+        assert final["completed"] == 40
+        assert final["failures"] == 20
+        assert final["in_flight"] == 0

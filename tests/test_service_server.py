@@ -379,3 +379,97 @@ class TestStats:
         assert stats["engines"]["rdf"]["queries"] == 1
         assert stats["engines"]["exact"]["distance_computations"] > 0
         assert stats["executor"]["completed"] == 3
+
+
+class TestObservability:
+    """GET /metrics and the per-request trace-ID contract."""
+
+    @staticmethod
+    def _raw_get(url, headers=None):
+        import urllib.request
+
+        request = urllib.request.Request(url, headers=headers or {})
+        with urllib.request.urlopen(request, timeout=10.0) as response:
+            return (
+                response.status,
+                dict(response.headers),
+                response.read().decode("utf-8"),
+            )
+
+    def test_metrics_exposition(self, service, client, dataset):
+        key = client.register(dataset)
+        client.sdh(key, num_buckets=8)
+        client.sdh(key, num_buckets=8)  # plan-cache hit
+        status, headers, text = self._raw_get(service.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        # Cache and executor counters fold into the scrape.
+        assert "# TYPE sdh_cache_hits_total counter" in text
+        assert "sdh_cache_builds_total 1" in text
+        assert "sdh_cache_plans 1" in text
+        assert "sdh_executor_completed_total 2" in text
+        assert "sdh_executor_in_flight 0" in text
+        assert "sdh_uptime_seconds" in text
+        # Per-request latency histogram, labelled by route.  These
+        # live in the process-global registry (cumulative across every
+        # service the test session starts), so assert presence, not
+        # exact counts.
+        assert 'sdh_http_request_seconds_bucket{route="sdh"' in text
+        assert "# TYPE sdh_http_request_seconds histogram" in text
+        assert 'sdh_http_requests_total{route="sdh",status="200"}' in text
+        # Library-side phase spans and per-level resolve counters.
+        assert 'sdh_phase_seconds_bucket{phase="plan_query"' in text
+        assert 'sdh_service_queries_total{engine="exact"} 2' in text
+        assert "sdh_resolve_calls_total{" in text
+
+    @staticmethod
+    def _metric_value(text, prefix):
+        for line in text.splitlines():
+            if line.startswith(prefix):
+                return float(line.rsplit(" ", 1)[1])
+        return 0.0
+
+    def test_metrics_scrape_is_itself_counted(self, service):
+        import time as _time
+
+        sample = 'sdh_http_requests_total{route="metrics",status="200"}'
+        _, _, first = self._raw_get(service.url + "/metrics")
+        before = self._metric_value(first, sample)
+        # A scrape is counted only after its response is written, so a
+        # later scrape eventually observes the earlier one.
+        deadline = _time.time() + 5.0
+        while _time.time() < deadline:
+            _, _, text = self._raw_get(service.url + "/metrics")
+            if self._metric_value(text, sample) > before:
+                break
+            _time.sleep(0.01)
+        else:
+            pytest.fail("metrics scrapes never appeared in the counter")
+
+    def test_trace_id_echoed_from_request_header(self, service):
+        status, headers, _ = self._raw_get(
+            service.url + "/healthz",
+            headers={"X-Trace-Id": "deadbeefcafef00d"},
+        )
+        assert status == 200
+        assert headers["X-Trace-Id"] == "deadbeefcafef00d"
+
+    def test_trace_id_generated_when_absent(self, service):
+        _, first, _ = self._raw_get(service.url + "/healthz")
+        _, second, _ = self._raw_get(service.url + "/healthz")
+        assert len(first["X-Trace-Id"]) == 16
+        int(first["X-Trace-Id"], 16)  # hex
+        assert first["X-Trace-Id"] != second["X-Trace-Id"]
+
+    def test_error_responses_carry_trace_id(self, service):
+        import urllib.error
+        import urllib.request
+
+        request = urllib.request.Request(
+            service.url + "/v1/nope",
+            headers={"X-Trace-Id": "0123456789abcdef"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=10.0)
+        assert info.value.code == 404
+        assert info.value.headers["X-Trace-Id"] == "0123456789abcdef"
