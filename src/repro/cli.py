@@ -8,7 +8,10 @@ Subcommands:
 * ``rdf`` — compute and print g(r);
 * ``info`` — dataset and density-map summary;
 * ``serve`` — run the JSON-over-HTTP query service (see
-  :mod:`repro.service` and ``docs/SERVICE.md``).
+  :mod:`repro.service` and ``docs/SERVICE.md``);
+* ``verify`` — run the correctness harness (differential engine
+  comparison, metamorphic invariants, seeded fuzzing; see
+  :mod:`repro.verify` and ``docs/TESTING.md``).
 
 The CLI is a thin veneer over the public API; anything serious should
 import :mod:`repro` directly.
@@ -190,6 +193,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="log each HTTP request"
     )
 
+    verify = sub.add_parser(
+        "verify",
+        help="run the correctness harness (see docs/TESTING.md)",
+        parents=[logopts],
+    )
+    verify.add_argument(
+        "--seeds",
+        type=int,
+        default=20,
+        help="number of fuzz seeds to run (each is one generated case)",
+    )
+    verify.add_argument(
+        "--seed-start",
+        type=int,
+        default=0,
+        help="first seed (cases are a pure function of their seed)",
+    )
+    verify.add_argument(
+        "--engines",
+        default=None,
+        metavar="NAME[,NAME...]",
+        help="comma-separated engine subset "
+        "(default: every registered engine)",
+    )
+    verify.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR",
+        help="replay stored reproducers from DIR first, and write "
+        "shrunk failures back into it",
+    )
+    verify.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes given to worker-capable engines",
+    )
+    verify.add_argument(
+        "--no-invariants",
+        action="store_true",
+        help="skip the metamorphic invariant checks",
+    )
+    verify.add_argument(
+        "--no-adm",
+        action="store_true",
+        help="skip the ADM-SDH error-model bounds",
+    )
+    verify.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full report as JSON instead of text",
+    )
+
     return parser
 
 
@@ -211,6 +267,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_rdf(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "verify":
+            return _cmd_verify(args)
         return _cmd_info(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -315,6 +373,53 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("shutting down")
         service.shutdown()
     return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .verify import Corpus, run_verification
+
+    engines = None
+    if args.engines:
+        engines = tuple(
+            name.strip() for name in args.engines.split(",") if name.strip()
+        )
+    corpus = Corpus(args.corpus) if args.corpus else None
+    report = run_verification(
+        seeds=args.seeds,
+        seed_start=args.seed_start,
+        engines=engines,
+        corpus=corpus,
+        invariants=not args.no_invariants,
+        adm=not args.no_adm,
+        workers=args.workers,
+    )
+    if args.json:
+        print(json_module.dumps(report.to_dict(), indent=2))
+    else:
+        print(f"engines:    {', '.join(report.engines)}")
+        print(f"fuzz cases: {report.cases_run} "
+              f"(seeds {args.seed_start}..{args.seed_start + args.seeds - 1})")
+        if corpus is not None:
+            print(f"corpus:     {report.corpus_replayed} case(s) replayed")
+        if report.adm_checked:
+            print("adm bounds: checked")
+        print(f"duration:   {report.duration_seconds:.2f}s")
+        if report.ok:
+            print("verify: OK — no discrepancies")
+        else:
+            print(f"verify: FAILED — {len(report.discrepancies)} "
+                  f"discrepanc{'y' if len(report.discrepancies) == 1 else 'ies'}")
+            for item in report.discrepancies:
+                where = f" [{item.case}]" if item.case else ""
+                seed = f" (seed {item.seed})" if item.seed is not None else ""
+                print(f"  {item.kind}{where}{seed}: {item.detail}")
+            if report.corpus_written:
+                print("shrunk reproducers written:")
+                for path in report.corpus_written:
+                    print(f"  {path}")
+    return 0 if report.ok else 1
 
 
 def _cmd_info(args: argparse.Namespace) -> int:

@@ -120,6 +120,12 @@ class TreeSDHEngine:
         self.region = region
         if region is not None and region.dim != self.particles.dim:
             raise QueryError("region dimensionality does not match data")
+        if region is not None and not bool(
+            region.contains_points(self.particles.positions).any()
+        ):
+            # Same contract as the subsetting engines: an empty region
+            # is a caller error, not a silently-zero histogram.
+            raise QueryError("query region contains no particles")
         self.policy = policy
         self.stats = stats if stats is not None else SDHStats()
         self.histogram = DistanceHistogram(self.spec)

@@ -244,6 +244,7 @@ def _restricted_subsets(
         return run(current.of_type(request.type_filter))
     if request.type_pair is not None:
         pair = request.type_pair
+        _require_distinct_pair(particles, pair)
         subset_a = current.of_type(pair[0])
         subset_b = current.of_type(pair[1])
         both = current.select(
@@ -521,8 +522,23 @@ def _filter_brute(
     if type_filter is not None:
         return current.of_type(type_filter), None
     if type_pair is not None:
+        _require_distinct_pair(particles, type_pair)
         return current.of_type(type_pair[0]), current.of_type(type_pair[1])
     return current, None
+
+
+def _require_distinct_pair(particles: ParticleSet, pair) -> None:
+    """Reject ``type_pair`` naming one type twice, on every engine.
+
+    The tree engine always rejected this (the cross identity
+    ``h(A x B) = h(A u B) - h(A) - h(B)`` needs disjoint sides; with
+    A == B it degenerates to ``-h(A)``, i.e. negative counts); the
+    subsetting engines must agree rather than return garbage.
+    """
+    if particles.resolve_type(pair[0]) == particles.resolve_type(pair[1]):
+        raise QueryError(
+            "type_pair needs two distinct types; use type_filter"
+        )
 
 
 # ----------------------------------------------------------------------

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import QueryError
+from ..errors import BucketSpecError, QueryError
 from ..geometry import AABB, BallRegion, RectRegion, Region, UnionRegion
 from .buckets import BucketSpec, CustomBuckets, OverflowPolicy, UniformBuckets
 from .heuristics import Allocator
@@ -157,6 +157,18 @@ class SDHRequest:
             raise QueryError(
                 "provide exactly one of bucket_width / spec / num_buckets"
             )
+        if self.bucket_width is not None and not (
+            np.isfinite(self.bucket_width) and self.bucket_width > 0
+        ):
+            raise BucketSpecError(
+                f"bucket_width must be finite and positive, "
+                f"got {self.bucket_width}"
+            )
+        if self.num_buckets is not None and self.num_buckets < 1:
+            raise BucketSpecError(
+                f"a histogram needs at least one bucket, "
+                f"got num_buckets={self.num_buckets}"
+            )
         if self.spec is not None and not isinstance(self.spec, BucketSpec):
             raise QueryError(
                 f"spec must be a BucketSpec, got {type(self.spec).__name__}"
@@ -175,9 +187,12 @@ class SDHRequest:
             )
         if self.approximate and self.restricted:
             raise QueryError("approximate restricted queries are not supported")
-        if self.error_bound is not None and not self.error_bound > 0:
+        if self.error_bound is not None and not (
+            np.isfinite(self.error_bound) and self.error_bound > 0
+        ):
             raise QueryError(
-                f"error_bound must be positive, got {self.error_bound}"
+                f"error_bound must be finite and positive, "
+                f"got {self.error_bound}"
             )
         if self.levels is not None and self.levels < 0:
             raise QueryError(f"levels must be >= 0, got {self.levels}")
@@ -309,6 +324,22 @@ def _spec_to_json(spec: BucketSpec | None) -> dict | None:
     )
 
 
+def _finite(value, what: str) -> float:
+    """``float(value)``, rejecting NaN/inf with a :class:`QueryError`.
+
+    JSON has no literal for them, but Python's parser (and our own
+    loose callers) accept ``float("nan")`` — which would silently
+    corrupt bucket edges and region bounds downstream.
+    """
+    try:
+        number = float(value)
+    except (TypeError, ValueError):
+        raise QueryError(f"{what} must be a number, got {value!r}")
+    if not np.isfinite(number):
+        raise QueryError(f"{what} must be finite, got {number}")
+    return number
+
+
 def _spec_from_json(body) -> BucketSpec:
     if isinstance(body, BucketSpec):
         return body
@@ -319,10 +350,12 @@ def _spec_from_json(body) -> BucketSpec:
     kind = body["kind"]
     if kind == "uniform":
         return UniformBuckets(
-            float(body["width"]), int(body["num_buckets"])
+            _finite(body["width"], "spec width"), int(body["num_buckets"])
         )
     if kind == "custom":
-        return CustomBuckets([float(e) for e in body["edges"]])
+        return CustomBuckets(
+            [_finite(e, "spec edge") for e in body["edges"]]
+        )
     raise QueryError(f"unknown bucket spec kind {kind!r}")
 
 
@@ -362,13 +395,14 @@ def _region_from_json(body) -> Region:
     if kind == "rect":
         return RectRegion(
             AABB(
-                tuple(float(v) for v in body["lo"]),
-                tuple(float(v) for v in body["hi"]),
+                tuple(_finite(v, "region lo") for v in body["lo"]),
+                tuple(_finite(v, "region hi") for v in body["hi"]),
             )
         )
     if kind == "ball":
         return BallRegion(
-            [float(v) for v in body["center"]], float(body["radius"])
+            [_finite(v, "region center") for v in body["center"]],
+            _finite(body["radius"], "region radius"),
         )
     if kind == "union":
         return UnionRegion(

@@ -88,6 +88,14 @@ class RectRegion(Region):
     def contains_points(self, points: np.ndarray) -> np.ndarray:
         return self._box.contains_points(points, closed=True)
 
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, RectRegion):
+            return NotImplemented
+        return self._box == other._box
+
+    def __hash__(self) -> int:
+        return hash(("rect", self._box))
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"RectRegion({self._box!r})"
 
@@ -143,6 +151,17 @@ class BallRegion(Region):
         delta = points - np.asarray(self._center)
         return np.einsum("ij,ij->i", delta, delta) <= self._radius**2
 
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, BallRegion):
+            return NotImplemented
+        return (
+            self._center == other._center
+            and self._radius == other._radius
+        )
+
+    def __hash__(self) -> int:
+        return hash(("ball", self._center, self._radius))
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         center = ", ".join(f"{c:g}" for c in self._center)
         return f"BallRegion(({center}), r={self._radius:g})"
@@ -187,6 +206,14 @@ class UnionRegion(Region):
         for member in self._members[1:]:
             mask = mask | member.contains_points(points)
         return mask
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, UnionRegion):
+            return NotImplemented
+        return self._members == other._members
+
+    def __hash__(self) -> int:
+        return hash(("union", self._members))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"UnionRegion({list(self._members)!r})"

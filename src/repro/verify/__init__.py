@@ -1,0 +1,55 @@
+"""Correctness tooling: differential runs, invariants, seeded fuzzing.
+
+DM-SDH is exact, so the repo carries several engines that must agree
+*bit for bit* — and the approximate ADM-SDH variant whose error the
+paper's Sec. V model predicts.  This package turns those facts into an
+executable harness (``repro-sdh verify``):
+
+* :mod:`~repro.verify.differential` — one request, every registered
+  engine, one answer (plus ADM error bounded by the model);
+* :mod:`~repro.verify.invariants` — metamorphic properties (pair
+  conservation, rigid motions, split/merge additivity, bucket
+  refinement) that need no oracle;
+* :mod:`~repro.verify.fuzz` — deterministic seeded adversarial case
+  generation with greedy shrinking;
+* :mod:`~repro.verify.corpus` — failures persisted as replayable JSON
+  reproducers.
+"""
+
+from .corpus import Corpus
+from .differential import (
+    Discrepancy,
+    EngineOutcome,
+    check_adm_bounds,
+    compare_engines,
+    exact_engines,
+    run_engines,
+)
+from .fuzz import (
+    FuzzCase,
+    VerifyReport,
+    evaluate_case,
+    generate_case,
+    run_verification,
+    shrink_case,
+)
+from .invariants import ALL_INVARIANTS, run_invariants, snap_dyadic
+
+__all__ = [
+    "ALL_INVARIANTS",
+    "Corpus",
+    "Discrepancy",
+    "EngineOutcome",
+    "FuzzCase",
+    "VerifyReport",
+    "check_adm_bounds",
+    "compare_engines",
+    "evaluate_case",
+    "exact_engines",
+    "generate_case",
+    "run_engines",
+    "run_invariants",
+    "run_verification",
+    "shrink_case",
+    "snap_dyadic",
+]

@@ -1,0 +1,106 @@
+"""A replayable corpus of shrunk verify failures.
+
+Every failure the fuzzer finds is worth keeping: after the bug is
+fixed, replaying the shrunk reproducer is a regression test that costs
+microseconds and never rots (the case carries its own dataset and
+request, so it does not depend on the fuzzer's generation logic
+staying stable).  The on-disk format is one JSON file per case —
+human-readable, diff-friendly, and safe to commit.
+
+Promotion workflow (see ``docs/TESTING.md``): a failing verify run
+writes ``<name>-<seed>.json`` files into the corpus directory given on
+the command line; commit the ones that reproduce a real bug, and the
+test suite (plus every future ``repro-sdh verify --corpus`` run)
+replays them forever.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator
+
+from .differential import Discrepancy
+from .fuzz import FuzzCase, evaluate_case
+
+__all__ = ["Corpus"]
+
+
+class Corpus:
+    """A directory of JSON-serialized :class:`FuzzCase` reproducers."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.paths())
+
+    def paths(self) -> list[Path]:
+        """Case files, sorted for deterministic replay order."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("*.json"))
+
+    def cases(self) -> Iterator[tuple[Path, FuzzCase]]:
+        """Load every case in the corpus."""
+        for path in self.paths():
+            with open(path, "r", encoding="utf-8") as handle:
+                body = json.load(handle)
+            yield path, FuzzCase.from_dict(body)
+
+    def save(
+        self,
+        case: FuzzCase,
+        discrepancies: list[Discrepancy] | None = None,
+        note: str = "",
+    ) -> Path:
+        """Persist ``case``; returns the written path.
+
+        The discrepancies observed at save time are embedded as a
+        ``reason`` field — documentation for the reader, ignored on
+        replay (replay re-evaluates from scratch).
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        body = case.to_dict()
+        if note:
+            body["note"] = note
+        if discrepancies:
+            body["reason"] = [d.to_dict() for d in discrepancies]
+        stem = f"{case.name}-{case.seed}" if case.seed >= 0 else case.name
+        path = self.directory / f"{stem}.json"
+        suffix = 1
+        while path.exists():
+            path = self.directory / f"{stem}-{suffix}.json"
+            suffix += 1
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(body, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    def replay(
+        self,
+        engines: tuple[str, ...] | None = None,
+        invariants: bool = True,
+        workers: int = 2,
+    ) -> tuple[int, list[Discrepancy]]:
+        """Re-evaluate every stored case; return (count, discrepancies).
+
+        A historical reproducer that fails again is reported under its
+        file name so the report points straight at the regressed case.
+        """
+        found: list[Discrepancy] = []
+        replayed = 0
+        for path, case in self.cases():
+            replayed += 1
+            for item in evaluate_case(
+                case, engines=engines, invariants=invariants, workers=workers
+            ):
+                found.append(
+                    Discrepancy(
+                        item.kind,
+                        item.detail,
+                        case=f"corpus:{path.name}",
+                        seed=item.seed,
+                    )
+                )
+        return replayed, found

@@ -1,0 +1,499 @@
+"""Deterministic seeded fuzzing with shrinking for the verify harness.
+
+Every case is a pure function of its seed: :func:`generate_case` draws
+an adversarial particle set and a request from ``default_rng(seed)``,
+so a failure reported by CI as "seed 1234" reproduces exactly on a
+laptop.  The families deliberately target the spots where histogram
+code breaks silently:
+
+* exactly coincident particles (duplication scaling);
+* collinear clusters (degenerate geometry, empty density-map rows);
+* distances engineered to land *on* bucket edges (a comb of points
+  spaced at multiples of half the bucket width — resolve/bin ties);
+* degenerate 1-, 2-, 3-particle sets;
+* extreme aspect-ratio boxes (a thin slab inside a wide box);
+* plus plain uniform / Zipf-clustered control groups.
+
+Coordinates are snapped to the dyadic grid of
+:mod:`repro.verify.invariants` so the rigid-motion invariants are
+float-exact.  When a case fails, :func:`shrink_case` greedily removes
+particles and simplifies the request while the failure persists,
+yielding a minimal reproducer worth committing to the corpus.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..core.request import SDHRequest
+from ..data.generators import uniform, zipf_clustered
+from ..data.particles import ParticleSet
+from ..geometry import AABB, RectRegion
+from ..observability import get_registry, trace_span
+from .differential import Discrepancy, check_adm_bounds, compare_engines
+from .invariants import DYADIC_BITS, run_invariants, snap_dyadic
+
+__all__ = [
+    "FuzzCase",
+    "VerifyReport",
+    "generate_case",
+    "evaluate_case",
+    "shrink_case",
+    "run_verification",
+]
+
+#: Keep fuzz datasets small: every case runs a brute-force oracle and
+#: (usually) a multiprocess engine, so N is capped where the whole
+#: differential still costs milliseconds.
+MAX_FUZZ_PARTICLES = 120
+
+#: Shrinking evaluates the failure predicate at most this many times.
+MAX_SHRINK_EVALS = 160
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One self-contained verify case: a dataset plus a request."""
+
+    name: str
+    seed: int
+    particles: ParticleSet
+    request: SDHRequest
+
+    @property
+    def plain(self) -> bool:
+        """Whether the metamorphic invariants apply to this case."""
+        return not (self.request.restricted or self.request.approximate)
+
+    def with_particles(self, particles: ParticleSet) -> "FuzzCase":
+        return FuzzCase(self.name, self.seed, particles, self.request)
+
+    def with_request(self, request: SDHRequest) -> "FuzzCase":
+        return FuzzCase(self.name, self.seed, self.particles, request)
+
+    # ------------------------------------------------------------------
+    # Corpus serialization (see repro.verify.corpus)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        particles = self.particles
+        body = {
+            "version": 1,
+            "name": self.name,
+            "seed": self.seed,
+            "positions": particles.positions.tolist(),
+            "box": {
+                "lo": list(particles.box.lo),
+                "hi": list(particles.box.hi),
+            },
+            "request": self.request.to_dict(),
+        }
+        if particles.types is not None:
+            body["types"] = particles.types.tolist()
+            if particles.type_names:
+                body["type_names"] = {
+                    str(code): name
+                    for code, name in particles.type_names.items()
+                }
+        return body
+
+    @classmethod
+    def from_dict(cls, body: dict) -> "FuzzCase":
+        box = body.get("box")
+        types = body.get("types")
+        type_names = body.get("type_names")
+        particles = ParticleSet(
+            np.asarray(body["positions"], dtype=float),
+            AABB.from_arrays(box["lo"], box["hi"]) if box else None,
+            None if types is None else np.asarray(types, dtype=np.int32),
+            None
+            if type_names is None
+            else {int(code): name for code, name in type_names.items()},
+        )
+        return cls(
+            name=str(body.get("name", "corpus")),
+            seed=int(body.get("seed", -1)),
+            particles=particles,
+            request=SDHRequest.from_dict(body["request"]),
+        )
+
+
+# ----------------------------------------------------------------------
+# Case generation
+# ----------------------------------------------------------------------
+def _family_uniform(rng: np.random.Generator, dim: int) -> ParticleSet:
+    n = int(rng.integers(20, MAX_FUZZ_PARTICLES))
+    return uniform(n, dim=dim, rng=rng)
+
+
+def _family_clustered(rng: np.random.Generator, dim: int) -> ParticleSet:
+    n = int(rng.integers(20, MAX_FUZZ_PARTICLES))
+    return zipf_clustered(n, dim=dim, rng=rng)
+
+
+def _family_duplicates(rng: np.random.Generator, dim: int) -> ParticleSet:
+    base = uniform(int(rng.integers(10, 50)), dim=dim, rng=rng)
+    return base.scale_to(int(base.size * 2), rng=rng)
+
+
+def _family_collinear(rng: np.random.Generator, dim: int) -> ParticleSet:
+    n = int(rng.integers(10, 80))
+    t = np.sort(rng.uniform(0.0, 1.0, n))
+    # A handful of exactly repeated parameters -> coincident points.
+    repeats = rng.integers(0, n, size=max(1, n // 10))
+    t[repeats] = t[(repeats + 1) % n]
+    direction = rng.uniform(-1.0, 1.0, dim)
+    norm = float(np.linalg.norm(direction)) or 1.0
+    origin = rng.uniform(0.2, 0.8, dim)
+    positions = origin + np.outer(t - 0.5, direction / norm)
+    return ParticleSet(positions)
+
+
+def _family_boundary(rng: np.random.Generator, dim: int) -> ParticleSet:
+    """A 1D comb whose pairwise distances sit exactly on bucket edges.
+
+    Points at multiples of ``w/2`` along one axis make every distance a
+    multiple of ``w/2`` — half of them land *on* an edge of a width-
+    ``w`` histogram, the classic tie every binning rule must break the
+    same way everywhere.  A few points are nudged by one dyadic ulp to
+    probe the just-below/just-above sides too.
+    """
+    width = float(2 ** -int(rng.integers(2, 6)))
+    n = int(rng.integers(8, 40))
+    steps = rng.integers(0, 4 * n, size=n)
+    coords = np.zeros((n, dim))
+    coords[:, 0] = steps * (width / 2.0)
+    ulp = 2.0**-DYADIC_BITS
+    nudged = rng.integers(0, n, size=max(1, n // 6))
+    coords[nudged, 0] += rng.choice([-ulp, ulp], size=nudged.size)
+    coords[:, 0] -= coords[:, 0].min()
+    if dim > 1:
+        coords[:, 1:] = 0.5
+    return ParticleSet(np.abs(coords))
+
+
+def _family_tiny(rng: np.random.Generator, dim: int) -> ParticleSet:
+    n = int(rng.integers(1, 4))
+    positions = rng.uniform(0.0, 1.0, (n, dim))
+    if n > 1 and rng.random() < 0.5:
+        positions[-1] = positions[0]  # coincident pair
+    return ParticleSet(positions)
+
+
+def _family_aspect(rng: np.random.Generator, dim: int) -> ParticleSet:
+    """A thin slab: one axis thousands of times longer than another."""
+    n = int(rng.integers(10, 60))
+    long_side = float(2 ** int(rng.integers(4, 8)))
+    thin_side = float(2 ** -int(rng.integers(6, 10)))
+    sides = np.full(dim, thin_side)
+    sides[0] = long_side
+    positions = rng.uniform(0.0, 1.0, (n, dim)) * sides
+    box = AABB.from_arrays(np.zeros(dim), sides)
+    return ParticleSet(positions, box)
+
+
+FAMILIES: tuple[tuple[str, Callable], ...] = (
+    ("uniform", _family_uniform),
+    ("clustered", _family_clustered),
+    ("duplicates", _family_duplicates),
+    ("collinear", _family_collinear),
+    ("boundary", _family_boundary),
+    ("tiny", _family_tiny),
+    ("aspect", _family_aspect),
+)
+
+
+def _draw_request(
+    rng: np.random.Generator, particles: ParticleSet
+) -> tuple[SDHRequest, ParticleSet]:
+    """A randomized request (and possibly a typed copy of the data)."""
+    if rng.random() < 0.7:
+        buckets: dict = {
+            "num_buckets": int(rng.choice([1, 2, 3, 7, 16]))
+        }
+    else:
+        buckets = {"bucket_width": float(2 ** -int(rng.integers(0, 5)))}
+    periodic = bool(rng.random() < 0.2)
+    use_mbr = bool(not periodic and rng.random() < 0.2)
+    region = None
+    type_filter = None
+    type_pair = None
+    variety = rng.random()
+    if variety < 0.15 and particles.size >= 4:
+        lo = np.asarray(particles.box.lo, dtype=float)
+        hi = np.asarray(particles.box.hi, dtype=float)
+        a = lo + (hi - lo) * rng.uniform(0.0, 0.5, particles.dim)
+        b = a + (hi - a) * rng.uniform(0.5, 1.0, particles.dim)
+        region = RectRegion(AABB.from_arrays(a, b))
+        if not region.contains_points(particles.positions).any():
+            region = None
+    elif variety < 0.3 and particles.size >= 6:
+        codes = rng.integers(0, 3, particles.size).astype(np.int32)
+        codes[:3] = (0, 1, 2)  # every code present
+        particles = particles.with_types(codes)
+        if rng.random() < 0.5:
+            type_filter = int(rng.integers(0, 3))
+        else:
+            type_pair = (0, int(rng.integers(1, 3)))
+    request = SDHRequest(
+        region=region,
+        type_filter=type_filter,
+        type_pair=type_pair,
+        periodic=periodic,
+        use_mbr=use_mbr,
+        **buckets,
+    )
+    return request.normalize(), particles
+
+
+def generate_case(seed: int) -> FuzzCase:
+    """The deterministic fuzz case for ``seed``."""
+    rng = np.random.default_rng(seed)
+    name, family = FAMILIES[int(rng.integers(len(FAMILIES)))]
+    dim = int(rng.choice([2, 3]))
+    particles = snap_dyadic(family(rng, dim))
+    request, particles = _draw_request(rng, particles)
+    return FuzzCase(name, seed, particles, request)
+
+
+# ----------------------------------------------------------------------
+# Evaluation and shrinking
+# ----------------------------------------------------------------------
+def evaluate_case(
+    case: FuzzCase,
+    engines: tuple[str, ...] | None = None,
+    invariants: bool = True,
+    workers: int = 2,
+) -> list[Discrepancy]:
+    """All discrepancies this case provokes (empty = healthy)."""
+    _, discrepancies = compare_engines(
+        case.particles,
+        case.request,
+        engines=engines,
+        workers=workers,
+        case=case.name,
+        seed=case.seed,
+    )
+    if invariants and case.plain:
+        discrepancies.extend(
+            run_invariants(
+                case.particles,
+                case.request,
+                rng=np.random.default_rng(case.seed),
+                case=case.name,
+                seed=case.seed,
+            )
+        )
+    return discrepancies
+
+
+def shrink_case(
+    case: FuzzCase,
+    fails: Callable[[FuzzCase], bool] | None = None,
+    engines: tuple[str, ...] | None = None,
+    invariants: bool = True,
+    max_evals: int = MAX_SHRINK_EVALS,
+) -> FuzzCase:
+    """Greedily minimize a failing case while it keeps failing.
+
+    Particle removal first (halves, then quarters, …, then single
+    points), then request simplification (drop the restriction /
+    periodicity / MBR flags, shrink the bucket count).  The returned
+    case still satisfies ``fails``; if the input doesn't fail at all it
+    is returned unchanged.
+    """
+    if fails is None:
+        def fails(candidate: FuzzCase) -> bool:
+            return bool(
+                evaluate_case(
+                    candidate, engines=engines, invariants=invariants
+                )
+            )
+
+    budget = [max_evals]
+
+    def still_fails(candidate: FuzzCase) -> bool:
+        if budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        try:
+            return fails(candidate)
+        except Exception:
+            # A candidate that *errors out of the harness* is a
+            # different bug; don't shrink into it.
+            return False
+
+    if not still_fails(case):
+        return case
+
+    # Pass 1: drop particle blocks, halving the block size each round.
+    changed = True
+    while changed and case.particles.size > 1 and budget[0] > 0:
+        changed = False
+        n = case.particles.size
+        block = max(n // 2, 1)
+        while block >= 1 and budget[0] > 0:
+            start = 0
+            while start < case.particles.size and budget[0] > 0:
+                n = case.particles.size
+                if n - min(block, n - start) < 1:
+                    break
+                keep = np.ones(n, dtype=bool)
+                keep[start:start + block] = False
+                candidate = case.with_particles(
+                    case.particles.select(keep)
+                )
+                if still_fails(candidate):
+                    case = candidate
+                    changed = True
+                else:
+                    start += block
+            block //= 2
+
+    # Pass 2: simplify the request.
+    request = case.request
+    for simpler in (
+        request.replace(region=None),
+        request.replace(type_filter=None, type_pair=None),
+        request.replace(periodic=False),
+        request.replace(use_mbr=False),
+    ):
+        if simpler != case.request and budget[0] > 0:
+            candidate = case.with_request(simpler)
+            if still_fails(candidate):
+                case = candidate
+    if case.request.num_buckets is not None:
+        for fewer in (1, 2, 4):
+            if fewer < case.request.num_buckets and budget[0] > 0:
+                candidate = case.with_request(
+                    case.request.replace(num_buckets=fewer)
+                )
+                if still_fails(candidate):
+                    case = candidate
+                    break
+    return case
+
+
+# ----------------------------------------------------------------------
+# The orchestrated verify run
+# ----------------------------------------------------------------------
+@dataclass
+class VerifyReport:
+    """Everything one verify run did, JSON-ready for the CLI."""
+
+    seeds: list[int] = field(default_factory=list)
+    engines: tuple[str, ...] = ()
+    cases_run: int = 0
+    corpus_replayed: int = 0
+    adm_checked: bool = False
+    discrepancies: list[Discrepancy] = field(default_factory=list)
+    corpus_written: list[str] = field(default_factory=list)
+    duration_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.discrepancies
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "cases_run": self.cases_run,
+            "corpus_replayed": self.corpus_replayed,
+            "adm_checked": self.adm_checked,
+            "engines": list(self.engines),
+            "seeds": self.seeds,
+            "discrepancies": [d.to_dict() for d in self.discrepancies],
+            "corpus_written": self.corpus_written,
+            "duration_seconds": round(self.duration_seconds, 3),
+        }
+
+
+def run_verification(
+    seeds: int = 20,
+    seed_start: int = 0,
+    engines: tuple[str, ...] | None = None,
+    corpus=None,
+    invariants: bool = True,
+    adm: bool = True,
+    workers: int = 2,
+) -> VerifyReport:
+    """The full harness: corpus replay, fuzzing, ADM model bounds.
+
+    Failing fuzz cases are shrunk to minimal reproducers and — when a
+    :class:`~repro.verify.corpus.Corpus` is given — persisted so every
+    past failure becomes a permanent regression test.  Progress is
+    recorded on the default metrics registry (``verify_cases_total``,
+    ``verify_discrepancies_total``) and as trace spans.
+    """
+    from ..core.engines import available_engines
+
+    registry = get_registry()
+    cases_total = registry.counter(
+        "verify_cases_total",
+        "Verify cases evaluated, by outcome.",
+        ("outcome",),
+    )
+    findings_total = registry.counter(
+        "verify_discrepancies_total",
+        "Verify discrepancies found, by kind.",
+        ("kind",),
+    )
+    report = VerifyReport(
+        engines=engines if engines is not None else available_engines()
+    )
+    started = time.perf_counter()
+    with trace_span("verify_run", seeds=seeds, seed_start=seed_start):
+        if corpus is not None:
+            replayed, found = corpus.replay(
+                engines=engines, invariants=invariants, workers=workers
+            )
+            report.corpus_replayed = replayed
+            report.discrepancies.extend(found)
+            for item in found:
+                findings_total.labels(kind=item.kind).inc()
+        for seed in range(seed_start, seed_start + seeds):
+            report.seeds.append(seed)
+            case = generate_case(seed)
+            with trace_span(
+                "verify_case", seed=seed, family=case.name,
+                particles=case.particles.size,
+            ):
+                found = evaluate_case(
+                    case,
+                    engines=engines,
+                    invariants=invariants,
+                    workers=workers,
+                )
+            report.cases_run += 1
+            if not found:
+                cases_total.labels(outcome="ok").inc()
+                continue
+            cases_total.labels(outcome="failed").inc()
+            for item in found:
+                findings_total.labels(kind=item.kind).inc()
+            shrunk = shrink_case(
+                case, engines=engines, invariants=invariants
+            )
+            report.discrepancies.extend(
+                evaluate_case(
+                    shrunk, engines=engines, invariants=invariants
+                )
+                or found
+            )
+            if corpus is not None:
+                path = corpus.save(
+                    shrunk, found, note="shrunk fuzz failure"
+                )
+                report.corpus_written.append(str(path))
+        if adm:
+            with trace_span("verify_adm"):
+                found = check_adm_bounds()
+            report.adm_checked = True
+            report.discrepancies.extend(found)
+            for item in found:
+                findings_total.labels(kind=item.kind).inc()
+    report.duration_seconds = time.perf_counter() - started
+    return report

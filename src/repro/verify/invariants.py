@@ -1,0 +1,299 @@
+"""Metamorphic invariants no exact SDH engine may violate.
+
+Each check derives a second query whose answer is *provably determined*
+by the first — no oracle histogram needed — and demands exact
+agreement:
+
+* pair conservation — bucket totals equal ``N(N-1)/2`` when the spec
+  covers the box diagonal;
+* rigid motions — translating the dataset (box included), reflecting
+  it about the box center, or permuting coordinate axes leaves every
+  pairwise distance, hence every count, unchanged;
+* additivity — splitting the dataset into disjoint halves A and B,
+  ``h(A ∪ B) = h(A) + h(B) + h(A × B)`` with the cross term from the
+  brute-force kernel;
+* refinement — halving the bucket width ``p`` splits each bucket into
+  exactly two, so adjacent fine-bucket pairs must sum back to the
+  coarse counts.
+
+Exactness note: the rigid-motion checks compare *bit-identical* counts,
+which is sound only when the motion itself is exact in float64.  The
+helpers therefore snap datasets and translation vectors to a dyadic
+grid (:func:`snap_dyadic`) so every coordinate sum/difference is exact;
+the verify fuzzer generates dyadic coordinates for the same reason.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..core.brute_force import brute_force_cross_sdh
+from ..core.buckets import UniformBuckets
+from ..core.query import compute_sdh
+from ..core.request import SDHRequest
+from ..data.particles import ParticleSet
+from ..geometry import AABB
+from .differential import Discrepancy
+
+__all__ = [
+    "snap_dyadic",
+    "check_pair_conservation",
+    "check_translation",
+    "check_reflection",
+    "check_axis_permutation",
+    "check_additivity",
+    "check_refinement",
+    "ALL_INVARIANTS",
+    "run_invariants",
+]
+
+#: Coordinates are snapped to multiples of 2**-DYADIC_BITS so that
+#: adding a same-grid translation (magnitude < 2**(53 - DYADIC_BITS))
+#: is exact in float64 and rigid motions preserve distances bit-for-bit.
+DYADIC_BITS = 24
+
+
+def snap_dyadic(particles: ParticleSet, bits: int = DYADIC_BITS) -> ParticleSet:
+    """A copy of ``particles`` with coordinates on the dyadic grid.
+
+    The box is re-derived from the snapped coordinates (snapping can
+    move a point past the declared box edge by one grid step, and the
+    default enclosing cube is itself not dyadic).
+    """
+    scale = float(1 << bits)
+    positions = np.round(particles.positions * scale) / scale
+    lo = np.floor(positions.min(axis=0) * scale) / scale
+    hi = np.ceil(positions.max(axis=0) * scale) / scale
+    side = float((hi - lo).max())
+    if side <= 0:
+        side = 1.0
+    box = AABB.from_arrays(lo, lo + side)
+    return ParticleSet(
+        positions, box, particles.types, particles.type_names
+    )
+
+
+def _pinned(request: SDHRequest, particles: ParticleSet) -> SDHRequest:
+    """The request with its bucket spec resolved against ``particles``.
+
+    Metamorphic twins must be answered over *identical* edges; pinning
+    the spec keeps a translated/reflected dataset from re-deriving it
+    (identically, but the intent should be explicit).
+    """
+    spec = request.resolved_spec(particles)
+    return request.replace(
+        spec=spec, bucket_width=None, num_buckets=None
+    )
+
+
+def _counts(particles: ParticleSet, request: SDHRequest) -> np.ndarray:
+    return compute_sdh(particles, request).counts
+
+
+def check_pair_conservation(
+    particles: ParticleSet,
+    request: SDHRequest,
+    rng: np.random.Generator,
+) -> list[str]:
+    """Total counts must equal ``N(N-1)/2`` exactly."""
+    request = _pinned(request, particles)
+    total = float(_counts(particles, request).sum())
+    expected = float(particles.num_pairs)
+    if total != expected:
+        return [
+            f"histogram total {total:g} != N(N-1)/2 = {expected:g}"
+        ]
+    return []
+
+
+def check_translation(
+    particles: ParticleSet,
+    request: SDHRequest,
+    rng: np.random.Generator,
+) -> list[str]:
+    """Translating data and box together must not change any count."""
+    request = _pinned(request, particles)
+    baseline = _counts(particles, request)
+    sides = np.asarray(particles.box.sides, dtype=float)
+    scale = float(1 << DYADIC_BITS)
+    shift = np.round(rng.uniform(-1.0, 1.0, particles.dim) * sides * scale)
+    shift /= scale
+    moved = ParticleSet(
+        particles.positions + shift,
+        AABB.from_arrays(
+            np.asarray(particles.box.lo) + shift,
+            np.asarray(particles.box.hi) + shift,
+        ),
+        particles.types,
+        particles.type_names,
+    )
+    translated = _counts(moved, request)
+    if not np.array_equal(baseline, translated):
+        return [_diff_message("translation", baseline, translated)]
+    return []
+
+
+def check_reflection(
+    particles: ParticleSet,
+    request: SDHRequest,
+    rng: np.random.Generator,
+) -> list[str]:
+    """Reflecting about the box center must not change any count."""
+    request = _pinned(request, particles)
+    baseline = _counts(particles, request)
+    lo = np.asarray(particles.box.lo)
+    hi = np.asarray(particles.box.hi)
+    mirrored = ParticleSet(
+        (lo + hi) - particles.positions,
+        particles.box,
+        particles.types,
+        particles.type_names,
+    )
+    reflected = _counts(mirrored, request)
+    if not np.array_equal(baseline, reflected):
+        return [_diff_message("reflection", baseline, reflected)]
+    return []
+
+
+def check_axis_permutation(
+    particles: ParticleSet,
+    request: SDHRequest,
+    rng: np.random.Generator,
+) -> list[str]:
+    """Permuting coordinate axes must not change any count."""
+    request = _pinned(request, particles)
+    baseline = _counts(particles, request)
+    perm = rng.permutation(particles.dim)
+    lo = np.asarray(particles.box.lo)[perm]
+    hi = np.asarray(particles.box.hi)[perm]
+    permuted_set = ParticleSet(
+        particles.positions[:, perm],
+        AABB.from_arrays(lo, hi),
+        particles.types,
+        particles.type_names,
+    )
+    permuted = _counts(permuted_set, request)
+    if not np.array_equal(baseline, permuted):
+        return [_diff_message("axis permutation", baseline, permuted)]
+    return []
+
+
+def check_additivity(
+    particles: ParticleSet,
+    request: SDHRequest,
+    rng: np.random.Generator,
+) -> list[str]:
+    """Split/merge identity: ``h(A ∪ B) = h(A) + h(B) + h(A × B)``.
+
+    This is the invariant every sharded engine leans on (the parallel
+    merge, the incremental delta layer), exercised through the public
+    :meth:`~repro.core.histogram.DistanceHistogram.merge` path so a
+    perturbed merge is caught here.
+    """
+    if particles.size < 4:
+        return []
+    request = _pinned(request, particles)
+    whole = compute_sdh(particles, request)
+    mask = rng.random(particles.size) < 0.5
+    if not mask.any() or mask.all():
+        mask[0] = True
+        mask[-1] = False
+    part_a = particles.select(mask)
+    part_b = particles.select(~mask)
+    merged = compute_sdh(part_a, request).merge(
+        compute_sdh(part_b, request)
+    )
+    cross = brute_force_cross_sdh(
+        part_a, part_b, request.spec, periodic=request.periodic
+    )
+    merged = merged.merge(cross)
+    if not np.array_equal(whole.counts, merged.counts):
+        return [_diff_message("additivity", whole.counts, merged.counts)]
+    return []
+
+
+def check_refinement(
+    particles: ParticleSet,
+    request: SDHRequest,
+    rng: np.random.Generator,
+) -> list[str]:
+    """Halving ``p`` refines buckets: fine pairs must sum to coarse.
+
+    Only defined for uniform specs; custom-edge requests are skipped.
+    """
+    request = _pinned(request, particles)
+    spec = request.spec
+    if not isinstance(spec, UniformBuckets):
+        return []
+    coarse = _counts(particles, request)
+    fine_spec = UniformBuckets(spec.width / 2.0, spec.num_buckets * 2)
+    fine = _counts(particles, request.replace(spec=fine_spec))
+    coarsened = fine[0::2] + fine[1::2]
+    if not np.array_equal(coarse, coarsened):
+        return [_diff_message("refinement", coarse, coarsened)]
+    return []
+
+
+def _diff_message(
+    name: str, baseline: np.ndarray, other: np.ndarray
+) -> str:
+    delta = other - baseline
+    bad = np.flatnonzero(delta)
+    shown = ", ".join(
+        f"bucket {i}: {baseline[i]:g} vs {other[i]:g}" for i in bad[:4]
+    )
+    more = f" (+{bad.size - 4} more)" if bad.size > 4 else ""
+    return f"{name} changed {bad.size} bucket(s): {shown}{more}"
+
+
+#: Every invariant, in the order the harness runs them.
+ALL_INVARIANTS: dict[str, Callable] = {
+    "pair_conservation": check_pair_conservation,
+    "translation": check_translation,
+    "reflection": check_reflection,
+    "axis_permutation": check_axis_permutation,
+    "additivity": check_additivity,
+    "refinement": check_refinement,
+}
+
+
+def run_invariants(
+    particles: ParticleSet,
+    request: SDHRequest | None = None,
+    rng: np.random.Generator | int | None = None,
+    invariants: dict[str, Callable] | None = None,
+    case: str = "",
+    seed: int | None = None,
+) -> list[Discrepancy]:
+    """Run every applicable invariant; return the violations.
+
+    Invariants are statements about plain exact full-dataset queries:
+    restricted and approximate requests are rejected by callers (the
+    fuzzer only routes plain requests here).  The dataset is snapped to
+    the dyadic grid first so rigid motions are float-exact.
+    """
+    if request is None:
+        request = SDHRequest(num_buckets=8)
+    request = request.normalize()
+    if request.restricted or request.approximate:
+        raise ValueError(
+            "invariants are defined for plain exact queries only"
+        )
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(0 if rng is None else rng)
+    particles = snap_dyadic(particles)
+    checks = invariants if invariants is not None else ALL_INVARIANTS
+    violations: list[Discrepancy] = []
+    for name, check in checks.items():
+        for problem in check(particles, request, rng):
+            violations.append(
+                Discrepancy(
+                    "invariant",
+                    f"{name}: {problem}",
+                    case=case or name,
+                    seed=seed,
+                )
+            )
+    return violations

@@ -183,3 +183,81 @@ class TestLogging:
         err = capsys.readouterr().err
         assert "span:query" in err  # human-formatted, not JSON
         assert not err.lstrip().startswith("{")
+
+
+class TestVerify:
+    def test_clean_run_exits_zero(self, capsys):
+        code = main(["verify", "--seeds", "3", "--no-adm"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verify: OK" in out
+        assert "fuzz cases: 3" in out
+
+    def test_json_report(self, capsys):
+        import json
+
+        code = main(["verify", "--seeds", "2", "--no-adm", "--json"])
+        assert code == 0
+        body = json.loads(capsys.readouterr().out)
+        assert body["ok"] is True
+        assert body["cases_run"] == 2
+        assert body["discrepancies"] == []
+
+    def test_engine_subset_and_seed_start(self, capsys):
+        code = main(
+            [
+                "verify", "--seeds", "2", "--seed-start", "5",
+                "--engines", "brute,grid", "--no-adm", "--json",
+            ]
+        )
+        assert code == 0
+        import json
+
+        body = json.loads(capsys.readouterr().out)
+        assert body["engines"] == ["brute", "grid"]
+        assert body["seeds"] == [5, 6]
+
+    def test_corpus_replay(self, tmp_path, capsys):
+        from repro.verify import Corpus, generate_case
+
+        Corpus(tmp_path).save(generate_case(3))
+        code = main(
+            [
+                "verify", "--seeds", "1", "--no-adm",
+                "--corpus", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert "1 case(s) replayed" in capsys.readouterr().out
+
+    def test_mutant_engine_exits_nonzero(self, capsys):
+        from repro.core.engines import (
+            get_engine,
+            register_engine,
+            unregister_engine,
+        )
+        from repro.core.query import compute_sdh
+
+        def mutant_run(particles, request, spec, *, stats=None, rng=None):
+            hist = compute_sdh(
+                particles, request.replace(engine="grid"), stats=stats
+            )
+            hist.counts[0] += 1
+            return hist
+
+        register_engine(
+            "mutant", mutant_run, get_engine("grid").capabilities
+        )
+        try:
+            code = main(
+                [
+                    "verify", "--seeds", "2", "--no-adm",
+                    "--engines", "grid,mutant",
+                ]
+            )
+        finally:
+            unregister_engine("mutant")
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "verify: FAILED" in out
+        assert "engine_mismatch" in out

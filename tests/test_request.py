@@ -198,6 +198,127 @@ class TestJsonRoundTrip:
         assert SDHRequest.from_dict(wire) == request
 
 
+class TestJsonEdgeCases:
+    """Boundary parameterizations and hostile numeric payloads."""
+
+    def test_boundary_bucket_width_round_trips(self):
+        for width in (2.0**-40, 1.0, 2.0**40):
+            request = SDHRequest(bucket_width=width).normalize()
+            wire = json.loads(json.dumps(request.to_dict()))
+            assert SDHRequest.from_dict(wire) == request
+
+    def test_boundary_num_buckets_round_trips(self):
+        for count in (1, 2, 4096):
+            request = SDHRequest(num_buckets=count).normalize()
+            wire = json.loads(json.dumps(request.to_dict()))
+            assert SDHRequest.from_dict(wire) == request
+
+    def test_nonpositive_bucket_width_rejected(self):
+        from repro.errors import BucketSpecError
+
+        for width in (0.0, -1.0):
+            with pytest.raises(BucketSpecError, match="finite and positive"):
+                SDHRequest(bucket_width=width).normalize()
+
+    def test_nan_inf_bucket_width_rejected(self):
+        from repro.errors import BucketSpecError
+
+        for width in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(BucketSpecError, match="finite"):
+                SDHRequest(bucket_width=width).normalize()
+
+    def test_nonpositive_num_buckets_rejected(self):
+        from repro.errors import BucketSpecError
+
+        for count in (0, -2):
+            with pytest.raises(BucketSpecError, match="at least one bucket"):
+                SDHRequest(num_buckets=count).normalize()
+
+    def test_nan_inf_error_bound_rejected(self):
+        for bound in (float("nan"), float("inf")):
+            with pytest.raises(QueryError, match="finite and positive"):
+                SDHRequest(num_buckets=8, error_bound=bound).normalize()
+
+    def test_nan_region_coordinates_rejected(self):
+        # Python's json.loads accepts bare NaN, so the wire layer must
+        # catch it — QueryError, which the HTTP server maps to 400.
+        body = json.loads(
+            '{"num_buckets": 4, "region": '
+            '{"kind": "rect", "lo": [0, NaN], "hi": [1, 1]}}'
+        )
+        with pytest.raises(QueryError, match="finite"):
+            SDHRequest.from_dict(body)
+
+    def test_inf_ball_radius_rejected(self):
+        with pytest.raises(QueryError, match="finite"):
+            SDHRequest.from_dict(
+                {
+                    "num_buckets": 4,
+                    "region": {
+                        "kind": "ball",
+                        "center": [0.5, 0.5],
+                        "radius": float("inf"),
+                    },
+                }
+            )
+
+    def test_nan_spec_values_rejected(self):
+        with pytest.raises(QueryError, match="finite"):
+            SDHRequest.from_dict(
+                {
+                    "spec": {
+                        "kind": "uniform",
+                        "width": float("nan"),
+                        "num_buckets": 4,
+                    }
+                }
+            )
+        with pytest.raises(QueryError, match="finite"):
+            SDHRequest.from_dict(
+                {"spec": {"kind": "custom", "edges": [0.0, float("inf")]}}
+            )
+
+    def test_non_numeric_region_values_rejected(self):
+        with pytest.raises(QueryError, match="must be a number"):
+            SDHRequest.from_dict(
+                {
+                    "num_buckets": 4,
+                    "region": {
+                        "kind": "rect",
+                        "lo": ["a", 0],
+                        "hi": [1, 1],
+                    },
+                }
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_seeded_random_requests_round_trip(self, seed):
+        # Regions carry value equality, so the whole request — region
+        # included — must survive serialize -> parse -> normalize.
+        rng = np.random.default_rng(seed)
+        region = None
+        shape = rng.integers(0, 3)
+        if shape == 1:
+            lo = rng.uniform(0.0, 0.4, 2)
+            hi = lo + rng.uniform(0.1, 0.5, 2)
+            region = RectRegion(AABB(tuple(lo), tuple(hi)))
+        elif shape == 2:
+            region = BallRegion(
+                rng.uniform(0.0, 1.0, 2).tolist(),
+                float(rng.uniform(0.05, 0.5)),
+            )
+        request = SDHRequest(
+            num_buckets=int(rng.integers(1, 100)),
+            region=region,
+            periodic=bool(region is None and rng.random() < 0.5),
+            policy=list(OverflowPolicy)[rng.integers(len(OverflowPolicy))],
+            workers=None if rng.random() < 0.5 else int(rng.integers(1, 8)),
+        ).normalize()
+        wire = json.loads(json.dumps(request.to_dict()))
+        assert SDHRequest.from_dict(wire) == request
+
+
 class TestComputeSdhShim:
     """compute_sdh accepts SDHRequest, bare kwargs, and mixtures."""
 

@@ -149,6 +149,33 @@ class TestErrorPaths:
                 {"dataset": key, "num_buckets": 4, "wat": 1},
             )
 
+    def test_nan_region_rejected_as_400(self, service, client, dataset):
+        # Python's json parser accepts bare NaN, so a hostile payload
+        # can smuggle non-finite coordinates past JSON syntax; the wire
+        # layer must reject them as a QueryError -> HTTP 400.
+        import urllib.error
+        import urllib.request
+
+        key = client.register(dataset)
+        body = (
+            '{"dataset": "%s", "num_buckets": 4, "region": '
+            '{"kind": "rect", "lo": [0, NaN], "hi": [1, 1]}}' % key
+        )
+        request = urllib.request.Request(
+            f"{service.url}/v1/sdh",
+            data=body.encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=10)
+        assert info.value.code == 400
+
+    def test_infinite_bucket_width_rejected(self, client, dataset):
+        key = client.register(dataset)
+        with pytest.raises(BucketSpecError, match="finite"):
+            client.sdh(key, bucket_width=float("inf"))
+
     def test_malformed_json_rejected(self, service):
         import urllib.error
         import urllib.request

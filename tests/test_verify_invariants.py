@@ -1,0 +1,145 @@
+"""Tests for the metamorphic invariant layer (repro.verify.invariants)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.request import SDHRequest
+from repro.data.generators import uniform, zipf_clustered
+from repro.data.particles import ParticleSet
+from repro.verify import ALL_INVARIANTS, run_invariants, snap_dyadic
+from repro.verify.invariants import DYADIC_BITS
+
+
+class TestSnapDyadic:
+    def test_coordinates_land_on_grid(self, small_uniform_2d):
+        snapped = snap_dyadic(small_uniform_2d)
+        scale = float(1 << DYADIC_BITS)
+        scaled = snapped.positions * scale
+        assert np.array_equal(scaled, np.round(scaled))
+
+    def test_idempotent(self, small_uniform_2d):
+        once = snap_dyadic(small_uniform_2d)
+        twice = snap_dyadic(once)
+        assert np.array_equal(once.positions, twice.positions)
+
+    def test_box_covers_and_is_cubical(self, small_zipf_2d):
+        snapped = snap_dyadic(small_zipf_2d)
+        sides = np.asarray(snapped.box.sides)
+        assert np.allclose(sides, sides[0])
+        inside = snapped.box.contains_points(
+            snapped.positions, closed=True
+        )
+        assert bool(inside.all())
+
+    def test_types_preserved(self, small_uniform_2d):
+        typed = small_uniform_2d.with_types(
+            np.arange(small_uniform_2d.size, dtype=np.int32) % 3,
+            {0: "C", 1: "O", 2: "H"},
+        )
+        snapped = snap_dyadic(typed)
+        assert np.array_equal(snapped.types, typed.types)
+        assert snapped.type_names == typed.type_names
+
+
+class TestInvariantsHold:
+    @pytest.mark.parametrize("name", sorted(ALL_INVARIANTS))
+    def test_uniform_2d(self, name, small_uniform_2d, rng):
+        check = ALL_INVARIANTS[name]
+        particles = snap_dyadic(small_uniform_2d)
+        request = SDHRequest(num_buckets=8).normalize()
+        request = request.replace(
+            spec=request.resolved_spec(particles),
+            bucket_width=None,
+            num_buckets=None,
+        )
+        assert check(particles, request, rng) == []
+
+    def test_all_pass_on_3d_clustered(self):
+        data = zipf_clustered(250, dim=3, rng=11)
+        assert run_invariants(data, SDHRequest(num_buckets=5), rng=1) == []
+
+    def test_all_pass_under_periodic(self):
+        data = uniform(150, dim=2, rng=3)
+        found = run_invariants(
+            data, SDHRequest(num_buckets=6, periodic=True), rng=2
+        )
+        assert found == []
+
+    def test_single_particle(self):
+        data = ParticleSet(np.array([[0.25, 0.75]]))
+        assert run_invariants(data, SDHRequest(num_buckets=3), rng=0) == []
+
+    def test_coincident_pair(self):
+        data = ParticleSet(np.array([[0.5, 0.5], [0.5, 0.5]]))
+        assert run_invariants(data, SDHRequest(num_buckets=3), rng=0) == []
+
+
+class TestInvariantScope:
+    def test_restricted_requests_rejected(self, small_uniform_2d):
+        with pytest.raises(ValueError, match="plain exact"):
+            run_invariants(
+                small_uniform_2d,
+                SDHRequest(num_buckets=4, type_filter=0),
+            )
+
+    def test_approximate_requests_rejected(self, small_uniform_2d):
+        with pytest.raises(ValueError, match="plain exact"):
+            run_invariants(
+                small_uniform_2d,
+                SDHRequest(num_buckets=4, levels=1),
+            )
+
+    def test_refinement_skips_custom_edges(self, small_uniform_2d, rng):
+        from repro.core.buckets import CustomBuckets
+        from repro.verify.invariants import check_refinement
+
+        edges = CustomBuckets([0.0, 0.3, 1.0, 2.0])
+        request = SDHRequest(spec=edges).normalize()
+        assert check_refinement(
+            snap_dyadic(small_uniform_2d), request, rng
+        ) == []
+
+
+class TestViolationsCaught:
+    def test_failing_check_becomes_discrepancy(self, small_uniform_2d):
+        def broken(particles, request, rng):
+            return ["planted violation"]
+
+        found = run_invariants(
+            small_uniform_2d,
+            SDHRequest(num_buckets=4),
+            invariants={"broken": broken},
+            case="planted",
+            seed=42,
+        )
+        assert len(found) == 1
+        assert found[0].kind == "invariant"
+        assert "broken: planted violation" in found[0].detail
+        assert found[0].seed == 42
+
+    def test_additivity_catches_perturbed_merge(
+        self, small_uniform_2d, monkeypatch
+    ):
+        # The mutation smoke-check: nudge one bucket inside merge and
+        # the additivity invariant must light up.
+        from repro.core.histogram import DistanceHistogram
+        from repro.verify.invariants import check_additivity
+
+        real_merge = DistanceHistogram.merge
+
+        def perturbed(self, other):
+            merged = real_merge(self, other)
+            merged.counts[0] += 1
+            return merged
+
+        particles = snap_dyadic(small_uniform_2d)
+        request = SDHRequest(num_buckets=8).normalize()
+        rng = np.random.default_rng(0)
+        assert check_additivity(particles, request, rng) == []
+        monkeypatch.setattr(DistanceHistogram, "merge", perturbed)
+        problems = check_additivity(
+            particles, request, np.random.default_rng(0)
+        )
+        assert problems and "additivity" in problems[0]

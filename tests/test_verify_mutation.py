@@ -1,0 +1,116 @@
+"""Mutation smoke-check: the harness must catch a planted bug.
+
+A verify harness that never fires is worse than none — it certifies
+broken code.  These tests perturb the system under test (a histogram
+merge, a whole engine) and assert the harness *fails*, then remove the
+perturbation and assert it passes.  If one of these tests breaks, the
+harness has gone blind.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engines import get_engine, register_engine, unregister_engine
+from repro.core.histogram import DistanceHistogram
+from repro.core.query import compute_sdh
+from repro.core.request import SDHRequest
+from repro.verify import (
+    Corpus,
+    FuzzCase,
+    evaluate_case,
+    generate_case,
+    run_invariants,
+    run_verification,
+    shrink_case,
+)
+
+
+@pytest.fixture
+def mutant_engine():
+    """Register a grid clone that leaks one count into bucket 0."""
+
+    def mutant_run(particles, request, spec, *, stats=None, rng=None):
+        hist = compute_sdh(
+            particles, request.replace(engine="grid"), stats=stats
+        )
+        hist.counts[0] += 1
+        return hist
+
+    register_engine("mutant", mutant_run, get_engine("grid").capabilities)
+    yield "mutant"
+    unregister_engine("mutant")
+
+
+class TestMergeMutation:
+    def test_perturbed_merge_caught_by_invariants(
+        self, small_uniform_2d, monkeypatch
+    ):
+        request = SDHRequest(num_buckets=8)
+        # Unperturbed: silence.
+        assert run_invariants(small_uniform_2d, request, rng=0) == []
+
+        real_merge = DistanceHistogram.merge
+
+        def perturbed(self, other):
+            merged = real_merge(self, other)
+            merged.counts[0] += 1
+            return merged
+
+        monkeypatch.setattr(DistanceHistogram, "merge", perturbed)
+        found = run_invariants(small_uniform_2d, request, rng=0)
+        assert found, "harness missed a perturbed histogram merge"
+        assert any("additivity" in d.detail for d in found)
+
+
+class TestEngineMutation:
+    def test_mutant_engine_fails_verification(self, mutant_engine):
+        report = run_verification(
+            seeds=3, engines=("grid", mutant_engine), adm=False
+        )
+        assert not report.ok
+        assert any(
+            d.kind == "engine_mismatch" for d in report.discrepancies
+        )
+
+    def test_clean_engines_pass_same_seeds(self):
+        report = run_verification(
+            seeds=3, engines=("grid", "brute"), adm=False
+        )
+        assert report.ok
+
+    def test_full_pipeline_shrinks_and_replays(
+        self, mutant_engine, tmp_path
+    ):
+        # End to end: detect -> shrink -> persist -> replay.
+        engines = ("grid", mutant_engine)
+        case = next(
+            generate_case(seed)
+            for seed in range(50)
+            if generate_case(seed).particles.size > 20
+            and generate_case(seed).plain
+        )
+        found = evaluate_case(case, engines=engines, invariants=False)
+        assert found, "mutant engine must fail any exact case"
+
+        shrunk = shrink_case(
+            case, engines=engines, invariants=False
+        )
+        assert shrunk.particles.size < case.particles.size
+        assert evaluate_case(shrunk, engines=engines, invariants=False)
+
+        corpus = Corpus(tmp_path)
+        path = corpus.save(shrunk, found, note="mutation pipeline test")
+        assert path.exists()
+
+        # Replay reproduces the failure while the mutant is live...
+        replayed, refound = corpus.replay(engines=engines, invariants=False)
+        assert replayed == 1 and refound
+        assert refound[0].case == f"corpus:{path.name}"
+
+        # ...and is silent once the planted bug is gone.
+        replayed, refound = corpus.replay(
+            engines=("grid", "brute"), invariants=False
+        )
+        assert replayed == 1 and refound == []
