@@ -82,6 +82,7 @@ from .errors import (
     QueryError,
     QueryTimeout,
     ReproError,
+    SLOInfeasibleError,
     ServerOverloaded,
     ServiceError,
     StorageError,
@@ -129,6 +130,7 @@ __all__ = [
     "SDHQuery",
     "SDHRequest",
     "SDHStats",
+    "SLOInfeasibleError",
     "ServerOverloaded",
     "ServiceError",
     "StorageError",

@@ -5,13 +5,17 @@ Subcommands:
 * ``generate`` — write a synthetic dataset (uniform / zipf / membrane)
   to a ``.npz`` or ``.xyz`` file;
 * ``sdh`` — compute a histogram for a dataset file and print it;
+* ``plan`` — print the cost-based planner's ranked execution
+  candidates for a query without running it (see ``docs/PLANNER.md``);
+* ``calibrate`` — measure this host's planner cost constants and
+  persist them;
 * ``rdf`` — compute and print g(r);
 * ``info`` — dataset and density-map summary;
 * ``serve`` — run the JSON-over-HTTP query service (see
   :mod:`repro.service` and ``docs/SERVICE.md``);
 * ``verify`` — run the correctness harness (differential engine
-  comparison, metamorphic invariants, seeded fuzzing; see
-  :mod:`repro.verify` and ``docs/TESTING.md``).
+  comparison, planner-neutrality checks, metamorphic invariants,
+  seeded fuzzing; see :mod:`repro.verify` and ``docs/TESTING.md``).
 
 The CLI is a thin veneer over the public API; anything serious should
 import :mod:`repro` directly.
@@ -121,6 +125,87 @@ def build_parser() -> argparse.ArgumentParser:
     sdh.add_argument(
         "--stats", action="store_true", help="print operation counters"
     )
+    sdh.add_argument(
+        "--latency-budget-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="latency SLO: fail (exit 1) unless the planner predicts a "
+        "strategy finishing within MS milliseconds",
+    )
+    sdh.add_argument(
+        "--planner",
+        choices=("auto", "off"),
+        default="auto",
+        help="'auto' routes engine=auto queries through the cost-based "
+        "planner; 'off' uses the static rule (grid, or parallel when "
+        "--workers > 1)",
+    )
+
+    plan = sub.add_parser(
+        "plan",
+        help="print the planner's ranked execution candidates "
+        "(see docs/PLANNER.md)",
+        parents=[logopts],
+    )
+    plan.add_argument("input", help="dataset file (.npz or .xyz)")
+    plan_group = plan.add_mutually_exclusive_group(required=True)
+    plan_group.add_argument("--width", type=float, help="bucket width p")
+    plan_group.add_argument(
+        "--buckets", type=int, help="total bucket count l"
+    )
+    plan.add_argument(
+        "--engine",
+        choices=("auto", "grid", "tree", "brute", "parallel"),
+        default="auto",
+        help="pin the engine (the planner still prices it)",
+    )
+    plan.add_argument("--workers", type=int, default=None)
+    plan.add_argument(
+        "--error-bound",
+        type=float,
+        default=None,
+        help="plan an approximate ADM-SDH run with this error bound",
+    )
+    plan.add_argument(
+        "--latency-budget-ms", type=float, default=None, metavar="MS",
+        help="latency SLO the chosen strategy must satisfy",
+    )
+    plan.add_argument(
+        "--periodic", action="store_true",
+        help="minimum-image distances over the simulation box",
+    )
+    plan.add_argument(
+        "--calibration",
+        default=None,
+        metavar="PATH",
+        help="use this calibration file instead of the default "
+        "(~/.cache/repro-sdh/calibration.json or $REPRO_SDH_CALIBRATION)",
+    )
+    plan.add_argument(
+        "--json", action="store_true",
+        help="print the plan as JSON instead of the explain() text",
+    )
+
+    calibrate = sub.add_parser(
+        "calibrate",
+        help="measure this host's planner cost constants "
+        "(a few seconds of micro-benchmarks)",
+        parents=[logopts],
+    )
+    calibrate.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="where to write the calibration JSON (default: "
+        "$REPRO_SDH_CALIBRATION or ~/.cache/repro-sdh/calibration.json)",
+    )
+    calibrate.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="probe-size multiplier (lower it on constrained hosts)",
+    )
 
     rdf = sub.add_parser(
         "rdf", help="compute g(r) from a dataset", parents=[logopts]
@@ -179,15 +264,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="N",
-        help="route exact auto-engine queries on datasets of >= N "
-        "particles to the multi-process parallel engine",
+        help="DEPRECATED (the cost-based planner routes auto queries; "
+        "see docs/PLANNER.md): pin datasets of >= N particles to the "
+        "multi-process parallel engine",
     )
     serve.add_argument(
         "--parallel-workers",
         type=int,
         default=0,
-        help="processes for auto-routed parallel queries "
-        "(0 = one per core)",
+        help="processes for the deprecated --parallel-threshold "
+        "override (0 = one per core)",
     )
     serve.add_argument(
         "--verbose", action="store_true", help="log each HTTP request"
@@ -241,6 +327,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the ADM-SDH error-model bounds",
     )
     verify.add_argument(
+        "--no-planner",
+        action="store_true",
+        help="skip the planner-neutrality check (planner-routed vs "
+        "forced-engine execution)",
+    )
+    verify.add_argument(
         "--json",
         action="store_true",
         help="print the full report as JSON instead of text",
@@ -263,6 +355,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_generate(args)
         if args.command == "sdh":
             return _cmd_sdh(args)
+        if args.command == "plan":
+            return _cmd_plan(args)
+        if args.command == "calibrate":
+            return _cmd_calibrate(args)
         if args.command == "rdf":
             return _cmd_rdf(args)
         if args.command == "serve":
@@ -312,6 +408,8 @@ def _cmd_sdh(args: argparse.Namespace) -> int:
         heuristic=args.heuristic,
         periodic=args.periodic,
         workers=args.workers,
+        latency_budget_ms=args.latency_budget_ms,
+        planner=args.planner,
     )
     histogram = compute_sdh(data, request, stats=stats)
     print(histogram.to_text())
@@ -323,6 +421,43 @@ def _cmd_sdh(args: argparse.Namespace) -> int:
         print(f"distances computed:{stats.distance_computations}")
         if stats.approximated_distances:
             print(f"approximated:      {stats.approximated_distances:.0f}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .planner import get_calibration, plan_request
+
+    data = _load(args.input)
+    request = SDHRequest(
+        bucket_width=args.width,
+        num_buckets=args.buckets,
+        engine=args.engine,
+        error_bound=args.error_bound,
+        periodic=args.periodic,
+        workers=args.workers,
+        latency_budget_ms=args.latency_budget_ms,
+    )
+    calibration = get_calibration(args.calibration)
+    plan = plan_request(request, data, calibration=calibration)
+    if args.json:
+        print(json_module.dumps(plan.to_dict(), indent=2))
+    else:
+        print(plan.explain())
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from .planner import calibrate as run_calibration
+    from .planner import save_calibration
+
+    print("measuring host cost constants (a few seconds)...")
+    calibration = run_calibration(scale=args.scale)
+    path = save_calibration(calibration, args.output)
+    print(f"calibration written to {path}")
+    for key, value in calibration.constants.to_dict().items():
+        print(f"  {key:26s} {value:.3e}")
     return 0
 
 
@@ -354,6 +489,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         parallel_threshold=args.parallel_threshold,
         parallel_workers=args.parallel_workers,
     )
+    if args.parallel_threshold is not None:
+        print(
+            "warning: --parallel-threshold is deprecated; the "
+            "cost-based planner routes auto queries (docs/PLANNER.md)",
+            file=sys.stderr,
+        )
     service = SDHService(config)
     for entry in args.dataset:
         path, _, name = entry.rpartition(":")
@@ -393,6 +534,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         corpus=corpus,
         invariants=not args.no_invariants,
         adm=not args.no_adm,
+        planner=not args.no_planner,
         workers=args.workers,
     )
     if args.json:

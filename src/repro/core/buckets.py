@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
+from bisect import bisect_right
 from enum import Enum
 from typing import Sequence
 
@@ -172,6 +173,18 @@ class BucketSpec(ABC):
     # ------------------------------------------------------------------
     # Cell resolution (the heart of DM-SDH)
     # ------------------------------------------------------------------
+    def _bucket_index_scalar(self, d: float) -> int:
+        """Scalar :meth:`bucket_of` for one distance.
+
+        The node-recursive engines call :meth:`resolve_range` once per
+        visited cell pair, so this path must not pay per-call numpy
+        array construction.  Subclasses override with an O(1) or
+        O(log l) pure-Python lookup; this fallback keeps exotic
+        subclasses correct by deferring to their vectorized
+        :meth:`bucket_of`.
+        """
+        return int(self.bucket_of(np.asarray([d], dtype=float))[0])
+
     def resolve_range(self, u: float, v: float) -> int | None:
         """Bucket that the whole distance range ``[u, v]`` falls into.
 
@@ -179,12 +192,12 @@ class BucketSpec(ABC):
         guaranteed to land in one bucket (the two cells *resolve*, paper
         Sec. III-B), else ``None``.
         """
-        lo_idx, hi_idx = self.resolve_ranges(
-            np.asarray([u], dtype=float), np.asarray([v], dtype=float)
-        )
-        if lo_idx[0] == hi_idx[0] and 0 <= lo_idx[0] < self.num_buckets:
-            return int(lo_idx[0])
-        return None
+        lo = self._bucket_index_scalar(float(u))
+        if lo < 0 or lo >= self.num_buckets:
+            return None
+        if lo != self._bucket_index_scalar(float(v)):
+            return None
+        return lo
 
     def resolve_ranges(
         self, u: np.ndarray, v: np.ndarray
@@ -205,8 +218,9 @@ class BucketSpec(ABC):
         buckets receive shares of an unresolved pair.  Endpoints are
         clipped into the valid bucket range.
         """
-        lo = int(np.clip(self.bucket_of(np.asarray([u]))[0], 0, self.num_buckets - 1))
-        hi = int(np.clip(self.bucket_of(np.asarray([v]))[0], 0, self.num_buckets - 1))
+        last = self.num_buckets - 1
+        lo = min(max(self._bucket_index_scalar(float(u)), 0), last)
+        hi = min(max(self._bucket_index_scalar(float(v)), 0), last)
         return lo, hi
 
     def __len__(self) -> int:
@@ -240,6 +254,7 @@ class UniformBuckets(BucketSpec):
         self._width = float(width)
         self._num = int(num_buckets)
         self._edges = np.arange(self._num + 1, dtype=float) * self._width
+        self._high_tol = float(self._edges[-1]) * (1.0 + _EDGE_RTOL)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -302,6 +317,16 @@ class UniformBuckets(BucketSpec):
         idx[distances < 0] = -1
         return idx
 
+    def _bucket_index_scalar(self, d: float) -> int:
+        # Mirrors bucket_of exactly: floor(d / p), the closed last edge
+        # clamped (within _EDGE_RTOL) into the final bucket.
+        if d < 0:
+            return -1
+        idx = int(d / self._width)
+        if idx == self._num and d <= self._high_tol:
+            return self._num - 1
+        return idx
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"UniformBuckets(width={self._width:g}, l={self._num})"
 
@@ -309,9 +334,13 @@ class UniformBuckets(BucketSpec):
 class CustomBuckets(BucketSpec):
     """Non-uniform buckets defined by an explicit edge sequence.
 
-    Lookup is ``O(log l)`` via :func:`numpy.searchsorted`, matching the
-    paper's remark in Sec. II about the only complication of non-uniform
-    widths.
+    Lookup is ``O(log l)``, matching the paper's remark in Sec. II that
+    binary search over the edge index is the only complication of
+    non-uniform widths (the tree-structured bucket index of Buccafurri
+    et al.): array lookups go through :func:`numpy.searchsorted`, the
+    per-cell-pair scalar path through :func:`bisect.bisect_right` over
+    a cached plain-Python edge list, so the node-recursive engines
+    never pay numpy array construction per resolved pair.
     """
 
     def __init__(self, edges: Sequence[float]):
@@ -325,6 +354,10 @@ class CustomBuckets(BucketSpec):
         if arr[0] < 0:
             raise BucketSpecError("edges must be non-negative distances")
         self._edges = arr
+        # Cached for the scalar bisect path: plain floats beat numpy
+        # scalars by ~10x in bisect_right comparisons.
+        self._edge_list = arr.tolist()
+        self._high_tol = float(arr[-1]) * (1.0 + _EDGE_RTOL)
 
     @property
     def num_buckets(self) -> int:
@@ -346,6 +379,18 @@ class CustomBuckets(BucketSpec):
         idx[distances < self._edges[0]] = -1
         idx[distances > high * (1.0 + _EDGE_RTOL)] = self.num_buckets
         return idx
+
+    def _bucket_index_scalar(self, d: float) -> int:
+        # Mirrors bucket_of exactly, including the closed-last-edge
+        # clamp and the below-low / above-high sentinels.
+        edges = self._edge_list
+        high = edges[-1]
+        if d >= high:
+            return self.num_buckets - 1 if d <= self._high_tol \
+                else self.num_buckets
+        if d < edges[0]:
+            return -1
+        return bisect_right(edges, d) - 1
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"CustomBuckets(l={self.num_buckets}, high={self.high:g})"

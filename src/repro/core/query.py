@@ -81,6 +81,7 @@ def compute_sdh(
     emitted, and callers should use ``request.replace(...)`` instead.
     """
     request = _coerce_request(request, kwargs)
+    request = _maybe_plan(particles, request)
     spec = request.resolved_spec(particles)
     name = resolve_engine_name(request)
     engine = get_engine(name)
@@ -96,8 +97,11 @@ def compute_sdh(
 def resolve_engine_name(request: SDHRequest) -> str:
     """Map ``engine="auto"`` to a concrete registered engine.
 
-    ``auto`` means the vectorized grid engine, except that a request
-    for more than one worker selects the multi-core parallel engine.
+    This is the *static* fallback rule (``planner="off"``): ``auto``
+    means the vectorized grid engine, except that a request for more
+    than one worker selects the multi-core parallel engine.  With the
+    planner on (the default), ``auto`` requests are routed by
+    :func:`repro.planner.plan_request` before reaching this rule.
     Explicit names pass through untouched (the registry validates them).
     """
     if request.engine != "auto":
@@ -105,6 +109,28 @@ def resolve_engine_name(request: SDHRequest) -> str:
     if request.workers is not None and request.workers > 1:
         return "parallel"
     return "grid"
+
+
+def _maybe_plan(
+    particles, request: SDHRequest, cache_hot: bool = False
+) -> SDHRequest:
+    """Route an ``auto`` request through the cost-based planner.
+
+    Engages when the planner is on and there is a decision to make —
+    the engine is unresolved, or a latency SLO must be admitted.  The
+    planned request comes back with a concrete engine and
+    ``planner="off"``, so it flows through the static path below
+    without re-planning.
+    """
+    if request.planner != "auto":
+        return request
+    if request.engine != "auto" and request.latency_budget_ms is None:
+        return request
+    # Imported lazily: the planner package sits above core in the
+    # layering (it also feeds the service and CLI).
+    from ..planner import plan_request
+
+    return plan_request(request, particles, cache_hot=cache_hot).request
 
 
 def _coerce_request(request, kwargs: dict) -> SDHRequest:
@@ -375,6 +401,9 @@ class SDHQuery:
                 "for keyword-style queries"
             )
         request = request.normalize()
+        # The pyramid is already built, so planning treats index
+        # construction as sunk cost (cache_hot).
+        request = _maybe_plan(self._particles, request, cache_hot=True)
         spec = request.resolved_spec(self._particles)
         name = resolve_engine_name(request)
         engine = get_engine(name)

@@ -70,6 +70,16 @@ class SDHRequest:
         Process count for the parallel engine; ``None`` leaves the
         choice to the engine (CPU count).  ``workers=1`` is the inline
         single-core path.
+    latency_budget_ms:
+        Wall-clock SLO: the cost-based planner must pick a strategy
+        predicted to finish within this many milliseconds, or reject
+        the query with :class:`~repro.errors.SLOInfeasibleError`.
+        Requires ``planner="auto"``.
+    planner:
+        ``"auto"`` lets the cost-based planner choose the execution
+        strategy for ``engine="auto"`` requests (and enforce any
+        latency budget); ``"off"`` restores the static resolution rule
+        (grid, or parallel when ``workers > 1``).
     """
 
     bucket_width: float | None = None
@@ -86,6 +96,8 @@ class SDHRequest:
     policy: OverflowPolicy = OverflowPolicy.RAISE
     periodic: bool = False
     workers: int | None = None
+    latency_budget_ms: float | None = None
+    planner: str = "auto"
 
     # ------------------------------------------------------------------
     # Derived properties
@@ -136,6 +148,12 @@ class SDHRequest:
             changes["workers"] = int(self.workers)
         if self.levels is not None and not isinstance(self.levels, int):
             changes["levels"] = int(self.levels)
+        if isinstance(self.planner, str) and self.planner != self.planner.lower():
+            changes["planner"] = self.planner.lower()
+        if self.latency_budget_ms is not None and not isinstance(
+            self.latency_budget_ms, float
+        ):
+            changes["latency_budget_ms"] = float(self.latency_budget_ms)
         request = self.replace(**changes) if changes else self
         request.validate()
         return request
@@ -202,6 +220,24 @@ class SDHRequest:
             raise QueryError(
                 "MBR resolution is not defined under periodic boundaries"
             )
+        if self.planner not in ("auto", "off"):
+            raise QueryError(
+                f"planner must be 'auto' or 'off', got {self.planner!r}"
+            )
+        if self.latency_budget_ms is not None:
+            if not (
+                np.isfinite(self.latency_budget_ms)
+                and self.latency_budget_ms > 0
+            ):
+                raise QueryError(
+                    f"latency_budget_ms must be finite and positive, "
+                    f"got {self.latency_budget_ms}"
+                )
+            if self.planner == "off":
+                raise QueryError(
+                    "latency_budget_ms needs the planner; "
+                    "it cannot be combined with planner='off'"
+                )
         return self
 
     def replace(self, **changes) -> "SDHRequest":

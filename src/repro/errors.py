@@ -113,3 +113,18 @@ class ServerOverloaded(ServiceError):
     """
 
     http_status = 503
+
+
+class SLOInfeasibleError(ServiceError):
+    """No execution strategy can satisfy the request's SLO.
+
+    Raised by the query planner when every viable candidate's predicted
+    cost exceeds the caller's ``latency_budget_ms`` (or no candidate
+    meets the requested ``error_bound``).  Deliberately an admission
+    failure — 422, not 400: the request is well-formed, the contract it
+    asks for just cannot be honoured on this host for this workload.
+    The error message carries the cheapest candidate's predicted cost so
+    callers can pick a feasible budget.
+    """
+
+    http_status = 422

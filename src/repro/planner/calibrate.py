@@ -1,0 +1,303 @@
+"""One-shot micro-calibration of the planner's host constants.
+
+The cost model (:mod:`repro.planner.cost`) predicts wall-clock seconds
+from the paper's machine-independent operation counts.  The translation
+constants — seconds per distance computation, per cell-pair resolve,
+per worker spawn — depend on the host, so :func:`calibrate` measures
+them once with a handful of small timed runs (each engine's own
+:class:`~repro.core.instrumentation.SDHStats` counters provide the
+exact operation counts to divide by), and :func:`save_calibration`
+persists the result as JSON.
+
+:func:`get_calibration` is the lazy accessor the planner uses: it loads
+the persisted file on first call (path from
+``$REPRO_SDH_CALIBRATION``, else ``~/.cache/repro-sdh/calibration.json``)
+and falls back to the built-in defaults when no calibration has been
+run — the planner always works, it is merely sharper on a calibrated
+host.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+
+from ..errors import QueryError
+from .cost import CostConstants
+
+__all__ = [
+    "Calibration",
+    "calibrate",
+    "default_calibration_path",
+    "get_calibration",
+    "load_calibration",
+    "save_calibration",
+]
+
+#: On-disk schema version of the calibration file.
+CALIBRATION_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Measured host constants plus their provenance.
+
+    ``source`` is ``"default"`` for the built-in fallback constants,
+    ``"measured"`` for a fresh :func:`calibrate` run, or the path the
+    constants were loaded from.
+    """
+
+    constants: CostConstants
+    cpu_count: int
+    source: str = "default"
+
+    @property
+    def calibrated(self) -> bool:
+        """Whether these constants were measured (vs the defaults)."""
+        return self.source != "default"
+
+    def to_dict(self) -> dict:
+        return {
+            "version": CALIBRATION_VERSION,
+            "cpu_count": self.cpu_count,
+            "constants": self.constants.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, body: dict, source: str = "measured") -> "Calibration":
+        if not isinstance(body, dict):
+            raise QueryError("a calibration file must hold a JSON object")
+        version = body.get("version")
+        if version != CALIBRATION_VERSION:
+            raise QueryError(
+                f"unsupported calibration version {version!r} "
+                f"(expected {CALIBRATION_VERSION}); re-run "
+                "`repro-sdh calibrate`"
+            )
+        return cls(
+            constants=CostConstants.from_dict(body.get("constants", {})),
+            cpu_count=int(body.get("cpu_count", 1)),
+            source=source,
+        )
+
+
+def default_calibration_path() -> str:
+    """Where calibrations persist: env override, else the user cache."""
+    override = os.environ.get("REPRO_SDH_CALIBRATION")
+    if override:
+        return override
+    cache_root = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(cache_root, "repro-sdh", "calibration.json")
+
+
+def save_calibration(
+    calibration: Calibration, path: str | None = None
+) -> str:
+    """Persist a calibration as JSON; returns the path written."""
+    path = path or default_calibration_path()
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(calibration.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_calibration(path: str | None = None) -> Calibration:
+    """Load a persisted calibration (raises :class:`QueryError` on a
+    malformed file; :class:`FileNotFoundError` passes through)."""
+    path = path or default_calibration_path()
+    with open(path, encoding="utf-8") as handle:
+        try:
+            body = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise QueryError(
+                f"calibration file {path!r} is not valid JSON: {exc}"
+            )
+    return Calibration.from_dict(body, source=path)
+
+
+# ----------------------------------------------------------------------
+# Lazy singleton used by the planner
+# ----------------------------------------------------------------------
+_cache_lock = threading.Lock()
+_cached: Calibration | None = None
+
+
+def get_calibration(path: str | None = None) -> Calibration:
+    """The process-wide calibration, loaded lazily exactly once.
+
+    Loads the persisted file when present, else the built-in defaults.
+    An explicit ``path`` bypasses the cache (used by tests and the
+    CLI's ``--calibration`` flag).
+    """
+    global _cached
+    if path is not None:
+        try:
+            return load_calibration(path)
+        except FileNotFoundError:
+            raise QueryError(f"no calibration file at {path!r}")
+    with _cache_lock:
+        if _cached is None:
+            try:
+                _cached = load_calibration()
+            except (FileNotFoundError, QueryError):
+                _cached = Calibration(
+                    constants=CostConstants(),
+                    cpu_count=os.cpu_count() or 1,
+                    source="default",
+                )
+        return _cached
+
+
+def _reset_calibration_cache(
+    calibration: Calibration | None = None,
+) -> None:
+    """Test hook: clear (or pin) the lazy singleton."""
+    global _cached
+    with _cache_lock:
+        _cached = calibration
+
+
+# ----------------------------------------------------------------------
+# The micro-calibration run itself
+# ----------------------------------------------------------------------
+def calibrate(
+    scale: float = 1.0, workers: int = 2, seed: int = 0
+) -> Calibration:
+    """Measure the host constants with a few small timed runs.
+
+    ``scale`` multiplies the probe sizes (lower it for constrained CI
+    hosts); ``workers`` sizes the parallel-overhead probe (skipped when
+    the host has a single core).  The whole run takes a few seconds.
+    """
+    # Imported here so `import repro.planner` stays cheap.
+    from ..core.brute_force import brute_force_sdh
+    from ..core.approximate import adm_sdh
+    from ..core.dm_sdh import dm_sdh_tree
+    from ..core.dm_sdh_grid import dm_sdh_grid
+    from ..core.instrumentation import SDHStats
+    from ..core.buckets import UniformBuckets
+    from ..data.generators import uniform
+    from ..quadtree.grid import GridPyramid
+    from ..quadtree.tree import DensityMapTree
+
+    defaults = CostConstants()
+
+    def probe(n: int) -> int:
+        return max(int(n * scale), 64)
+
+    # -- direct distances (vectorized kernels) -------------------------
+    data = uniform(probe(1500), dim=2, rng=seed)
+    spec = UniformBuckets.with_count(data.max_possible_distance, 16)
+    stats = SDHStats()
+    started = time.perf_counter()
+    brute_force_sdh(data, spec=spec, stats=stats)
+    brute_seconds = time.perf_counter() - started
+    dist_pair_s = _per_op(brute_seconds, stats.distance_computations,
+                          defaults.dist_pair_s)
+
+    # -- pyramid build -------------------------------------------------
+    build_data = uniform(probe(20000), dim=2, rng=seed + 1)
+    started = time.perf_counter()
+    pyramid = GridPyramid(build_data)
+    build_per_particle_s = _per_op(
+        time.perf_counter() - started, build_data.size,
+        defaults.build_per_particle_s,
+    )
+
+    # -- vectorized cell-pair resolution -------------------------------
+    grid_spec = UniformBuckets.with_count(
+        build_data.max_possible_distance, 16
+    )
+    stats = SDHStats()
+    started = time.perf_counter()
+    dm_sdh_grid(pyramid, spec=grid_spec, stats=stats)
+    grid_seconds = time.perf_counter() - started
+    cell_pair_s = _per_op(
+        max(grid_seconds - stats.distance_computations * dist_pair_s, 0.0),
+        stats.total_resolve_calls,
+        defaults.cell_pair_s,
+    )
+
+    # -- Python node-tree resolution -----------------------------------
+    tree_data = uniform(probe(1200), dim=2, rng=seed + 2)
+    started = time.perf_counter()
+    tree = DensityMapTree(tree_data)
+    tree_build_per_particle_s = _per_op(
+        time.perf_counter() - started, tree_data.size,
+        defaults.tree_build_per_particle_s,
+    )
+    tree_spec = UniformBuckets.with_count(
+        tree_data.max_possible_distance, 16
+    )
+    stats = SDHStats()
+    started = time.perf_counter()
+    dm_sdh_tree(tree, spec=tree_spec, stats=stats)
+    tree_seconds = time.perf_counter() - started
+    node_pair_s = _per_op(
+        max(tree_seconds - stats.distance_computations * dist_pair_s, 0.0),
+        stats.total_resolve_calls,
+        defaults.node_pair_s,
+    )
+
+    # -- ADM allocation ------------------------------------------------
+    stats = SDHStats()
+    started = time.perf_counter()
+    adm_sdh(pyramid, spec=grid_spec, levels=1, stats=stats, rng=seed)
+    adm_seconds = time.perf_counter() - started
+    alloc_per_pair_s = _per_op(
+        max(adm_seconds - stats.total_resolve_calls * cell_pair_s, 0.0),
+        stats.approximated_pairs,
+        defaults.alloc_per_pair_s,
+    )
+
+    # -- parallel worker overhead --------------------------------------
+    cpu = os.cpu_count() or 1
+    worker_overhead_s = defaults.worker_overhead_s
+    if cpu > 1 and workers > 1:
+        from ..parallel.engine import parallel_sdh
+
+        started = time.perf_counter()
+        parallel_sdh(pyramid, spec=grid_spec, workers=workers)
+        parallel_seconds = time.perf_counter() - started
+        # Everything beyond the single-core resolve time is overhead.
+        worker_overhead_s = max(
+            (parallel_seconds - grid_seconds / workers) / workers,
+            1e-3,
+        )
+
+    # -- fixed dispatch floor ------------------------------------------
+    tiny = uniform(8, dim=2, rng=seed + 3)
+    tiny_spec = UniformBuckets.with_count(tiny.max_possible_distance, 4)
+    started = time.perf_counter()
+    brute_force_sdh(tiny, spec=tiny_spec)
+    floor_s = max(time.perf_counter() - started, 1e-5)
+
+    constants = CostConstants(
+        dist_pair_s=dist_pair_s,
+        cell_pair_s=cell_pair_s,
+        node_pair_s=node_pair_s,
+        build_per_particle_s=build_per_particle_s,
+        tree_build_per_particle_s=tree_build_per_particle_s,
+        worker_overhead_s=worker_overhead_s,
+        parallel_efficiency=defaults.parallel_efficiency,
+        alloc_per_pair_s=alloc_per_pair_s,
+        floor_s=floor_s,
+    )
+    return Calibration(
+        constants=constants, cpu_count=cpu, source="measured"
+    )
+
+
+def _per_op(seconds: float, operations: float, fallback: float) -> float:
+    """Seconds per operation, falling back when a probe measured nothing."""
+    if operations and operations > 0 and seconds > 0:
+        return seconds / operations
+    return fallback

@@ -1,0 +1,335 @@
+"""Per-engine cost estimators backed by the paper's analytical model.
+
+The estimators translate the paper's machine-independent operation
+counts into predicted wall-clock seconds using host *constants*
+(seconds per operation kind, measured once by
+:mod:`repro.planner.calibrate`):
+
+* exact DM-SDH engines (grid / tree) follow Eq. (3): the cell-pair
+  frontier grows geometrically by ``2^{2d-1}`` per level below the
+  start map, and whatever mass the Table III covering factors leave
+  unresolved at the leaves is finished with direct distance
+  computations (Theorem 2);
+* the brute-force baseline is the plain ``N(N-1)/2`` distance count;
+* the multi-process parallel engine divides the grid engine's
+  resolvable work across ``w`` workers and pays a per-worker spawn
+  overhead (the FCFC work-partitioning model);
+* ADM-SDH follows Eq. (5): ``I * 2^{(2d-1) m}`` cell operations,
+  independent of N, with the predicted error read off Table III
+  (``alpha(m)``, the Sec. V guarantee).
+
+Everything here is *analytic*: no pyramid is built and no particle is
+touched, so planning a request costs microseconds.  The start-map pair
+count ``I`` is estimated from the dataset's bounding box and size alone
+(:func:`profile_workload`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass, fields
+
+from ..core.analysis import (
+    choose_levels_for_error,
+    geometric_progression_cost,
+    non_covering_factor,
+)
+from ..errors import QueryError
+from ..quadtree.tree import tree_height
+
+__all__ = [
+    "CostConstants",
+    "CostEstimate",
+    "WorkloadProfile",
+    "estimate_cost",
+    "profile_workload",
+]
+
+
+@dataclass(frozen=True)
+class CostConstants:
+    """Host-specific seconds-per-operation constants.
+
+    Defaults are conservative figures for a mid-range x86 core; a
+    micro-calibration run (:func:`repro.planner.calibrate.calibrate`)
+    replaces them with measured values.  All values are seconds.
+    """
+
+    #: Per pairwise distance in the vectorized (numpy) kernels.
+    dist_pair_s: float = 6.0e-9
+    #: Per cell-pair resolution op in the vectorized grid engine.
+    cell_pair_s: float = 4.0e-8
+    #: Per cell-pair resolution op in the Python node-tree engine.
+    node_pair_s: float = 6.0e-6
+    #: Per particle to build the array-based density-map pyramid.
+    build_per_particle_s: float = 6.0e-7
+    #: Per particle to build the linked-node density-map tree.
+    tree_build_per_particle_s: float = 3.0e-5
+    #: Fixed overhead per spawned worker process (fork + shm + IPC).
+    worker_overhead_s: float = 0.15
+    #: Fraction of the grid engine's work that parallelizes cleanly.
+    parallel_efficiency: float = 0.85
+    #: Per unresolved cell pair handed to an ADM allocation heuristic.
+    alloc_per_pair_s: float = 1.2e-7
+    #: Fixed per-query dispatch overhead (validation, spec resolution).
+    floor_s: float = 3.0e-4
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, body: dict) -> "CostConstants":
+        allowed = {f.name for f in fields(cls)}
+        unknown = set(body) - allowed
+        if unknown:
+            raise QueryError(
+                f"unknown cost constants: {sorted(unknown)}; "
+                f"allowed: {sorted(allowed)}"
+            )
+        values = {}
+        for key, value in body.items():
+            number = float(value)
+            if not math.isfinite(number) or number <= 0:
+                raise QueryError(
+                    f"cost constant {key!r} must be finite and positive, "
+                    f"got {value!r}"
+                )
+            values[key] = number
+        return cls(**values)
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Analytic shape of one (dataset, bucket spec) workload.
+
+    Derived without building any index: cell geometry comes from the
+    bounding box, occupancy from the uniform upper bound
+    ``min(N, cells)`` — an overestimate for clustered data, which
+    biases the planner toward the safer (cheaper-at-scale) engines.
+    """
+
+    n: int
+    dim: int
+    num_pairs: float
+    num_buckets: int
+    #: Total density-map levels, Eq. (2).
+    height: int
+    #: First level whose cell diagonal fits inside the first bucket.
+    start_level: int
+    #: Density maps below the start map down to the leaves.
+    levels_below: int
+    #: Estimated non-empty cells on the start map.
+    start_cells: float
+    #: Estimated cell pairs on the start map (the ``I`` of Eq. 3).
+    start_pairs: float
+
+    def alpha_after(self, levels: int) -> float:
+        """Unresolved pair-mass fraction after visiting ``levels`` maps."""
+        if levels <= 0:
+            return 1.0
+        return non_covering_factor(levels, self.num_buckets)
+
+
+def profile_workload(particles, spec) -> WorkloadProfile:
+    """Analytic workload profile for a dataset / bucket-spec pair.
+
+    ``particles`` needs only ``size``, ``dim``, ``num_pairs``, and
+    ``box.sides``; ``spec`` is a resolved
+    :class:`~repro.core.buckets.BucketSpec`.
+    """
+    n = int(particles.size)
+    dim = int(particles.dim)
+    height = tree_height(max(n, 1), dim)
+    leaf_level = height - 1
+    sides = [float(s) for s in particles.box.sides]
+    diag0 = math.sqrt(sum(s * s for s in sides))
+    first_width = float(spec.edges[1]) if spec.num_buckets >= 1 else spec.high
+    start_level = leaf_level
+    if first_width > 0 and diag0 > 0:
+        for level in range(height):
+            if diag0 / (1 << level) <= first_width:
+                start_level = level
+                break
+    start_cells = float(min(n, (1 << start_level) ** dim))
+    start_pairs = start_cells * (start_cells - 1) / 2.0
+    return WorkloadProfile(
+        n=n,
+        dim=dim,
+        num_pairs=float(particles.num_pairs),
+        num_buckets=int(spec.num_buckets),
+        height=height,
+        start_level=start_level,
+        levels_below=leaf_level - start_level,
+        start_cells=start_cells,
+        start_pairs=start_pairs,
+    )
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Predicted cost of one execution strategy.
+
+    ``operations`` is the machine-independent count (the paper's
+    Sec. IV measure); ``seconds`` its wall-clock translation through
+    the host constants; ``error`` the predicted histogram error rate
+    (0 for exact strategies, the Table III ``alpha(m)`` bound for ADM).
+    """
+
+    seconds: float
+    operations: float
+    error: float
+    detail: str
+
+
+def estimate_cost(
+    engine: str,
+    profile: WorkloadProfile,
+    constants: CostConstants,
+    *,
+    mode: str = "exact",
+    workers: int = 1,
+    levels: int | None = None,
+    error_bound: float | None = None,
+    cache_hot: bool = False,
+) -> CostEstimate:
+    """Predict the cost of running one engine on one workload.
+
+    Parameters
+    ----------
+    engine:
+        ``"brute"`` / ``"grid"`` / ``"tree"`` / ``"parallel"``.
+    mode:
+        ``"exact"`` or ``"adm"`` (only the grid engine runs ADM).
+    workers:
+        Process count for the parallel engine (ignored elsewhere).
+    levels / error_bound:
+        ADM budget: a fixed ``m``, or an ``epsilon`` converted via the
+        Table III rule ``m = log2(1/epsilon)``.
+    cache_hot:
+        Whether a built plan (pyramid) is already cached, so the build
+        cost is sunk (the service's plan-cache scenario).
+    """
+    if mode == "adm":
+        return _adm_cost(
+            profile, constants, levels=levels, error_bound=error_bound,
+            cache_hot=cache_hot,
+        )
+    if engine == "brute":
+        ops = profile.num_pairs
+        seconds = constants.floor_s + ops * constants.dist_pair_s
+        return CostEstimate(
+            seconds, ops, 0.0,
+            f"N(N-1)/2 = {ops:.3g} direct distances",
+        )
+    if engine == "tree":
+        return _exact_dm_cost(
+            profile, constants,
+            cell_op_s=constants.node_pair_s,
+            build_s=0.0 if cache_hot
+            else profile.n * constants.tree_build_per_particle_s,
+            label="tree",
+        )
+    if engine == "grid":
+        return _exact_dm_cost(
+            profile, constants,
+            cell_op_s=constants.cell_pair_s,
+            build_s=0.0 if cache_hot
+            else profile.n * constants.build_per_particle_s,
+            label="grid",
+        )
+    if engine == "parallel":
+        core = _exact_dm_cost(
+            profile, constants,
+            cell_op_s=constants.cell_pair_s,
+            build_s=0.0,
+            label="parallel",
+        )
+        workers = max(int(workers), 1)
+        build = (
+            0.0 if cache_hot
+            else profile.n * constants.build_per_particle_s
+        )
+        seconds = (
+            constants.floor_s
+            + build
+            + workers * constants.worker_overhead_s
+            + (core.seconds - constants.floor_s)
+            / (workers * constants.parallel_efficiency)
+        )
+        return CostEstimate(
+            seconds, core.operations, 0.0,
+            f"grid work / {workers} workers "
+            f"+ {workers}x{constants.worker_overhead_s:.3g}s spawn",
+        )
+    raise QueryError(f"no cost model for engine {engine!r}")
+
+
+def _exact_dm_cost(
+    profile: WorkloadProfile,
+    constants: CostConstants,
+    *,
+    cell_op_s: float,
+    build_s: float,
+    label: str,
+) -> CostEstimate:
+    """Eq. (3) resolution ops + Theorem-2 leaf distances for DM-SDH."""
+    resolve_ops = geometric_progression_cost(
+        profile.start_pairs, profile.levels_below, profile.dim
+    )
+    # Mass the covering factors leave unresolved at the finest map is
+    # finished with direct distances (Theorem 2); visiting zero maps
+    # below the start leaves everything unresolved.
+    alpha = profile.alpha_after(profile.levels_below)
+    leaf_distances = alpha * profile.num_pairs
+    seconds = (
+        constants.floor_s
+        + build_s
+        + resolve_ops * cell_op_s
+        + leaf_distances * constants.dist_pair_s
+    )
+    return CostEstimate(
+        seconds,
+        resolve_ops + leaf_distances,
+        0.0,
+        f"{label}: Eq.(3) {resolve_ops:.3g} resolves + "
+        f"alpha({profile.levels_below})={alpha:.3g} leaf mass",
+    )
+
+
+def _adm_cost(
+    profile: WorkloadProfile,
+    constants: CostConstants,
+    *,
+    levels: int | None,
+    error_bound: float | None,
+    cache_hot: bool,
+) -> CostEstimate:
+    """Eq. (5): ADM-SDH cost, independent of the dataset size."""
+    if levels is None:
+        if error_bound is None:
+            raise QueryError("ADM cost needs levels or error_bound")
+        levels = choose_levels_for_error(
+            error_bound, profile.num_buckets, dim=min(profile.dim, 3)
+        )
+    levels = max(int(levels), 0)
+    resolve_ops = geometric_progression_cost(
+        profile.start_pairs, min(levels, profile.levels_below), profile.dim
+    )
+    alpha = profile.alpha_after(levels)
+    # Surviving cell pairs at the stop level feed the allocator.
+    surviving = profile.start_pairs * (
+        2.0 ** ((2 * profile.dim - 1) * min(levels, profile.levels_below))
+    )
+    build = 0.0 if cache_hot else profile.n * constants.build_per_particle_s
+    seconds = (
+        constants.floor_s
+        + build
+        + resolve_ops * constants.cell_pair_s
+        + alpha * surviving * constants.alloc_per_pair_s
+    )
+    return CostEstimate(
+        seconds,
+        resolve_ops,
+        alpha,
+        f"adm: Eq.(5) m={levels}, alpha={alpha:.3g}",
+    )

@@ -1,0 +1,366 @@
+"""Turning an :class:`~repro.core.request.SDHRequest` into an execution plan.
+
+:func:`plan_request` enumerates every execution strategy the request
+could legally run — each capable engine, candidate worker counts for
+the parallel engine, ADM with its Table III start level ``m`` when the
+request asks for approximation — prices each with the analytic cost
+model, ranks them, and applies the request's SLO
+(:func:`repro.planner.slo.admit`).  The winner is returned as an
+:class:`ExecutionPlan` whose ``request`` is directly executable (the
+chosen engine and worker count substituted in, ``planner="off"`` so
+downstream layers do not re-plan).
+
+Neutrality guarantee: for exact requests the planner only ever varies
+*how* the histogram is computed (engine, workers) — every exact engine
+is differentially verified bit-identical, so routing cannot change an
+answer.  ADM mode is considered only when the request itself carries
+``error_bound`` or ``levels``; the planner never trades accuracy for
+speed uninvited.
+
+Each decision increments ``planner_decisions_total{engine,mode}`` and
+runs under a ``planner_plan`` trace span, so routing behaviour is
+observable in production.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..core.analysis import choose_levels_for_error
+from ..core.engines import available_engines, get_engine
+from ..core.request import SDHRequest
+from ..errors import QueryError
+from ..observability import get_registry, trace_span
+from .calibrate import Calibration, get_calibration
+from .cost import CostEstimate, WorkloadProfile, estimate_cost, profile_workload
+from .slo import admit
+
+__all__ = ["ExecutionPlan", "PlanCandidate", "plan_request"]
+
+
+@dataclass(frozen=True)
+class PlanCandidate:
+    """One priced execution strategy for a request.
+
+    ``request`` is the executable form: the original request with this
+    candidate's engine/workers substituted and the planner disabled, so
+    running it reproduces exactly what the planner decided.
+    """
+
+    engine: str
+    mode: str  # "exact" | "adm"
+    workers: int
+    levels: int | None
+    estimate: CostEstimate
+    request: SDHRequest
+    admitted: bool = True
+
+    def describe(self) -> str:
+        parts = [self.engine, self.mode]
+        if self.engine == "parallel":
+            parts.append(f"workers={self.workers}")
+        if self.mode == "adm":
+            parts.append(f"m={self.levels}")
+        return " ".join(parts)
+
+    def to_dict(self) -> dict:
+        body = {
+            "engine": self.engine,
+            "mode": self.mode,
+            "predicted_ms": round(self.estimate.seconds * 1000.0, 3),
+            "predicted_operations": self.estimate.operations,
+            "predicted_error": self.estimate.error,
+            "admitted": self.admitted,
+            "detail": self.estimate.detail,
+        }
+        if self.engine == "parallel":
+            body["workers"] = self.workers
+        if self.mode == "adm":
+            body["levels"] = self.levels
+        return body
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """The planner's decision for one request.
+
+    ``chosen`` is the winning candidate; ``candidates`` the full ranked
+    list (cheapest first, SLO-rejected entries marked
+    ``admitted=False``) for :meth:`explain` and the service's ``plan``
+    response block.  ``request`` on the plan itself is the *executable*
+    request — hand it to :func:`~repro.core.query.compute_sdh` or
+    :meth:`~repro.core.query.SDHQuery.run` unchanged.
+    """
+
+    chosen: PlanCandidate
+    candidates: tuple[PlanCandidate, ...]
+    profile: WorkloadProfile
+    calibrated: bool
+
+    @property
+    def request(self) -> SDHRequest:
+        return self.chosen.request
+
+    @property
+    def engine(self) -> str:
+        return self.chosen.engine
+
+    @property
+    def mode(self) -> str:
+        return self.chosen.mode
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (the service's ``plan`` response block)."""
+        return {
+            "engine": self.chosen.engine,
+            "mode": self.chosen.mode,
+            "workers": self.chosen.workers,
+            "levels": self.chosen.levels,
+            "predicted_ms": round(
+                self.chosen.estimate.seconds * 1000.0, 3
+            ),
+            "predicted_error": self.chosen.estimate.error,
+            "calibrated": self.calibrated,
+            "candidates": [c.to_dict() for c in self.candidates],
+        }
+
+    def explain(self) -> str:
+        """Human-readable ranked-candidate trace for ``repro-sdh plan``."""
+        profile = self.profile
+        lines = [
+            f"workload: N={profile.n} dim={profile.dim} "
+            f"l={profile.num_buckets} buckets, density-map height "
+            f"{profile.height}, start level {profile.start_level} "
+            f"(~{profile.start_cells:.0f} cells, "
+            f"{profile.start_pairs:.3g} cell pairs)",
+            "constants: "
+            + ("calibrated" if self.calibrated
+               else "defaults (run `repro-sdh calibrate`)"),
+            "candidates (cheapest first):",
+        ]
+        for rank, candidate in enumerate(self.candidates, start=1):
+            marker = "*" if candidate is self.chosen else (
+                " " if candidate.admitted else "x"
+            )
+            error = (
+                f" err<={candidate.estimate.error:.3g}"
+                if candidate.mode == "adm" else ""
+            )
+            lines.append(
+                f"  {marker} {rank}. {candidate.describe():24s} "
+                f"{candidate.estimate.seconds * 1000.0:10.3f} ms"
+                f"{error}  [{candidate.estimate.detail}]"
+            )
+        lines.append(
+            "  (* = chosen, x = rejected by SLO)"
+        )
+        return "\n".join(lines)
+
+
+def plan_request(
+    request: SDHRequest,
+    particles,
+    *,
+    calibration: Calibration | None = None,
+    cache_hot: bool = False,
+) -> ExecutionPlan:
+    """Choose the execution strategy for one request on one dataset.
+
+    Enumerates every candidate the request could legally run, prices
+    them with the analytic cost model under the host calibration, ranks
+    by predicted wall-clock, and admits against the request's SLO
+    (``latency_budget_ms``); raises
+    :class:`~repro.errors.SLOInfeasibleError` when no candidate fits.
+
+    ``cache_hot`` tells the cost model a built pyramid for this dataset
+    is already available (the service's plan-cache scenario), so index
+    build cost is sunk for the pyramid-backed engines.
+    """
+    request = request.normalize()
+    if calibration is None:
+        calibration = get_calibration()
+    spec = request.resolved_spec(particles)
+    profile = profile_workload(particles, spec)
+    with trace_span(
+        "planner_plan",
+        particles=profile.n,
+        buckets=profile.num_buckets,
+        calibrated=calibration.calibrated,
+    ) as span:
+        candidates = _enumerate_candidates(
+            request, profile, calibration, cache_hot
+        )
+        candidates.sort(key=lambda c: c.estimate.seconds)
+        admitted = admit(
+            candidates, latency_budget_ms=request.latency_budget_ms
+        )
+        admitted_set = {id(c) for c in admitted}
+        chosen = admitted[0]
+        candidates = [
+            c if id(c) in admitted_set
+            else _replace_admitted(c, False)
+            for c in candidates
+        ]
+        span.annotate(engine=chosen.engine, mode=chosen.mode)
+    get_registry().counter(
+        "planner_decisions_total",
+        "Execution strategies chosen by the cost-based planner",
+        labelnames=("engine", "mode"),
+    ).labels(engine=chosen.engine, mode=chosen.mode).inc()
+    return ExecutionPlan(
+        chosen=chosen,
+        candidates=tuple(candidates),
+        profile=profile,
+        calibrated=calibration.calibrated,
+    )
+
+
+def _replace_admitted(
+    candidate: PlanCandidate, admitted: bool
+) -> PlanCandidate:
+    return PlanCandidate(
+        engine=candidate.engine,
+        mode=candidate.mode,
+        workers=candidate.workers,
+        levels=candidate.levels,
+        estimate=candidate.estimate,
+        request=candidate.request,
+        admitted=admitted,
+    )
+
+
+def _enumerate_candidates(
+    request: SDHRequest,
+    profile: WorkloadProfile,
+    calibration: Calibration,
+    cache_hot: bool,
+) -> list[PlanCandidate]:
+    """All strategies this request could legally run, priced."""
+    constants = calibration.constants
+
+    if request.approximate:
+        # The request asked for ADM (Sec. V); the planner's job is only
+        # to surface the Table III start level m and the predicted
+        # cost/error.  m = log2(1/epsilon) when only error_bound is
+        # given — the acceptance rule, applied without caller hints.
+        levels = request.levels
+        if levels is None:
+            levels = choose_levels_for_error(
+                request.error_bound,
+                profile.num_buckets,
+                dim=min(profile.dim, 3),
+            )
+        estimate = estimate_cost(
+            "grid", profile, constants,
+            mode="adm", levels=levels, cache_hot=cache_hot,
+        )
+        executable = _executable(request, "grid", request.workers)
+        return [
+            PlanCandidate(
+                engine="grid", mode="adm",
+                workers=max(request.workers or 1, 1),
+                levels=levels, estimate=estimate, request=executable,
+            )
+        ]
+
+    if request.engine != "auto":
+        names = [request.engine]
+    elif request.workers is not None and request.workers > 1:
+        # An explicit multi-worker request under auto has always meant
+        # the parallel engine; the planner only confirms the count.
+        names = ["parallel"]
+    else:
+        names = list(available_engines())
+
+    candidates: list[PlanCandidate] = []
+    for name in names:
+        engine = get_engine(name)  # unknown names fail loudly here
+        try:
+            engine.check(request.replace(engine=name))
+        except QueryError:
+            continue  # engine lacks a feature this request needs
+        if name == "parallel":
+            forced = request.engine == "parallel"
+            for workers in _worker_candidates(request, calibration, forced):
+                estimate = estimate_cost(
+                    name, profile, constants,
+                    workers=workers, cache_hot=cache_hot,
+                )
+                candidates.append(
+                    PlanCandidate(
+                        engine=name, mode="exact", workers=workers,
+                        levels=None, estimate=estimate,
+                        request=_executable(request, name, workers),
+                    )
+                )
+        else:
+            try:
+                estimate = estimate_cost(
+                    name, profile, constants, cache_hot=cache_hot
+                )
+            except QueryError:
+                if request.engine == name:
+                    # An explicitly requested engine the planner cannot
+                    # price (e.g. an external registration): run it
+                    # as-is rather than refuse — the caller picked it.
+                    candidates.append(
+                        PlanCandidate(
+                            engine=name, mode="exact", workers=1,
+                            levels=None,
+                            estimate=CostEstimate(
+                                float("inf"), float("inf"), 0.0,
+                                "no cost model for this engine",
+                            ),
+                            request=_executable(request, name, None),
+                        )
+                    )
+                continue  # auto never routes to an unpriceable engine
+            candidates.append(
+                PlanCandidate(
+                    engine=name, mode="exact", workers=1, levels=None,
+                    estimate=estimate,
+                    request=_executable(request, name, None),
+                )
+            )
+    if not candidates:
+        raise QueryError(
+            f"no registered engine supports this request "
+            f"(engine={request.engine!r})"
+        )
+    return candidates
+
+
+def _worker_candidates(
+    request: SDHRequest, calibration: Calibration, forced: bool
+) -> list[int]:
+    """Worker counts worth pricing for the parallel engine."""
+    if request.workers is not None:
+        # An explicit worker count is a constraint, not a hint.
+        return [request.workers]
+    cpu = max(calibration.cpu_count or os.cpu_count() or 1, 1)
+    if cpu <= 1:
+        # Spawning workers on one core only adds overhead — but a
+        # forced engine="parallel" must still get a candidate (the
+        # engine runs inline with one worker).
+        return [1] if forced else []
+    counts = {2, cpu, max(cpu // 2, 2)}
+    return sorted(counts)
+
+
+def _executable(
+    request: SDHRequest, engine: str, workers: int | None
+) -> SDHRequest:
+    """The directly runnable form of a planned request.
+
+    ``planner="off"`` stops downstream layers from re-planning, and the
+    latency budget is dropped because it has been admitted here (the
+    two must be cleared together — the request validator rejects a
+    budget with the planner off).
+    """
+    return request.replace(
+        engine=engine,
+        workers=workers,
+        planner="off",
+        latency_budget_ms=None,
+    )

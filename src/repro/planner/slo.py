@@ -1,0 +1,58 @@
+"""SLO admission for planned queries.
+
+A request's service-level objective is two optional numbers: a
+``latency_budget_ms`` (wall-clock the caller will wait) and an
+``error_bound`` (histogram error rate the caller will accept — the
+paper's Sec. V epsilon).  :func:`admit` filters a ranked candidate list
+down to those predicted to satisfy both, and raises the typed
+:class:`~repro.errors.SLOInfeasibleError` (HTTP 422 at the service
+layer) when none do: an impossible contract is rejected loudly at
+admission time, never silently converted into a best-effort run.
+"""
+
+from __future__ import annotations
+
+from ..errors import SLOInfeasibleError
+
+__all__ = ["SLOInfeasibleError", "admit"]
+
+
+def admit(
+    candidates,
+    *,
+    latency_budget_ms: float | None = None,
+    error_bound: float | None = None,
+):
+    """Filter plan candidates down to those meeting the SLO.
+
+    ``candidates`` is a non-empty sequence of
+    :class:`~repro.planner.planner.PlanCandidate`, already ranked by
+    predicted cost.  Returns the admitted sublist (same order).  Raises
+    :class:`SLOInfeasibleError` when the SLO excludes every candidate.
+    """
+    admitted = list(candidates)
+    if error_bound is not None:
+        admitted = [
+            c for c in admitted if c.estimate.error <= error_bound + 1e-12
+        ]
+        if not admitted:
+            best = min(candidates, key=lambda c: c.estimate.error)
+            raise SLOInfeasibleError(
+                f"no execution strategy meets error_bound="
+                f"{error_bound:g}; best achievable is "
+                f"{best.estimate.error:.3g} ({best.describe()})"
+            )
+    if latency_budget_ms is not None:
+        budget_s = latency_budget_ms / 1000.0
+        admitted_in_budget = [
+            c for c in admitted if c.estimate.seconds <= budget_s
+        ]
+        if not admitted_in_budget:
+            best = min(admitted, key=lambda c: c.estimate.seconds)
+            raise SLOInfeasibleError(
+                f"latency_budget_ms={latency_budget_ms:g} is infeasible: "
+                f"cheapest viable strategy ({best.describe()}) is "
+                f"predicted at {best.estimate.seconds * 1000.0:.1f} ms"
+            )
+        admitted = admitted_in_budget
+    return admitted

@@ -10,8 +10,13 @@ Endpoints:
   dataset.  The body is parsed once into a
   :class:`~repro.core.request.SDHRequest`; the plan cache guarantees
   the density-map pyramid is built once per dataset no matter how many
-  queries arrive.  Large datasets can be routed to the multi-process
-  ``parallel`` engine via :attr:`ServiceConfig.parallel_threshold`.
+  queries arrive.  ``engine="auto"`` queries are routed by the
+  cost-based planner (:mod:`repro.planner`); the chosen strategy and
+  the ranked candidates are echoed back in a ``plan`` response block,
+  and an infeasible ``latency_budget_ms`` is rejected with HTTP 422
+  (:class:`~repro.errors.SLOInfeasibleError`).  The legacy
+  :attr:`ServiceConfig.parallel_threshold` knob still works as a
+  deprecated planner override.
 * ``POST /v1/sdh/batch`` — answer a list of bucket specs against one
   dataset, amortizing a single pyramid across all of them.  Per-item
   failures come back as ``{"error": ...}`` entries instead of failing
@@ -44,6 +49,7 @@ import logging
 import os
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
@@ -111,13 +117,25 @@ class ServiceConfig:
     max_workers: int = 4
     max_queue: int = 16
     timeout: float | None = 30.0
-    #: Route exact ``engine="auto"`` queries against datasets of at
-    #: least this many particles to the multi-process parallel engine.
-    #: ``None`` (the default) never auto-routes.
+    #: Deprecated (the cost-based planner now routes ``engine="auto"``
+    #: queries — see ``docs/PLANNER.md``).  When set, acts as a planner
+    #: override: datasets of at least this many particles are pinned to
+    #: the multi-process parallel engine, exactly as before.
     parallel_threshold: int | None = None
-    #: Worker-process count for auto-routed parallel queries;
+    #: Worker-process count for the deprecated threshold override;
     #: 0 means "one per CPU core".
     parallel_workers: int = 0
+
+    def __post_init__(self) -> None:
+        if self.parallel_threshold is not None:
+            warnings.warn(
+                "ServiceConfig.parallel_threshold is deprecated: the "
+                "cost-based planner routes engine='auto' queries (see "
+                "docs/PLANNER.md).  The threshold is honoured as a "
+                "planner override for now.",
+                DeprecationWarning,
+                stacklevel=2,
+            )
 
 
 @dataclass
@@ -568,8 +586,11 @@ def _parse_request(body: dict, *, protocol: frozenset = _PROTOCOL_KEYS):
 def _maybe_parallel(
     config: ServiceConfig, particles: ParticleSet, request: SDHRequest
 ) -> SDHRequest:
-    """Upgrade an auto-engine exact query to the parallel engine when
-    the dataset crosses :attr:`ServiceConfig.parallel_threshold`."""
+    """The deprecated static-threshold override: upgrade an auto-engine
+    exact query to the parallel engine when the dataset crosses
+    :attr:`ServiceConfig.parallel_threshold`.  Kept as a planner
+    override — the pinned worker count constrains the planner to the
+    parallel engine downstream."""
     if (
         config.parallel_threshold is None
         or request.engine != "auto"
@@ -582,6 +603,31 @@ def _maybe_parallel(
     if workers <= 1:
         return request
     return request.replace(workers=workers)
+
+
+def _route_request(
+    state: _ServiceState, particles: ParticleSet, request: SDHRequest
+):
+    """Plan one query; returns ``(executable_request, plan_or_None)``.
+
+    The deprecated ``parallel_threshold`` shim is applied first (it
+    pins a worker count, which the planner treats as a constraint);
+    then ``engine="auto"`` queries — and any query carrying a
+    ``latency_budget_ms`` — go through the cost-based planner.  The
+    planner treats index build cost as sunk (``cache_hot``) because
+    the plan cache amortizes pyramids across queries.  Raises
+    :class:`~repro.errors.SLOInfeasibleError` (HTTP 422) when no
+    strategy fits the budget.
+    """
+    request = _maybe_parallel(state.config, particles, request)
+    if request.planner != "auto" or (
+        request.engine != "auto" and request.latency_budget_ms is None
+    ):
+        return request, None
+    from ..planner import plan_request
+
+    plan = plan_request(request, particles, cache_hot=True)
+    return plan.request, plan
 
 
 def _engine_label(request: SDHRequest) -> str:
@@ -607,7 +653,7 @@ def _histogram_body(hist: Any, request: SDHRequest) -> dict:
 def _handle_sdh(state: _ServiceState, body: dict) -> dict:
     particles = state.resolve_dataset(_dataset_ref(body))
     request, rng = _parse_request(body)
-    request = _maybe_parallel(state.config, particles, request)
+    request, query_plan = _route_request(state, particles, request)
 
     def run() -> tuple[Any, SDHStats]:
         plan = state.cache.get_or_build(particles, request)
@@ -619,6 +665,8 @@ def _handle_sdh(state: _ServiceState, body: dict) -> dict:
     state.absorb_stats(_engine_label(request), stats)
     response = {"dataset": particles.fingerprint()}
     response.update(_histogram_body(hist, request))
+    if query_plan is not None:
+        response["plan"] = query_plan.to_dict()
     return response
 
 
@@ -644,8 +692,11 @@ def _handle_batch(state: _ServiceState, body: dict) -> dict:
             request, rng = _parse_request(
                 item, protocol=frozenset({"rng"})
             )
-            parsed.append((_maybe_parallel(state.config, particles, request), rng))
+            routed, _ = _route_request(state, particles, request)
+            parsed.append((routed, rng))
         except ReproError as exc:
+            # Includes per-item SLOInfeasibleError: one infeasible
+            # budget must not fail the whole batch.
             parsed.append(exc)
 
     def run() -> tuple[list[dict], list[tuple[str, SDHStats]]]:

@@ -21,6 +21,7 @@ from .differential import (
     Discrepancy,
     EngineOutcome,
     check_adm_bounds,
+    check_planner_neutrality,
     compare_engines,
     exact_engines,
     run_engines,
@@ -43,6 +44,7 @@ __all__ = [
     "FuzzCase",
     "VerifyReport",
     "check_adm_bounds",
+    "check_planner_neutrality",
     "compare_engines",
     "evaluate_case",
     "exact_engines",

@@ -82,6 +82,7 @@ class Corpus:
         engines: tuple[str, ...] | None = None,
         invariants: bool = True,
         workers: int = 2,
+        planner: bool = True,
     ) -> tuple[int, list[Discrepancy]]:
         """Re-evaluate every stored case; return (count, discrepancies).
 
@@ -93,7 +94,11 @@ class Corpus:
         for path, case in self.cases():
             replayed += 1
             for item in evaluate_case(
-                case, engines=engines, invariants=invariants, workers=workers
+                case,
+                engines=engines,
+                invariants=invariants,
+                workers=workers,
+                planner=planner,
             ):
                 found.append(
                     Discrepancy(

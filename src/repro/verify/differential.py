@@ -16,7 +16,11 @@ consistency harness.  This module is that harness for :mod:`repro`:
   heuristics on seeded workloads and bounds their observed error
   against the paper's error model (Sec. V / Table III): mass must be
   conserved exactly, and the error rate must stay inside a slack
-  multiple of the model's ``alpha(m) * epsilon_2`` prediction.
+  multiple of the model's ``alpha(m) * epsilon_2`` prediction;
+* :func:`check_planner_neutrality` routes a request through the
+  cost-based planner and asserts the planned execution is bit-identical
+  to every forced-engine run — the planner may choose *how* an exact
+  histogram is computed, never *what* it contains.
 
 Both return :class:`Discrepancy` records rather than raising, so the
 fuzzer can shrink failing cases and the CLI can render a report.
@@ -45,6 +49,7 @@ __all__ = [
     "run_engines",
     "compare_engines",
     "check_adm_bounds",
+    "check_planner_neutrality",
 ]
 
 #: Observed ADM error may exceed the model prediction by this factor
@@ -70,8 +75,9 @@ class Discrepancy:
     ``kind`` is one of ``"engine_mismatch"`` (histograms differ),
     ``"outcome_mismatch"`` (one engine raised where another answered,
     or they raised different error types), ``"invariant"`` (a
-    metamorphic property failed), or ``"adm_bound"`` (a heuristic's
-    error escaped the model envelope).
+    metamorphic property failed), ``"adm_bound"`` (a heuristic's
+    error escaped the model envelope), or ``"planner_mismatch"``
+    (planner-routed execution diverged from a forced-engine run).
     """
 
     kind: str
@@ -243,6 +249,81 @@ def _diff_histograms(
             seed=seed,
         )
     ]
+
+
+# ----------------------------------------------------------------------
+# Planner neutrality: routing may never change an exact answer
+# ----------------------------------------------------------------------
+def check_planner_neutrality(
+    particles: ParticleSet,
+    request: SDHRequest,
+    engines: tuple[str, ...] | None = None,
+    workers: int = 2,
+    case: str = "",
+    seed: int | None = None,
+) -> list[Discrepancy]:
+    """Planner-routed execution must match every forced-engine run.
+
+    The request is planned under ``engine="auto"`` (the cost model is
+    free to pick any strategy), executed, and the result diffed
+    bit-for-bit against each engine run with routing forced.  Only
+    exact requests are checked — for an approximate request the planner
+    legitimately selects ADM, whose counts differ from exact by design.
+    """
+    from ..planner import plan_request  # planner layers above core
+
+    request = request.normalize()
+    if request.approximate:
+        return []
+    auto = request.replace(
+        engine="auto", workers=None, planner="auto", latency_budget_ms=None
+    )
+    try:
+        plan = plan_request(auto, particles)
+        planned = EngineOutcome(
+            f"planner[{plan.engine}]",
+            histogram=compute_sdh(particles, plan.request),
+        )
+    except ReproError as exc:
+        planned = EngineOutcome("planner", error=type(exc).__name__)
+    forced = [
+        o for o in run_engines(particles, request, engines, workers) if o.ran
+    ]
+    discrepancies: list[Discrepancy] = []
+    for outcome in forced:
+        if (planned.error is None) != (outcome.error is None):
+            failed, answered = (
+                (planned, outcome) if planned.error else (outcome, planned)
+            )
+            discrepancies.append(
+                Discrepancy(
+                    "planner_mismatch",
+                    f"{failed.engine} raised {failed.error} where "
+                    f"{answered.engine} answered",
+                    case=case,
+                    seed=seed,
+                )
+            )
+            continue
+        if planned.error is not None:
+            if planned.error != outcome.error:
+                discrepancies.append(
+                    Discrepancy(
+                        "planner_mismatch",
+                        f"{planned.engine} raised {planned.error} but "
+                        f"engine {outcome.engine!r} raised {outcome.error}",
+                        case=case,
+                        seed=seed,
+                    )
+                )
+            continue
+        for diff in _diff_histograms(outcome, planned, case=case, seed=seed):
+            discrepancies.append(
+                Discrepancy(
+                    "planner_mismatch", diff.detail, case=case, seed=seed
+                )
+            )
+    return discrepancies
 
 
 # ----------------------------------------------------------------------

@@ -34,7 +34,12 @@ from ..data.generators import uniform, zipf_clustered
 from ..data.particles import ParticleSet
 from ..geometry import AABB, RectRegion
 from ..observability import get_registry, trace_span
-from .differential import Discrepancy, check_adm_bounds, compare_engines
+from .differential import (
+    Discrepancy,
+    check_adm_bounds,
+    check_planner_neutrality,
+    compare_engines,
+)
 from .invariants import DYADIC_BITS, run_invariants, snap_dyadic
 
 __all__ = [
@@ -267,6 +272,7 @@ def evaluate_case(
     engines: tuple[str, ...] | None = None,
     invariants: bool = True,
     workers: int = 2,
+    planner: bool = True,
 ) -> list[Discrepancy]:
     """All discrepancies this case provokes (empty = healthy)."""
     _, discrepancies = compare_engines(
@@ -277,6 +283,17 @@ def evaluate_case(
         case=case.name,
         seed=case.seed,
     )
+    if planner:
+        discrepancies.extend(
+            check_planner_neutrality(
+                case.particles,
+                case.request,
+                engines=engines,
+                workers=workers,
+                case=case.name,
+                seed=case.seed,
+            )
+        )
     if invariants and case.plain:
         discrepancies.extend(
             run_invariants(
@@ -295,6 +312,7 @@ def shrink_case(
     fails: Callable[[FuzzCase], bool] | None = None,
     engines: tuple[str, ...] | None = None,
     invariants: bool = True,
+    planner: bool = True,
     max_evals: int = MAX_SHRINK_EVALS,
 ) -> FuzzCase:
     """Greedily minimize a failing case while it keeps failing.
@@ -309,7 +327,10 @@ def shrink_case(
         def fails(candidate: FuzzCase) -> bool:
             return bool(
                 evaluate_case(
-                    candidate, engines=engines, invariants=invariants
+                    candidate,
+                    engines=engines,
+                    invariants=invariants,
+                    planner=planner,
                 )
             )
 
@@ -389,6 +410,7 @@ class VerifyReport:
     cases_run: int = 0
     corpus_replayed: int = 0
     adm_checked: bool = False
+    planner_checked: bool = False
     discrepancies: list[Discrepancy] = field(default_factory=list)
     corpus_written: list[str] = field(default_factory=list)
     duration_seconds: float = 0.0
@@ -403,6 +425,7 @@ class VerifyReport:
             "cases_run": self.cases_run,
             "corpus_replayed": self.corpus_replayed,
             "adm_checked": self.adm_checked,
+            "planner_checked": self.planner_checked,
             "engines": list(self.engines),
             "seeds": self.seeds,
             "discrepancies": [d.to_dict() for d in self.discrepancies],
@@ -418,13 +441,17 @@ def run_verification(
     corpus=None,
     invariants: bool = True,
     adm: bool = True,
+    planner: bool = True,
     workers: int = 2,
 ) -> VerifyReport:
     """The full harness: corpus replay, fuzzing, ADM model bounds.
 
     Failing fuzz cases are shrunk to minimal reproducers and — when a
     :class:`~repro.verify.corpus.Corpus` is given — persisted so every
-    past failure becomes a permanent regression test.  Progress is
+    past failure becomes a permanent regression test.  ``planner``
+    additionally routes each exact fuzz case through the cost-based
+    planner and asserts the planned execution is bit-identical to every
+    forced-engine run (:func:`check_planner_neutrality`).  Progress is
     recorded on the default metrics registry (``verify_cases_total``,
     ``verify_discrepancies_total``) and as trace spans.
     """
@@ -442,13 +469,17 @@ def run_verification(
         ("kind",),
     )
     report = VerifyReport(
-        engines=engines if engines is not None else available_engines()
+        engines=engines if engines is not None else available_engines(),
+        planner_checked=planner,
     )
     started = time.perf_counter()
     with trace_span("verify_run", seeds=seeds, seed_start=seed_start):
         if corpus is not None:
             replayed, found = corpus.replay(
-                engines=engines, invariants=invariants, workers=workers
+                engines=engines,
+                invariants=invariants,
+                workers=workers,
+                planner=planner,
             )
             report.corpus_replayed = replayed
             report.discrepancies.extend(found)
@@ -466,6 +497,7 @@ def run_verification(
                     engines=engines,
                     invariants=invariants,
                     workers=workers,
+                    planner=planner,
                 )
             report.cases_run += 1
             if not found:
@@ -475,11 +507,13 @@ def run_verification(
             for item in found:
                 findings_total.labels(kind=item.kind).inc()
             shrunk = shrink_case(
-                case, engines=engines, invariants=invariants
+                case, engines=engines, invariants=invariants,
+                planner=planner,
             )
             report.discrepancies.extend(
                 evaluate_case(
-                    shrunk, engines=engines, invariants=invariants
+                    shrunk, engines=engines, invariants=invariants,
+                    planner=planner,
                 )
                 or found
             )

@@ -188,3 +188,71 @@ class TestCustomBuckets:
         spec = CustomBuckets([0.0, 1.0, 10.0, 11.0])
         assert spec.resolve_range(2.0, 9.5) == 1
         assert spec.resolve_range(9.5, 10.5) is None
+
+
+class TestScalarLookupRegression:
+    """The O(log l) scalar lookup must mirror the vectorized binning.
+
+    ``resolve_range`` / ``overlapped_buckets`` run per node pair in the
+    tree engine, so they use a bisect-based scalar fast path
+    (Buccafurri-style index over the edge array) instead of building
+    1-element numpy arrays.  These tests pin the two paths together on
+    the layout most likely to expose a divergence: log-scaled
+    non-uniform buckets with a non-zero r0.
+    """
+
+    def log_spec(self) -> CustomBuckets:
+        edges = np.logspace(-2, 1, 24)  # 0.01 .. 10, 23 buckets
+        return CustomBuckets(edges)
+
+    def test_scalar_matches_vectorized_on_log_buckets(self):
+        spec = self.log_spec()
+        rng = np.random.default_rng(42)
+        samples = np.concatenate(
+            [
+                rng.uniform(0.0, 12.0, 2000),
+                spec.edges,  # exactly on every edge
+                np.nextafter(spec.edges, -np.inf),
+                np.nextafter(spec.edges, np.inf),
+            ]
+        )
+        vectorized = spec.bucket_of(samples)
+        for d, expected in zip(samples, vectorized):
+            assert spec._bucket_index_scalar(float(d)) == expected
+
+    def test_resolve_range_log_buckets(self):
+        spec = self.log_spec()
+        # Inside one bucket resolves; straddling an edge does not.
+        lo, hi = float(spec.edges[10]), float(spec.edges[11])
+        mid = (lo + hi) / 2.0
+        assert spec.resolve_range(lo, mid) == 10
+        assert spec.resolve_range(mid, hi * 1.001) is None
+        # Below r0 or beyond the last edge never resolves.
+        assert spec.resolve_range(0.001, 0.005) is None
+        assert spec.resolve_range(20.0, 30.0) is None
+
+    def test_overlapped_buckets_log_buckets(self):
+        spec = self.log_spec()
+        rng = np.random.default_rng(7)
+        for _ in range(500):
+            u, v = np.sort(rng.uniform(0.0, 12.0, 2))
+            lo, hi = spec.overlapped_buckets(float(u), float(v))
+            assert 0 <= lo <= hi <= spec.num_buckets - 1
+            # The span is exactly the buckets the endpoints map into,
+            # clamped to the histogram domain.
+            expected_lo = min(
+                max(spec._bucket_index_scalar(float(u)), 0),
+                spec.num_buckets - 1,
+            )
+            expected_hi = min(
+                max(spec._bucket_index_scalar(float(v)), 0),
+                spec.num_buckets - 1,
+            )
+            assert (lo, hi) == (expected_lo, expected_hi)
+
+    def test_uniform_scalar_fast_path_closed_last_edge(self):
+        spec = UniformBuckets(1.0, 8)
+        assert spec._bucket_index_scalar(8.0) == 7  # closed last edge
+        assert spec._bucket_index_scalar(8.0 * (1 + 1e-12)) == 7
+        assert spec._bucket_index_scalar(8.1) == 8  # overflow sentinel
+        assert spec._bucket_index_scalar(-0.5) == -1

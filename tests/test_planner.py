@@ -1,0 +1,445 @@
+"""Tests for repro.planner (cost model, calibration, plan_request, SLOs)."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import choose_levels_for_error, non_covering_factor
+from repro.core.engines import (
+    get_engine,
+    register_engine,
+    unregister_engine,
+)
+from repro.core.query import compute_sdh
+from repro.core.request import SDHRequest
+from repro.data import uniform, zipf_clustered
+from repro.errors import QueryError, SLOInfeasibleError
+from repro.planner import (
+    Calibration,
+    CostConstants,
+    calibrate,
+    default_calibration_path,
+    estimate_cost,
+    get_calibration,
+    load_calibration,
+    plan_request,
+    profile_workload,
+    save_calibration,
+)
+from repro.planner.calibrate import _reset_calibration_cache
+from repro.planner.slo import admit
+
+
+@pytest.fixture(autouse=True)
+def pinned_calibration():
+    """Pin the planner to the default constants (2 CPUs) per test."""
+    calibration = Calibration(
+        constants=CostConstants(), cpu_count=2, source="default"
+    )
+    _reset_calibration_cache(calibration)
+    yield calibration
+    _reset_calibration_cache(None)
+
+
+@pytest.fixture
+def dataset():
+    return uniform(2000, dim=2, rng=11)
+
+
+def _profile(particles, num_buckets=16):
+    request = SDHRequest(num_buckets=num_buckets).normalize()
+    return profile_workload(particles, request.resolved_spec(particles))
+
+
+class TestCostConstants:
+    def test_round_trip(self):
+        constants = CostConstants(dist_pair_s=1e-8)
+        assert CostConstants.from_dict(constants.to_dict()) == constants
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(QueryError, match="unknown cost constants"):
+            CostConstants.from_dict({"warp_speed_s": 1.0})
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_non_positive_rejected(self, bad):
+        with pytest.raises(QueryError, match="finite and positive"):
+            CostConstants.from_dict({"dist_pair_s": bad})
+
+
+class TestCostModel:
+    def test_brute_scales_with_pairs(self, dataset):
+        small = _profile(uniform(500, dim=2, rng=1))
+        big = _profile(dataset)
+        constants = CostConstants()
+        cheap = estimate_cost("brute", small, constants)
+        costly = estimate_cost("brute", big, constants)
+        assert costly.seconds > cheap.seconds
+        assert costly.operations == big.num_pairs
+
+    def test_exact_estimates_have_zero_error(self, dataset):
+        profile = _profile(dataset)
+        constants = CostConstants()
+        for engine in ("brute", "grid", "tree"):
+            assert estimate_cost(engine, profile, constants).error == 0.0
+        parallel = estimate_cost(
+            "parallel", profile, constants, workers=2
+        )
+        assert parallel.error == 0.0
+
+    def test_tree_costs_more_than_grid(self, dataset):
+        # Same Eq.(3) operation count, but the per-op constant for the
+        # Python node tree is orders of magnitude above the vectorized
+        # grid kernel.
+        profile = _profile(dataset)
+        constants = CostConstants()
+        grid = estimate_cost("grid", profile, constants)
+        tree = estimate_cost("tree", profile, constants)
+        assert tree.seconds > grid.seconds
+
+    def test_cache_hot_drops_build_cost(self, dataset):
+        profile = _profile(dataset)
+        constants = CostConstants()
+        cold = estimate_cost("grid", profile, constants)
+        hot = estimate_cost("grid", profile, constants, cache_hot=True)
+        assert hot.seconds < cold.seconds
+        assert hot.seconds == pytest.approx(
+            cold.seconds - profile.n * constants.build_per_particle_s
+        )
+
+    def test_adm_error_is_alpha_of_m(self, dataset):
+        profile = _profile(dataset)
+        estimate = estimate_cost(
+            "grid", profile, CostConstants(), mode="adm", levels=3
+        )
+        assert estimate.error == pytest.approx(
+            non_covering_factor(3, profile.num_buckets)
+        )
+
+    def test_adm_needs_a_budget(self, dataset):
+        with pytest.raises(QueryError, match="levels or error_bound"):
+            estimate_cost(
+                "grid", _profile(dataset), CostConstants(), mode="adm"
+            )
+
+    def test_unknown_engine_rejected(self, dataset):
+        with pytest.raises(QueryError, match="no cost model"):
+            estimate_cost("warp", _profile(dataset), CostConstants())
+
+    def test_profile_start_level_fits_first_bucket(self, dataset):
+        # The start map is the first level whose cell diagonal fits
+        # inside one bucket (Sec. IV's starting-level rule).
+        profile = _profile(dataset, num_buckets=4)
+        sides = np.asarray(dataset.box.sides, dtype=float)
+        diag = float(np.sqrt((sides**2).sum()))
+        request = SDHRequest(num_buckets=4).normalize()
+        width = float(request.resolved_spec(dataset).edges[1])
+        assert diag / 2**profile.start_level <= width
+
+
+class TestCalibration:
+    def test_round_trip_via_file(self, tmp_path):
+        calibration = Calibration(
+            constants=CostConstants(dist_pair_s=1.5e-8),
+            cpu_count=4,
+            source="measured",
+        )
+        path = save_calibration(calibration, str(tmp_path / "cal.json"))
+        loaded = load_calibration(path)
+        assert loaded.constants == calibration.constants
+        assert loaded.cpu_count == 4
+        assert loaded.calibrated
+        assert loaded.source == path
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "cal.json"
+        path.write_text(json.dumps({"version": 99, "constants": {}}))
+        with pytest.raises(QueryError, match="unsupported calibration"):
+            load_calibration(str(path))
+
+    def test_malformed_json_rejected(self, tmp_path):
+        path = tmp_path / "cal.json"
+        path.write_text("{not json")
+        with pytest.raises(QueryError, match="not valid JSON"):
+            load_calibration(str(path))
+
+    def test_env_override_controls_default_path(self, monkeypatch, tmp_path):
+        target = str(tmp_path / "custom.json")
+        monkeypatch.setenv("REPRO_SDH_CALIBRATION", target)
+        assert default_calibration_path() == target
+
+    def test_get_calibration_falls_back_to_defaults(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv(
+            "REPRO_SDH_CALIBRATION", str(tmp_path / "missing.json")
+        )
+        _reset_calibration_cache(None)
+        calibration = get_calibration()
+        assert not calibration.calibrated
+        assert calibration.constants == CostConstants()
+
+    def test_get_calibration_explicit_missing_path_raises(self, tmp_path):
+        with pytest.raises(QueryError, match="no calibration file"):
+            get_calibration(str(tmp_path / "nope.json"))
+
+    def test_calibrate_produces_positive_constants(self):
+        calibration = calibrate(scale=0.05)
+        assert calibration.calibrated
+        assert calibration.cpu_count == (os.cpu_count() or 1)
+        for value in calibration.constants.to_dict().values():
+            assert value > 0
+
+
+class TestPlanRequest:
+    def test_auto_plans_an_exact_engine(self, dataset):
+        plan = plan_request(SDHRequest(num_buckets=16), dataset)
+        assert plan.mode == "exact"
+        assert plan.engine in ("brute", "grid", "tree", "parallel")
+        # Candidates are ranked cheapest-first and the winner leads.
+        seconds = [c.estimate.seconds for c in plan.candidates]
+        assert seconds == sorted(seconds)
+        assert plan.candidates[0] is plan.chosen
+
+    def test_executable_request_does_not_replan(self, dataset):
+        plan = plan_request(SDHRequest(num_buckets=16), dataset)
+        executable = plan.request
+        assert executable.planner == "off"
+        assert executable.engine == plan.engine
+        assert executable.latency_budget_ms is None
+
+    def test_planned_run_matches_forced_engines(self, dataset):
+        plan = plan_request(SDHRequest(num_buckets=8), dataset)
+        routed = compute_sdh(dataset, plan.request)
+        for engine in ("brute", "grid", "tree"):
+            forced = compute_sdh(
+                dataset, SDHRequest(num_buckets=8, engine=engine)
+            )
+            assert np.array_equal(routed.counts, forced.counts)
+
+    def test_explicit_engine_is_respected(self, dataset):
+        plan = plan_request(
+            SDHRequest(num_buckets=16, engine="tree"), dataset
+        )
+        assert plan.engine == "tree"
+        assert all(c.engine == "tree" for c in plan.candidates)
+
+    def test_error_bound_selects_adm_with_table_iii_m(self, dataset):
+        # Acceptance rule: error_bound=epsilon gets m = log2(1/epsilon)
+        # (the smallest m with alpha(m) <= epsilon) with no caller hints.
+        epsilon = 0.03
+        plan = plan_request(
+            SDHRequest(num_buckets=16, error_bound=epsilon), dataset
+        )
+        assert plan.mode == "adm"
+        assert plan.chosen.levels == choose_levels_for_error(
+            epsilon, 16, dim=2
+        )
+        assert plan.chosen.estimate.error <= epsilon
+
+    def test_explicit_levels_win_over_error_bound_rule(self, dataset):
+        plan = plan_request(
+            SDHRequest(num_buckets=16, levels=2), dataset
+        )
+        assert plan.mode == "adm"
+        assert plan.chosen.levels == 2
+
+    def test_infeasible_budget_raises_typed_error(self, dataset):
+        with pytest.raises(SLOInfeasibleError, match="infeasible"):
+            plan_request(
+                SDHRequest(num_buckets=16, latency_budget_ms=1e-4),
+                dataset,
+            )
+
+    def test_feasible_budget_filters_candidates(self, dataset):
+        unconstrained = plan_request(SDHRequest(num_buckets=16), dataset)
+        budget = unconstrained.chosen.estimate.seconds * 1000.0 * 2.0
+        plan = plan_request(
+            SDHRequest(num_buckets=16, latency_budget_ms=budget),
+            dataset,
+        )
+        assert plan.chosen.estimate.seconds * 1000.0 <= budget
+        slow = [c for c in plan.candidates if not c.admitted]
+        for candidate in slow:
+            assert candidate.estimate.seconds * 1000.0 > budget
+
+    def test_workers_hint_routes_to_parallel(self, dataset):
+        plan = plan_request(
+            SDHRequest(num_buckets=16, workers=3), dataset
+        )
+        assert plan.engine == "parallel"
+        assert plan.chosen.workers == 3
+
+    def test_forced_parallel_on_single_core_still_plans(self, dataset):
+        _reset_calibration_cache(
+            Calibration(
+                constants=CostConstants(), cpu_count=1, source="default"
+            )
+        )
+        plan = plan_request(
+            SDHRequest(num_buckets=16, engine="parallel"), dataset
+        )
+        assert plan.engine == "parallel"
+        assert plan.chosen.workers == 1
+
+    def test_unpriceable_engine_skipped_under_auto(self, dataset):
+        grid = get_engine("grid")
+        register_engine("unpriced", grid.run, grid.capabilities)
+        try:
+            plan = plan_request(SDHRequest(num_buckets=16), dataset)
+            assert all(
+                c.engine != "unpriced" for c in plan.candidates
+            )
+            forced = plan_request(
+                SDHRequest(num_buckets=16, engine="unpriced"), dataset
+            )
+            assert forced.engine == "unpriced"
+        finally:
+            unregister_engine("unpriced")
+
+    def test_to_dict_is_json_ready(self, dataset):
+        plan = plan_request(SDHRequest(num_buckets=16), dataset)
+        body = json.loads(json.dumps(plan.to_dict()))
+        assert body["engine"] == plan.engine
+        assert body["mode"] == "exact"
+        assert body["calibrated"] is False
+        assert len(body["candidates"]) == len(plan.candidates)
+
+    def test_explain_marks_the_choice(self, dataset):
+        plan = plan_request(SDHRequest(num_buckets=16), dataset)
+        text = plan.explain()
+        assert "workload:" in text
+        assert "candidates (cheapest first):" in text
+        assert f"* 1. {plan.engine}" in text
+
+    def test_restricted_request_skips_incapable_engines(self, dataset):
+        # Only grid supports periodic + approximate; periodic exact is
+        # served by brute/grid/parallel but never the tree engine.
+        plan = plan_request(
+            SDHRequest(num_buckets=8, periodic=True), dataset
+        )
+        assert all(c.engine != "tree" for c in plan.candidates)
+
+    def test_decisions_counter_increments(self, dataset):
+        from repro.observability import get_registry
+
+        counter = get_registry().counter(
+            "planner_decisions_total",
+            "Execution strategies chosen by the cost-based planner",
+            labelnames=("engine", "mode"),
+        )
+        plan = plan_request(SDHRequest(num_buckets=16), dataset)
+        labelled = counter.labels(engine=plan.engine, mode="exact")
+        before = labelled.value
+        plan_request(SDHRequest(num_buckets=16), dataset)
+        assert labelled.value == before + 1
+
+
+class TestAdmit:
+    def test_error_bound_infeasible_names_best(self, dataset):
+        plan = plan_request(SDHRequest(num_buckets=16, levels=1), dataset)
+        with pytest.raises(SLOInfeasibleError, match="best achievable"):
+            admit(list(plan.candidates), error_bound=1e-9)
+
+    def test_no_slo_admits_everything(self, dataset):
+        plan = plan_request(SDHRequest(num_buckets=16), dataset)
+        assert admit(list(plan.candidates)) == list(plan.candidates)
+
+
+class TestQueryIntegration:
+    def test_compute_sdh_routes_through_planner(self, dataset):
+        # planner="auto" + engine="auto" must produce the same counts
+        # as any forced engine (neutrality at the query layer).
+        auto = compute_sdh(dataset, SDHRequest(num_buckets=8))
+        forced = compute_sdh(
+            dataset, SDHRequest(num_buckets=8, engine="grid")
+        )
+        assert np.array_equal(auto.counts, forced.counts)
+
+    def test_planner_off_uses_static_rule(self, dataset):
+        hist = compute_sdh(
+            dataset, SDHRequest(num_buckets=8, planner="off")
+        )
+        forced = compute_sdh(
+            dataset, SDHRequest(num_buckets=8, engine="grid")
+        )
+        assert np.array_equal(hist.counts, forced.counts)
+
+    def test_budget_flows_through_compute_sdh(self, dataset):
+        with pytest.raises(SLOInfeasibleError):
+            compute_sdh(
+                dataset,
+                SDHRequest(num_buckets=8, latency_budget_ms=1e-4),
+            )
+
+
+class TestPlannerNeutrality:
+    """Planner-selected execution is bit-identical to forced engines."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_fuzz_families(self, seed):
+        from repro.verify import check_planner_neutrality, generate_case
+
+        case = generate_case(seed)
+        assert check_planner_neutrality(
+            case.particles, case.request, case=case.name, seed=seed
+        ) == []
+
+    @pytest.mark.parametrize(
+        "maker", [uniform, zipf_clustered], ids=["uniform", "zipf"]
+    )
+    def test_direct_datasets(self, maker):
+        from repro.verify import check_planner_neutrality
+
+        data = maker(600, dim=2, rng=3)
+        assert check_planner_neutrality(
+            data, SDHRequest(num_buckets=12)
+        ) == []
+
+    def test_approximate_requests_are_exempt(self, dataset):
+        from repro.verify import check_planner_neutrality
+
+        assert check_planner_neutrality(
+            dataset, SDHRequest(num_buckets=16, error_bound=0.05)
+        ) == []
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="cost-model fidelity needs a >=4-core host for stable timings",
+)
+class TestCostModelFidelity:
+    """Predicted costs must rank engines like measured wall-clock."""
+
+    def test_rank_correlation_across_sizes(self):
+        import time
+
+        calibration = calibrate(scale=0.2)
+        engines = ("brute", "grid", "tree")
+        agreements = []
+        for n in (400, 1500, 4000):
+            data = uniform(n, dim=2, rng=n)
+            request = SDHRequest(num_buckets=16).normalize()
+            profile = profile_workload(
+                data, request.resolved_spec(data)
+            )
+            predicted = []
+            measured = []
+            for engine in engines:
+                predicted.append(
+                    estimate_cost(
+                        engine, profile, calibration.constants
+                    ).seconds
+                )
+                started = time.perf_counter()
+                compute_sdh(data, request.replace(engine=engine))
+                measured.append(time.perf_counter() - started)
+            predicted_rank = np.argsort(np.argsort(predicted))
+            measured_rank = np.argsort(np.argsort(measured))
+            # Spearman rank correlation over 3 engines, by hand.
+            d2 = float(((predicted_rank - measured_rank) ** 2).sum())
+            agreements.append(1.0 - 6.0 * d2 / (3 * (9 - 1)))
+        # The model must order engines correctly on average; a single
+        # noisy inversion on one size is tolerated.
+        assert float(np.mean(agreements)) >= 0.5

@@ -357,3 +357,45 @@ class TestComputeSdhShim:
             overridden = compute_sdh(data, request, engine="brute")
         direct = compute_sdh(data, request.replace(engine="brute"))
         np.testing.assert_array_equal(overridden.counts, direct.counts)
+
+
+class TestPlannerFields:
+    """The planner-facing request fields: SLO budget + routing switch."""
+
+    def test_defaults(self):
+        request = SDHRequest(num_buckets=8).normalize()
+        assert request.planner == "auto"
+        assert request.latency_budget_ms is None
+
+    def test_round_trip(self):
+        request = SDHRequest(
+            num_buckets=8, latency_budget_ms=250.0
+        ).normalize()
+        wire = json.loads(json.dumps(request.to_dict()))
+        assert SDHRequest.from_dict(wire) == request
+        assert wire["latency_budget_ms"] == 250.0
+
+    def test_planner_off_round_trip(self):
+        request = SDHRequest(num_buckets=8, planner="off").normalize()
+        wire = json.loads(json.dumps(request.to_dict()))
+        assert SDHRequest.from_dict(wire) == request
+
+    def test_defaults_omitted_from_wire(self):
+        body = SDHRequest(num_buckets=8).to_dict()
+        assert "planner" not in body
+        assert "latency_budget_ms" not in body
+
+    def test_planner_value_validated(self):
+        with pytest.raises(QueryError, match="planner"):
+            SDHRequest(num_buckets=8, planner="maybe").normalize()
+
+    @pytest.mark.parametrize("bad", [0.0, -5.0, float("nan"), float("inf")])
+    def test_budget_must_be_finite_positive(self, bad):
+        with pytest.raises(QueryError, match="latency_budget_ms"):
+            SDHRequest(num_buckets=8, latency_budget_ms=bad).normalize()
+
+    def test_budget_requires_planner(self):
+        with pytest.raises(QueryError, match="planner"):
+            SDHRequest(
+                num_buckets=8, planner="off", latency_budget_ms=100.0
+            ).normalize()

@@ -500,3 +500,86 @@ class TestObservability:
             urllib.request.urlopen(request, timeout=10.0)
         assert info.value.code == 404
         assert info.value.headers["X-Trace-Id"] == "0123456789abcdef"
+
+
+class TestPlannerIntegration:
+    """Cost-based routing at the service layer: plan block, SLOs, 422."""
+
+    def test_response_carries_plan_block(self, client, dataset):
+        key = client.register(dataset)
+        body = client._request(
+            "POST", "/v1/sdh", {"dataset": key, "num_buckets": 8}
+        )
+        plan = body["plan"]
+        assert plan["mode"] == "exact"
+        assert plan["engine"] in ("brute", "grid", "tree", "parallel")
+        assert plan["predicted_ms"] > 0
+        assert plan["candidates"], "ranked candidates must be included"
+        # The routed result is still bit-identical to a forced engine.
+        direct = compute_sdh(dataset, num_buckets=8)
+        np.testing.assert_array_equal(body["counts"], direct.counts)
+
+    def test_forced_engine_skips_planning(self, client, dataset):
+        key = client.register(dataset)
+        body = client._request(
+            "POST", "/v1/sdh",
+            {"dataset": key, "num_buckets": 8, "engine": "grid"},
+        )
+        assert "plan" not in body
+
+    def test_infeasible_budget_is_422(self, service, client, dataset):
+        import json as _json
+        import urllib.error
+        import urllib.request
+
+        from repro.errors import SLOInfeasibleError
+
+        key = client.register(dataset)
+        payload = {
+            "dataset": key,
+            "num_buckets": 8,
+            "latency_budget_ms": 1e-4,
+        }
+        request = urllib.request.Request(
+            f"{service.url}/v1/sdh",
+            data=_json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=10)
+        assert info.value.code == 422
+        # And the client rebuilds the typed error.
+        with pytest.raises(SLOInfeasibleError, match="infeasible"):
+            client._request("POST", "/v1/sdh", payload)
+
+    def test_feasible_budget_answers_normally(self, client, dataset):
+        key = client.register(dataset)
+        body = client._request(
+            "POST", "/v1/sdh",
+            {"dataset": key, "num_buckets": 8, "latency_budget_ms": 60000},
+        )
+        direct = compute_sdh(dataset, num_buckets=8)
+        np.testing.assert_array_equal(body["counts"], direct.counts)
+        assert body["plan"]["predicted_ms"] <= 60000
+
+    def test_batch_slo_errors_stay_per_item(self, client, dataset):
+        from repro.errors import SLOInfeasibleError
+
+        key = client.register(dataset)
+        results = client.sdh_batch(
+            key,
+            [
+                {"num_buckets": 8},
+                {"num_buckets": 8, "latency_budget_ms": 1e-4},
+            ],
+            return_errors=True,
+        )
+        assert isinstance(results[1], SLOInfeasibleError)
+        np.testing.assert_array_equal(
+            results[0].counts, compute_sdh(dataset, num_buckets=8).counts
+        )
+
+    def test_parallel_threshold_is_deprecated(self):
+        with pytest.warns(DeprecationWarning, match="parallel_threshold"):
+            ServiceConfig(parallel_threshold=100)
