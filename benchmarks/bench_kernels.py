@@ -1,0 +1,111 @@
+"""Kernel-tier gate: compiled leaf resolution must beat numpy >= 5x.
+
+The kernel tier (``src/repro/kernels``) replaces the engines' inline
+leaf-level distance loops with swappable backends; its whole point is
+that the numba tier buys a large constant factor on the irreducible
+distance-computation term of the DM-SDH cost analysis.  This gate times
+both backends on the same dense leaf-resolution workload and fails if
+the compiled tier does not deliver at least a 5x speedup.
+
+The gate only means something where the compiled tier can actually
+run: it skips (cleanly, not failing) when numba is not installed or
+the host has fewer than 4 cores (``parallel=True`` kernels need real
+parallel hardware to show their margin).  The numpy-only hosts are
+covered by the bit-identity tests in ``tests/test_kernels.py`` instead.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import SDHRequest, UniformBuckets, compute_sdh, uniform
+from repro.kernels import NUMBA_AVAILABLE, get_backend
+
+from _common import write_result
+
+pytestmark = pytest.mark.skipif(
+    not NUMBA_AVAILABLE or (os.cpu_count() or 1) < 4,
+    reason="kernel gate needs numba and >= 4 cores",
+)
+
+N = 12000          # ~7.2e7 leaf distances: big enough to dominate JIT noise
+NUM_BUCKETS = 16
+GATE_SPEEDUP = 5.0
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _unused in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.fixture(scope="module")
+def leaf_timings():
+    data = uniform(N, dim=3, rng=7)
+    spec = UniformBuckets.with_count(data.max_possible_distance, NUM_BUCKETS)
+    positions = data.positions
+    numpy_backend = get_backend("numpy")
+    numba_backend = get_backend("numba")
+
+    # Warm up the JIT (and the OS page cache for numpy) before timing.
+    numba_backend.bin_dense_self(positions[:512], spec.width, NUM_BUCKETS)
+    numpy_backend.bin_dense_self(positions[:512], spec.width, NUM_BUCKETS)
+
+    ref, n_ref = numpy_backend.bin_dense_self(
+        positions, spec.width, NUM_BUCKETS
+    )
+    hist, total = numba_backend.bin_dense_self(
+        positions, spec.width, NUM_BUCKETS
+    )
+    np.testing.assert_array_equal(hist, ref)
+    assert total == n_ref
+
+    numpy_s = _best_of(
+        lambda: numpy_backend.bin_dense_self(
+            positions, spec.width, NUM_BUCKETS
+        )
+    )
+    numba_s = _best_of(
+        lambda: numba_backend.bin_dense_self(
+            positions, spec.width, NUM_BUCKETS
+        )
+    )
+
+    rows = [
+        f"{'backend':>8s} {'seconds':>10s} {'pairs/s':>12s}",
+        f"{'numpy':>8s} {numpy_s:>10.4f} {n_ref / numpy_s:>12.3e}",
+        f"{'numba':>8s} {numba_s:>10.4f} {n_ref / numba_s:>12.3e}",
+        f"speedup: {numpy_s / numba_s:.2f}x "
+        f"(gate: >= {GATE_SPEEDUP:.0f}x, cores={os.cpu_count()})",
+    ]
+    write_result("bench_kernels", "\n".join(rows))
+    return {"numpy": numpy_s, "numba": numba_s}
+
+
+def test_numba_leaf_resolution_speedup(leaf_timings):
+    speedup = leaf_timings["numpy"] / leaf_timings["numba"]
+    assert speedup >= GATE_SPEEDUP, (
+        f"compiled leaf resolution only {speedup:.2f}x faster than "
+        f"numpy; the kernel tier gate requires {GATE_SPEEDUP:.0f}x"
+    )
+
+
+def test_end_to_end_tier_agreement_and_gain():
+    """`compute_sdh(kernel=...)` must stay bit-identical end to end."""
+    data = uniform(4000, dim=3, rng=8)
+    base = compute_sdh(
+        data,
+        SDHRequest(num_buckets=NUM_BUCKETS, engine="brute", kernel="numpy"),
+    )
+    fast = compute_sdh(
+        data,
+        SDHRequest(num_buckets=NUM_BUCKETS, engine="brute", kernel="numba"),
+    )
+    np.testing.assert_array_equal(base.counts, fast.counts)

@@ -126,6 +126,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true", help="print operation counters"
     )
     sdh.add_argument(
+        "--kernel",
+        choices=("auto", "numpy", "numba"),
+        default="auto",
+        help="leaf-resolution kernel tier (bit-identical results; "
+        "'auto' picks the fastest installed)",
+    )
+    sdh.add_argument(
         "--latency-budget-ms",
         type=float,
         default=None,
@@ -161,6 +168,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="pin the engine (the planner still prices it)",
     )
     plan.add_argument("--workers", type=int, default=None)
+    plan.add_argument(
+        "--kernel",
+        choices=("auto", "numpy", "numba"),
+        default="auto",
+        help="pin the leaf-resolution kernel tier "
+        "(the planner otherwise prices every installed tier)",
+    )
     plan.add_argument(
         "--error-bound",
         type=float,
@@ -317,6 +331,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes given to worker-capable engines",
     )
     verify.add_argument(
+        "--kernel",
+        choices=("auto", "numpy", "numba"),
+        default="auto",
+        help="pin every fuzz case to one kernel tier; 'auto' diffs "
+        "all installed tiers against each other per engine",
+    )
+    verify.add_argument(
         "--no-invariants",
         action="store_true",
         help="skip the metamorphic invariant checks",
@@ -410,6 +431,7 @@ def _cmd_sdh(args: argparse.Namespace) -> int:
         workers=args.workers,
         latency_budget_ms=args.latency_budget_ms,
         planner=args.planner,
+        kernel=args.kernel,
     )
     histogram = compute_sdh(data, request, stats=stats)
     print(histogram.to_text())
@@ -438,6 +460,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         periodic=args.periodic,
         workers=args.workers,
         latency_budget_ms=args.latency_budget_ms,
+        kernel=args.kernel,
     )
     calibration = get_calibration(args.calibration)
     plan = plan_request(request, data, calibration=calibration)
@@ -536,6 +559,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         adm=not args.no_adm,
         planner=not args.no_planner,
         workers=args.workers,
+        kernel=args.kernel,
     )
     if args.json:
         print(json_module.dumps(report.to_dict(), indent=2))

@@ -13,7 +13,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..data.particles import ParticleSet
-from ..geometry import iter_cross_distance_chunks, iter_self_distance_chunks
+from ..geometry import AABB, iter_cross_distance_chunks, iter_self_distance_chunks
+from ..kernels import fast_uniform_width, get_backend
 from .buckets import BucketSpec, OverflowPolicy, UniformBuckets
 from .histogram import DistanceHistogram
 from .instrumentation import SDHStats
@@ -29,6 +30,7 @@ def brute_force_sdh(
     chunk: int = 2048,
     stats: SDHStats | None = None,
     periodic: bool = False,
+    kernel: str = "auto",
 ) -> DistanceHistogram:
     """SDH of one particle set by exhaustive distance computation.
 
@@ -51,6 +53,10 @@ def brute_force_sdh(
     periodic:
         Measure distances under the minimum-image convention over the
         particle set's box (requires a :class:`ParticleSet` input).
+    kernel:
+        Leaf-resolution backend tier (see :mod:`repro.kernels`):
+        ``"auto"`` picks the fastest available, ``"numpy"`` / ``"numba"``
+        pin a tier.  All tiers produce bit-identical histograms.
     """
     box_lengths = None
     if isinstance(particles, ParticleSet):
@@ -66,16 +72,30 @@ def brute_force_sdh(
         positions = np.asarray(particles, dtype=float)
         max_distance = None
     spec = _derive_spec(spec, bucket_width, max_distance, positions)
+    backend = get_backend(kernel)
+
+    fast_width = None
+    if positions.shape[0] > 1:
+        reach = max_distance
+        if reach is None:
+            reach = AABB.of_points(positions).diagonal
+        fast_width = fast_uniform_width(spec, reach)
 
     histogram = DistanceHistogram(spec)
-    computed = 0
-    for distances in iter_self_distance_chunks(
-        positions, chunk=chunk, box_lengths=box_lengths
-    ):
-        histogram.add_counts(
-            spec.bin_counts_query(distances, policy=policy)
+    if fast_width is not None:
+        hist, computed = backend.bin_dense_self(
+            positions, fast_width, spec.num_buckets, box_lengths, chunk=chunk
         )
-        computed += distances.size
+        histogram.counts += hist
+    else:
+        computed = 0
+        for distances in iter_self_distance_chunks(
+            positions, chunk=chunk, box_lengths=box_lengths
+        ):
+            histogram.add_counts(
+                spec.bin_counts_query(distances, policy=policy)
+            )
+            computed += distances.size
     if stats is not None:
         stats.distance_computations += computed
     return histogram
@@ -89,13 +109,15 @@ def brute_force_cross_sdh(
     chunk: int = 2048,
     stats: SDHStats | None = None,
     periodic: bool = False,
+    kernel: str = "auto",
 ) -> DistanceHistogram:
     """Histogram of all cross distances between two particle sets.
 
     Used by the type-restricted query baseline (distances between, say,
     every carbon and every oxygen atom) and by tests of the engines'
     cross-cell arithmetic.  ``periodic`` applies the minimum-image
-    convention over ``a``'s box (both sets must share it).
+    convention over ``a``'s box (both sets must share it).  ``kernel``
+    selects the leaf-resolution backend tier (see :mod:`repro.kernels`).
     """
     box_lengths = None
     if periodic:
@@ -104,15 +126,32 @@ def brute_force_cross_sdh(
         box_lengths = np.asarray(a.box.sides)
     pos_a = a.positions if isinstance(a, ParticleSet) else np.asarray(a, float)
     pos_b = b.positions if isinstance(b, ParticleSet) else np.asarray(b, float)
+    backend = get_backend(kernel)
+
+    fast_width = None
+    if pos_a.shape[0] and pos_b.shape[0]:
+        if periodic:
+            reach = a.max_periodic_distance
+        else:
+            reach = AABB.of_points(np.vstack((pos_a, pos_b))).diagonal
+        fast_width = fast_uniform_width(spec, reach)
+
     histogram = DistanceHistogram(spec)
-    computed = 0
-    for distances in iter_cross_distance_chunks(
-        pos_a, pos_b, chunk=chunk, box_lengths=box_lengths
-    ):
-        histogram.add_counts(
-            spec.bin_counts_query(distances, policy=policy)
+    if fast_width is not None:
+        hist, computed = backend.bin_dense_cross(
+            pos_a, pos_b, fast_width, spec.num_buckets, box_lengths,
+            chunk=chunk,
         )
-        computed += distances.size
+        histogram.counts += hist
+    else:
+        computed = 0
+        for distances in iter_cross_distance_chunks(
+            pos_a, pos_b, chunk=chunk, box_lengths=box_lengths
+        ):
+            histogram.add_counts(
+                spec.bin_counts_query(distances, policy=policy)
+            )
+            computed += distances.size
     if stats is not None:
         stats.distance_computations += computed
     return histogram

@@ -26,6 +26,7 @@ import numpy as np
 from ..data.particles import ParticleSet
 from ..errors import QueryError
 from ..geometry import Region, Relation, cross_distances, pairwise_distances
+from ..kernels import fast_uniform_width, get_backend
 from ..quadtree.node import DensityNode
 from ..quadtree.tree import DensityMapTree
 from .buckets import BucketSpec, OverflowPolicy, UniformBuckets
@@ -45,6 +46,7 @@ def dm_sdh_tree(
     type_pair: tuple[int | str, int | str] | None = None,
     policy: OverflowPolicy = OverflowPolicy.RAISE,
     stats: SDHStats | None = None,
+    kernel: str = "auto",
 ) -> DistanceHistogram:
     """Compute an SDH with the node-recursive DM-SDH engine.
 
@@ -72,6 +74,10 @@ def dm_sdh_tree(
         Overflow policy for distances beyond the last bucket edge.
     stats:
         Optional :class:`SDHStats` receiving operation counts.
+    kernel:
+        Leaf-resolution backend tier (see :mod:`repro.kernels`):
+        ``"auto"`` picks the fastest available, ``"numpy"`` / ``"numba"``
+        pin a tier.  All tiers produce bit-identical histograms.
     """
     if isinstance(data, DensityMapTree):
         tree = data
@@ -87,6 +93,7 @@ def dm_sdh_tree(
         type_pair=type_pair,
         policy=policy,
         stats=stats,
+        kernel=kernel,
     )
     return engine.run()
 
@@ -110,10 +117,19 @@ class TreeSDHEngine:
         type_pair: tuple[int | str, int | str] | None = None,
         policy: OverflowPolicy = OverflowPolicy.RAISE,
         stats: SDHStats | None = None,
+        kernel: str = "auto",
     ):
         self.tree = tree
         self.particles = tree.particles
         self.spec = _resolve_spec(spec, bucket_width, self.particles)
+        # Fast binning applies when the spec is the standard uniform
+        # cover of the reachable range; otherwise leaf batches fall back
+        # to the spec's general bin_counts_query path.
+        self._fast_bin_width = fast_uniform_width(
+            self.spec, self.particles.max_possible_distance
+        )
+        self._kernel_backend = get_backend(kernel)
+        self.kernel = self._kernel_backend.NAME
         if use_mbr and not tree.has_mbr:
             raise QueryError("use_mbr requires a tree built with_mbr=True")
         self.use_mbr = use_mbr
@@ -348,6 +364,16 @@ class TreeSDHEngine:
         for left, right in batches:
             if left.size == 0 or right.size == 0:
                 continue
+            if self._fast_bin_width is not None:
+                hist, computed = self._kernel_backend.bin_dense_cross(
+                    positions[left],
+                    positions[right],
+                    self._fast_bin_width,
+                    self.spec.num_buckets,
+                )
+                self.stats.distance_computations += computed
+                self.histogram.counts += hist
+                continue
             distances = cross_distances(positions[left], positions[right])
             self.stats.distance_computations += distances.size
             self.histogram.add_counts(
@@ -365,6 +391,16 @@ class TreeSDHEngine:
         a, b = self._qualifying_indices(cell)
         if self._type_a is not None and self._type_a != self._type_b:
             if a.size and b.size:
+                if self._fast_bin_width is not None:
+                    hist, computed = self._kernel_backend.bin_dense_cross(
+                        positions[a],
+                        positions[b],
+                        self._fast_bin_width,
+                        self.spec.num_buckets,
+                    )
+                    self.stats.distance_computations += computed
+                    self.histogram.counts += hist
+                    return
                 distances = cross_distances(positions[a], positions[b])
                 self.stats.distance_computations += distances.size
                 self.histogram.add_counts(
@@ -372,6 +408,13 @@ class TreeSDHEngine:
                 )
             return
         if a.size < 2:
+            return
+        if self._fast_bin_width is not None:
+            hist, computed = self._kernel_backend.bin_dense_self(
+                positions[a], self._fast_bin_width, self.spec.num_buckets
+            )
+            self.stats.distance_computations += computed
+            self.histogram.counts += hist
             return
         distances = pairwise_distances(positions[a])
         self.stats.distance_computations += distances.size

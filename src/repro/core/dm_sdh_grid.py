@@ -36,6 +36,7 @@ import numpy as np
 from ..data.particles import ParticleSet
 from ..errors import DistanceOverflowError, QueryError
 from ..geometry import box_pair_bounds
+from ..kernels import expand_products, fast_uniform_width, get_backend
 from ..quadtree.grid import GridPyramid
 from .buckets import BucketSpec, OverflowPolicy, UniformBuckets
 from .heuristics import AllocationContext, Allocator
@@ -67,6 +68,7 @@ def dm_sdh_grid(
     allocator: Allocator | None = None,
     rng: np.random.Generator | int | None = None,
     periodic: bool = False,
+    kernel: str = "auto",
 ) -> DistanceHistogram:
     """Compute an SDH with the vectorized DM-SDH engine.
 
@@ -75,7 +77,9 @@ def dm_sdh_grid(
     dynamics setting); cell resolution then uses torus distance bounds.
 
     Parameters mirror :func:`repro.core.dm_sdh.dm_sdh_tree` where they
-    overlap.  The two extra parameters select approximate mode:
+    overlap.  ``kernel`` selects the leaf-resolution backend (see
+    :mod:`repro.kernels`).  The two extra parameters select approximate
+    mode:
 
     stop_after_levels:
         Visit at most this many density maps below the start map
@@ -99,6 +103,7 @@ def dm_sdh_grid(
         allocator=allocator,
         rng=rng,
         periodic=periodic,
+        kernel=kernel,
     )
     return engine.run()
 
@@ -133,6 +138,7 @@ class GridSDHEngine:
         pair_chunk: int = DEFAULT_PAIR_CHUNK,
         distance_chunk: int = DEFAULT_DISTANCE_CHUNK,
         periodic: bool = False,
+        kernel: str = "auto",
     ):
         self.pyramid = pyramid
         self.particles = pyramid.particles
@@ -173,18 +179,22 @@ class GridSDHEngine:
         # Fast binning path: a standard query whose buckets cover every
         # realizable distance needs no policy checks per distance —
         # a clipped integer division bins exactly like bin_counts_query.
-        self._fast_bin_width: float | None = None
+        # Eligible leaf work routes through the selected kernel backend
+        # (repro.kernels); anything else stays on the inline
+        # bin_counts_query path regardless of the requested tier.
         reach = (
             self.particles.max_periodic_distance
             if self.periodic
             else self.particles.max_possible_distance
         )
-        if (
-            isinstance(self.spec, UniformBuckets)
-            and self.spec.low == 0.0
-            and self.spec.high * (1.0 + 1e-9) >= reach
-        ):
-            self._fast_bin_width = self.spec.width
+        self._fast_bin_width = fast_uniform_width(self.spec, reach)
+        self._kernel_backend = get_backend(kernel)
+        self.kernel = self._kernel_backend.NAME
+        self._box_lengths = (
+            np.asarray(self.particles.box.sides, dtype=np.float64)
+            if self.periodic
+            else None
+        )
         #: Optional observer called with (a_ids, b_ids) for every batch
         #: of leaf-cell pairs whose distances are computed directly —
         #: the access pattern the storage layer replays to count I/O
@@ -381,6 +391,31 @@ class GridSDHEngine:
             self.spec.bin_counts_query(distances, policy=self.policy)
         )
 
+    def _bin_pairs(
+        self, positions: np.ndarray, g1: np.ndarray, g2: np.ndarray
+    ) -> None:
+        """Resolve one enumerated particle-pair batch.
+
+        Kernel-eligible queries (see ``kernels.fast_uniform_width``) go
+        through the selected backend, which fuses distance computation
+        and binning; anything else keeps the inline wrap/einsum path so
+        policy handling and custom buckets behave exactly as before.
+        """
+        if self._fast_bin_width is not None:
+            hist, computed = self._kernel_backend.bin_gathered_pairs(
+                positions,
+                g1,
+                g2,
+                self._fast_bin_width,
+                self.spec.num_buckets,
+                self._box_lengths,
+            )
+            self.stats.distance_computations += computed
+            self.histogram.counts += hist
+            return
+        delta = self._wrap_deltas(positions[g1] - positions[g2])
+        self._bin_distances(np.sqrt(np.einsum("ij,ij->i", delta, delta)))
+
     # ------------------------------------------------------------------
     # Stage 1: intra-cell counts on the start map (Fig. 2 lines 3-5)
     # ------------------------------------------------------------------
@@ -436,17 +471,14 @@ class GridSDHEngine:
         for begin in range(0, cells.size, 4096):
             block = cells[begin : begin + 4096]
             c = counts[block].astype(np.int64)
-            for g1, g2 in _expand_products(
+            for g1, g2 in expand_products(
                 starts[block], c, starts[block], c, self.distance_chunk
             ):
                 keep = g1 < g2
                 g1, g2 = g1[keep], g2[keep]
                 if g1.size == 0:
                     continue
-                delta = self._wrap_deltas(positions[g1] - positions[g2])
-                self._bin_distances(
-                    np.sqrt(np.einsum("ij,ij->i", delta, delta))
-                )
+                self._bin_pairs(positions, g1, g2)
 
     # ------------------------------------------------------------------
     # Stage 2: the level loop
@@ -659,13 +691,10 @@ class GridSDHEngine:
         positions = self.pyramid.sorted_positions
         c1 = counts[a_ids]
         c2 = counts[b_ids]
-        for g1, g2 in _expand_products(
+        for g1, g2 in expand_products(
             starts[a_ids], c1, starts[b_ids], c2, self.distance_chunk
         ):
-            delta = self._wrap_deltas(positions[g1] - positions[g2])
-            self._bin_distances(
-                np.sqrt(np.einsum("ij,ij->i", delta, delta))
-            )
+            self._bin_pairs(positions, g1, g2)
 
     # ------------------------------------------------------------------
     def _allocate(
@@ -703,64 +732,9 @@ class GridSDHEngine:
         return self.pyramid.leaf_level
 
 
-def _expand_products(
-    starts1: np.ndarray,
-    counts1: np.ndarray,
-    starts2: np.ndarray,
-    counts2: np.ndarray,
-    chunk: int,
-) -> Iterator[tuple[np.ndarray, np.ndarray]]:
-    """Global index arrays of all cross products, in bounded chunks.
-
-    Given per-pair CSR slices ``[starts1, starts1+counts1)`` and
-    ``[starts2, starts2+counts2)``, produce index arrays ``(g1, g2)``
-    enumerating every cross combination.  Pairs are grouped into slices
-    whose total product size stays near ``chunk`` (a single huge pair
-    may overshoot); within a slice everything is ``np.repeat``-based.
-    """
-    counts1 = np.asarray(counts1, dtype=np.int64)
-    counts2 = np.asarray(counts2, dtype=np.int64)
-    starts1 = np.asarray(starts1, dtype=np.int64)
-    starts2 = np.asarray(starts2, dtype=np.int64)
-
-    # Group pairs by the partner count c2 (few distinct values at leaf
-    # occupancies near beta): within a group the within-pair decoding
-    # uses a *scalar* divisor, which numpy handles far faster than the
-    # per-element divisor a mixed batch would need.
-    for c2_value in np.unique(counts2):
-        if c2_value == 0:
-            continue
-        group = counts2 == c2_value
-        g_counts1 = counts1[group]
-        g_starts1 = starts1[group]
-        g_starts2 = starts2[group]
-        prod = g_counts1 * c2_value
-        total = int(prod.sum())
-        if total == 0:
-            continue
-        ends = np.cumsum(prod)
-        cut_points = np.searchsorted(
-            ends, np.arange(chunk, total, chunk), side="left"
-        )
-        boundaries = np.unique(
-            np.concatenate(([0], cut_points + 1, [prod.size]))
-        )
-        for s_begin, s_end in zip(boundaries[:-1], boundaries[1:]):
-            pr = prod[s_begin:s_end]
-            live = pr > 0
-            if not live.any():
-                continue
-            pr = pr[live]
-            s1 = g_starts1[s_begin:s_end][live]
-            s2 = g_starts2[s_begin:s_end][live]
-            slice_total = int(pr.sum())
-            offsets = np.cumsum(pr) - pr
-            r = np.arange(slice_total, dtype=np.int64) - np.repeat(
-                offsets, pr
-            )
-            g1 = np.repeat(s1, pr) + r // c2_value
-            g2 = np.repeat(s2, pr) + r % c2_value
-            yield g1, g2
+# Backward-compatible alias: expand_products moved to repro.kernels.csr
+# so the kernel backends can share the CSR enumeration.
+_expand_products = expand_products
 
 
 def _resolve_spec(

@@ -19,14 +19,23 @@ and ``spec`` its resolved :class:`~repro.core.buckets.BucketSpec`.
 The built-in engines (brute / tree / grid / parallel) are registered by
 :mod:`repro.core.query` at import time; external code can plug in more
 without touching the dispatcher.
+
+Capabilities are per-feature ``supports_*`` flags plus the engine's
+:attr:`~EngineCapabilities.kernel_tiers` — the leaf-resolution backends
+(:mod:`repro.kernels`) the engine can execute with.  The pre-kernel
+representations (coarse ``periodic``/``restricted``/... keywords and
+properties, and the original string-set form) keep working for one
+release behind :class:`DeprecationWarning` shims.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterable
 
 from ..errors import QueryError
+from ..kernels import KERNEL_TIERS
 
 __all__ = [
     "EngineCapabilities",
@@ -38,21 +47,185 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+#: Pre-kernel capability vocabulary -> the fields it expands to.  The
+#: coarse ``restricted`` flag covered region and type restrictions
+#: together; it fans out to all three fine-grained flags.
+_LEGACY_FIELDS: dict[str, tuple[str, ...]] = {
+    "periodic": ("supports_periodic",),
+    "restricted": (
+        "supports_region",
+        "supports_type_filter",
+        "supports_type_pair",
+    ),
+    "approximate": ("supports_approximate",),
+    "mbr": ("supports_mbr",),
+    "workers": ("supports_workers",),
+}
+
+
+def _warn_legacy(what: str) -> None:
+    warnings.warn(
+        f"{what} is deprecated; use the supports_*/kernel_tiers "
+        "EngineCapabilities fields (one-release compatibility shim)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+@dataclass(frozen=True, init=False)
 class EngineCapabilities:
     """What query varieties an engine supports.
 
-    Each flag guards one :class:`~repro.core.request.SDHRequest` feature;
-    :meth:`Engine.check` compares the request against these and raises a
-    single :class:`~repro.errors.QueryError` naming every unsupported
-    feature at once.
+    Each flag guards one :class:`~repro.core.request.SDHRequest`
+    feature; :meth:`Engine.check` compares the request against these and
+    raises a single :class:`~repro.errors.QueryError` naming every
+    unsupported feature at once.  :attr:`kernel_tiers` lists the
+    leaf-resolution backends the engine can run with (see
+    :mod:`repro.kernels`); a request pinning ``kernel=`` to a tier the
+    engine does not advertise is rejected the same way.
+
+    The pre-kernel constructor keywords (``periodic``, ``restricted``,
+    ``approximate``, ``mbr``, ``workers``) and the matching read
+    properties still work behind a :class:`DeprecationWarning` for one
+    release.
     """
 
-    periodic: bool = False
-    restricted: bool = False
-    approximate: bool = False
-    mbr: bool = False
-    workers: bool = False
+    supports_periodic: bool = False
+    supports_region: bool = False
+    supports_type_filter: bool = False
+    supports_type_pair: bool = False
+    supports_approximate: bool = False
+    supports_mbr: bool = False
+    supports_workers: bool = False
+    kernel_tiers: tuple[str, ...] = ("numpy",)
+
+    def __init__(
+        self,
+        supports_periodic: bool = False,
+        supports_region: bool = False,
+        supports_type_filter: bool = False,
+        supports_type_pair: bool = False,
+        supports_approximate: bool = False,
+        supports_mbr: bool = False,
+        supports_workers: bool = False,
+        kernel_tiers: Iterable[str] = ("numpy",),
+        **legacy: bool,
+    ):
+        values = {
+            "supports_periodic": bool(supports_periodic),
+            "supports_region": bool(supports_region),
+            "supports_type_filter": bool(supports_type_filter),
+            "supports_type_pair": bool(supports_type_pair),
+            "supports_approximate": bool(supports_approximate),
+            "supports_mbr": bool(supports_mbr),
+            "supports_workers": bool(supports_workers),
+        }
+        if legacy:
+            unknown = sorted(set(legacy) - set(_LEGACY_FIELDS))
+            if unknown:
+                raise QueryError(
+                    f"unknown EngineCapabilities field(s) {unknown}; "
+                    f"known: {sorted(values) + ['kernel_tiers']} "
+                    f"(deprecated: {sorted(_LEGACY_FIELDS)})"
+                )
+            _warn_legacy(
+                "constructing EngineCapabilities with the "
+                f"{sorted(legacy)} keyword(s)"
+            )
+            for key, flag in legacy.items():
+                for name in _LEGACY_FIELDS[key]:
+                    values[name] = bool(flag)
+        for name, flag in values.items():
+            object.__setattr__(self, name, flag)
+        object.__setattr__(
+            self, "kernel_tiers", _normalize_tiers(kernel_tiers)
+        )
+
+    # -- deprecated pre-kernel read API --------------------------------
+    @property
+    def periodic(self) -> bool:
+        _warn_legacy("EngineCapabilities.periodic")
+        return self.supports_periodic
+
+    @property
+    def restricted(self) -> bool:
+        _warn_legacy("EngineCapabilities.restricted")
+        return (
+            self.supports_region
+            and self.supports_type_filter
+            and self.supports_type_pair
+        )
+
+    @property
+    def approximate(self) -> bool:
+        _warn_legacy("EngineCapabilities.approximate")
+        return self.supports_approximate
+
+    @property
+    def mbr(self) -> bool:
+        _warn_legacy("EngineCapabilities.mbr")
+        return self.supports_mbr
+
+    @property
+    def workers(self) -> bool:
+        _warn_legacy("EngineCapabilities.workers")
+        return self.supports_workers
+
+
+def _normalize_tiers(tiers: Iterable[str]) -> tuple[str, ...]:
+    """Validate and canonicalize a kernel-tier declaration."""
+    if isinstance(tiers, str):
+        tiers = (tiers,)
+    seen: list[str] = []
+    for tier in tiers:
+        name = str(tier).lower()
+        if name not in KERNEL_TIERS:
+            raise QueryError(
+                f"unknown kernel tier {tier!r} in EngineCapabilities; "
+                f"known tiers: {KERNEL_TIERS}"
+            )
+        if name not in seen:
+            seen.append(name)
+    if not seen:
+        raise QueryError(
+            "EngineCapabilities.kernel_tiers must name at least one tier"
+        )
+    if "numpy" not in seen:
+        raise QueryError(
+            "EngineCapabilities.kernel_tiers must include the 'numpy' "
+            "fallback tier"
+        )
+    return tuple(seen)
+
+
+def _coerce_capabilities(capabilities) -> EngineCapabilities:
+    """Accept the deprecated string-set capability form.
+
+    ``register_engine(..., capabilities={"periodic", "restricted"})``
+    predates the dataclass; keep it working for one release.
+    """
+    if isinstance(capabilities, EngineCapabilities):
+        return capabilities
+    if isinstance(capabilities, (set, frozenset, list, tuple)):
+        names = [str(item) for item in capabilities]
+        unknown = sorted(set(names) - set(_LEGACY_FIELDS))
+        if unknown:
+            raise QueryError(
+                f"unknown capability string(s) {unknown}; "
+                f"known: {sorted(_LEGACY_FIELDS)}"
+            )
+        _warn_legacy(
+            "registering an engine with a capability string set"
+        )
+        values: dict[str, bool] = {}
+        for name in names:
+            for fieldname in _LEGACY_FIELDS[name]:
+                values[fieldname] = True
+        return EngineCapabilities(**values)
+    raise QueryError(
+        "capabilities must be an EngineCapabilities instance "
+        "(or the deprecated capability string set)"
+    )
 
 
 @dataclass(frozen=True)
@@ -69,20 +242,30 @@ class Engine:
         """Raise :class:`QueryError` if the request needs missing features."""
         caps = self.capabilities
         missing = []
-        if request.periodic and not caps.periodic:
+        if request.periodic and not caps.supports_periodic:
             missing.append("periodic boundaries")
-        if request.restricted and not caps.restricted:
-            missing.append("restricted queries")
-        if request.approximate and not caps.approximate:
+        if request.region is not None and not caps.supports_region:
+            missing.append("region-restricted queries")
+        if (
+            request.type_filter is not None
+            and not caps.supports_type_filter
+        ):
+            missing.append("type-restricted queries")
+        if request.type_pair is not None and not caps.supports_type_pair:
+            missing.append("type-pair-restricted queries")
+        if request.approximate and not caps.supports_approximate:
             missing.append("approximate mode")
-        if request.use_mbr and not caps.mbr:
+        if request.use_mbr and not caps.supports_mbr:
             missing.append("MBR resolution")
         if (
             request.workers is not None
             and request.workers > 1
-            and not caps.workers
+            and not caps.supports_workers
         ):
             missing.append("multi-process workers")
+        kernel = getattr(request, "kernel", "auto")
+        if kernel != "auto" and kernel not in caps.kernel_tiers:
+            missing.append(f"kernel tier {kernel!r}")
         if missing:
             raise QueryError(
                 f"engine {self.name!r} does not support "
@@ -101,8 +284,12 @@ def register_engine(
 ) -> Engine:
     """Register an engine under ``name`` and return the registry entry.
 
-    ``replace=False`` (the default) refuses to shadow an existing
-    registration, so accidental double-registration fails loudly.
+    ``capabilities`` must be an :class:`EngineCapabilities` (the
+    deprecated string-set form is still coerced, with a warning); its
+    kernel-tier declaration is validated at registration time so a bad
+    tier fails here rather than at query time.  ``replace=False`` (the
+    default) refuses to shadow an existing registration, so accidental
+    double-registration fails loudly.
     """
     if not isinstance(name, str) or not name:
         raise QueryError("engine name must be a non-empty string")
@@ -114,11 +301,14 @@ def register_engine(
             f"engine {key!r} is already registered; pass replace=True "
             "to override"
         )
-    entry = Engine(
-        name=key,
-        run=run,
-        capabilities=capabilities or EngineCapabilities(),
-    )
+    if capabilities is None:
+        capabilities = EngineCapabilities()
+    else:
+        capabilities = _coerce_capabilities(capabilities)
+    # Re-validate even for ready-made instances: dataclasses.replace()
+    # bypasses __init__-time normalization on some construction paths.
+    _normalize_tiers(capabilities.kernel_tiers)
+    entry = Engine(name=key, run=run, capabilities=capabilities)
     _REGISTRY[key] = entry
     return entry
 
@@ -147,6 +337,13 @@ def get_engine(name: str) -> Engine:
     return entry
 
 
-def available_engines() -> tuple[str, ...]:
-    """Sorted names of every registered engine (``auto`` not included)."""
-    return tuple(sorted(_REGISTRY))
+def available_engines() -> dict[str, EngineCapabilities]:
+    """Every registered engine's capabilities, keyed by sorted name.
+
+    Returns a mapping (``auto`` not included).  Iterating it yields the
+    engine names, so pre-kernel call sites that treated the return value
+    as a name sequence (``list(...)``, ``for name in ...``, ``"grid" in
+    ...``) keep working unchanged; the values expose each engine's
+    :class:`EngineCapabilities`, including its ``kernel_tiers``.
+    """
+    return {name: _REGISTRY[name].capabilities for name in sorted(_REGISTRY)}

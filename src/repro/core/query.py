@@ -37,6 +37,7 @@ from ..quadtree.tree import DensityMapTree
 from .approximate import adm_sdh
 from .brute_force import brute_force_sdh
 from .buckets import BucketSpec, OverflowPolicy
+from ..kernels import available_kernel_tiers
 from .dm_sdh import dm_sdh_tree
 from .dm_sdh_grid import dm_sdh_grid
 from .engines import EngineCapabilities, get_engine, register_engine
@@ -68,16 +69,17 @@ def compute_sdh(
     ``stats`` and ``rng`` are runtime arguments (counters and sampling
     randomness), not part of the query itself.
 
-    Two shims keep older call styles working:
+    Two shims keep older call styles working, both deprecated in favour
+    of an explicit :class:`SDHRequest` (one-release compatibility):
 
     * plain keywords (``compute_sdh(data, num_buckets=8,
       engine="grid")``) build the request internally — same semantics,
-      no warning;
+      with a :class:`DeprecationWarning`;
     * a bare number or :class:`BucketSpec` as the second positional
       argument is read as ``bucket_width`` / ``spec``.
 
     Passing *both* a request and keyword overrides is ambiguous and
-    deprecated: the keywords win, a :class:`DeprecationWarning` is
+    also deprecated: the keywords win, a :class:`DeprecationWarning` is
     emitted, and callers should use ``request.replace(...)`` instead.
     """
     request = _coerce_request(request, kwargs)
@@ -149,6 +151,13 @@ def _coerce_request(request, kwargs: dict) -> SDHRequest:
             )
         request = None
     if request is None:
+        if kwargs:
+            warnings.warn(
+                "keyword-style compute_sdh is deprecated; pass an "
+                "SDHRequest (one-release compatibility shim)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
         request = SDHRequest(**kwargs)
     elif kwargs:
         warnings.warn(
@@ -176,11 +185,13 @@ def _run_brute(particles, request, spec, *, stats, rng):
             return brute_force_cross_sdh(
                 particles_a, particles_b, spec, policy=request.policy,
                 stats=stats or SDHStats(), periodic=request.periodic,
+                kernel=request.kernel,
             )
         particles = particles_a
     return brute_force_sdh(
         particles, spec=spec, policy=request.policy,
         stats=stats or SDHStats(), periodic=request.periodic,
+        kernel=request.kernel,
     )
 
 
@@ -195,6 +206,7 @@ def _run_tree(particles, request, spec, *, stats, rng):
         type_pair=request.type_pair,
         policy=request.policy,
         stats=stats,
+        kernel=request.kernel,
     )
 
 
@@ -217,6 +229,7 @@ def _run_grid(particles, request, spec, *, stats, rng):
         return dm_sdh_grid(
             subset, spec=spec, use_mbr=request.use_mbr,
             policy=request.policy, stats=stats, periodic=request.periodic,
+            kernel=request.kernel,
         )
 
     if request.restricted:
@@ -233,6 +246,7 @@ def _run_parallel(particles, request, spec, *, stats, rng):
         return parallel_sdh(
             subset, spec=spec, workers=request.workers,
             policy=request.policy, stats=stats, periodic=request.periodic,
+            kernel=request.kernel,
         )
 
     if request.restricted:
@@ -435,6 +449,7 @@ class SDHQuery:
                 type_pair=request.type_pair,
                 policy=request.policy,
                 stats=stats,
+                kernel=request.kernel,
             )
         if request.approximate:
             return adm_sdh(
@@ -459,12 +474,12 @@ class SDHQuery:
                     return parallel_sdh(
                         subset, spec=spec, workers=request.workers,
                         policy=request.policy, stats=stats,
-                        periodic=request.periodic,
+                        periodic=request.periodic, kernel=request.kernel,
                     )
                 return dm_sdh_grid(
                     subset, spec=spec, use_mbr=False,
                     policy=request.policy, stats=stats,
-                    periodic=request.periodic,
+                    periodic=request.periodic, kernel=request.kernel,
                 )
 
             return _restricted_subsets(
@@ -476,7 +491,7 @@ class SDHQuery:
             return parallel_sdh(
                 self._pyramid, spec=spec, workers=request.workers,
                 policy=request.policy, stats=stats,
-                periodic=request.periodic,
+                periodic=request.periodic, kernel=request.kernel,
             )
         return dm_sdh_grid(
             self._pyramid,
@@ -485,6 +500,7 @@ class SDHQuery:
             policy=request.policy,
             stats=stats,
             periodic=request.periodic,
+            kernel=request.kernel,
         )
 
     def histogram(
@@ -504,6 +520,7 @@ class SDHQuery:
         in_index: bool = False,
         workers: int | None = None,
         periodic: bool = False,
+        kernel: str = "auto",
     ) -> DistanceHistogram:
         """Keyword shim over :meth:`run`.
 
@@ -529,6 +546,7 @@ class SDHQuery:
             policy=policy,
             periodic=periodic,
             workers=workers,
+            kernel=kernel,
         )
         return self.run(request, stats=stats, rng=rng)
 
@@ -577,26 +595,52 @@ def _require_distinct_pair(particles: ParticleSet, pair) -> None:
 register_engine(
     "brute",
     _run_brute,
-    EngineCapabilities(periodic=True, restricted=True, mbr=True),
+    EngineCapabilities(
+        supports_periodic=True,
+        supports_region=True,
+        supports_type_filter=True,
+        supports_type_pair=True,
+        supports_mbr=True,
+        kernel_tiers=available_kernel_tiers(),
+    ),
     replace=True,
 )
 register_engine(
     "tree",
     _run_tree,
-    EngineCapabilities(restricted=True, mbr=True),
+    EngineCapabilities(
+        supports_region=True,
+        supports_type_filter=True,
+        supports_type_pair=True,
+        supports_mbr=True,
+        kernel_tiers=available_kernel_tiers(),
+    ),
     replace=True,
 )
 register_engine(
     "grid",
     _run_grid,
     EngineCapabilities(
-        periodic=True, restricted=True, approximate=True, mbr=True
+        supports_periodic=True,
+        supports_region=True,
+        supports_type_filter=True,
+        supports_type_pair=True,
+        supports_approximate=True,
+        supports_mbr=True,
+        kernel_tiers=available_kernel_tiers(),
     ),
     replace=True,
 )
 register_engine(
     "parallel",
     _run_parallel,
-    EngineCapabilities(periodic=True, restricted=True, workers=True),
+    EngineCapabilities(
+        supports_periodic=True,
+        supports_region=True,
+        supports_type_filter=True,
+        supports_type_pair=True,
+        supports_workers=True,
+        kernel_tiers=available_kernel_tiers(),
+    ),
     replace=True,
 )

@@ -80,6 +80,12 @@ class SDHRequest:
         strategy for ``engine="auto"`` requests (and enforce any
         latency budget); ``"off"`` restores the static resolution rule
         (grid, or parallel when ``workers > 1``).
+    kernel:
+        The leaf-resolution kernel tier (see :mod:`repro.kernels`):
+        ``"auto"`` picks the fastest available backend (numba when
+        installed, numpy otherwise); ``"numpy"`` / ``"numba"`` pin one.
+        Pinning ``"numba"`` on a host without numba is rejected by the
+        engine capability check.
     """
 
     bucket_width: float | None = None
@@ -98,6 +104,7 @@ class SDHRequest:
     workers: int | None = None
     latency_budget_ms: float | None = None
     planner: str = "auto"
+    kernel: str = "auto"
 
     # ------------------------------------------------------------------
     # Derived properties
@@ -150,6 +157,8 @@ class SDHRequest:
             changes["levels"] = int(self.levels)
         if isinstance(self.planner, str) and self.planner != self.planner.lower():
             changes["planner"] = self.planner.lower()
+        if isinstance(self.kernel, str) and self.kernel != self.kernel.lower():
+            changes["kernel"] = self.kernel.lower()
         if self.latency_budget_ms is not None and not isinstance(
             self.latency_budget_ms, float
         ):
@@ -223,6 +232,13 @@ class SDHRequest:
         if self.planner not in ("auto", "off"):
             raise QueryError(
                 f"planner must be 'auto' or 'off', got {self.planner!r}"
+            )
+        from ..kernels import KERNEL_TIERS
+
+        if self.kernel not in ("auto", *KERNEL_TIERS):
+            raise QueryError(
+                f"kernel must be one of {('auto', *KERNEL_TIERS)}, "
+                f"got {self.kernel!r}"
             )
         if self.latency_budget_ms is not None:
             if not (

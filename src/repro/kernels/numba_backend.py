@@ -1,0 +1,204 @@
+"""Numba leaf-resolution backend: tiled, multi-threaded pair histograms.
+
+CADISHI-style design (see ``docs/KERNELS.md``): the dense kernels walk
+point blocks of :data:`BLOCK` rows so both operands of the inner loop
+stay cache-resident, and every ``prange`` lane accumulates into its own
+private ``int64`` histogram row; the rows are merged by integer
+summation afterwards, which is exactly order-independent — the merge
+cannot perturb the result no matter how the scheduler interleaves
+lanes.  Each distance is computed with the identical sequence of
+IEEE-754 double operations as the numpy backend (no fastmath, no
+reassociation), so histograms are bit-identical to the numpy tier; the
+differential verify harness enforces this across all fuzz families.
+
+This module imports ``numba`` unconditionally — it must only be
+imported through :func:`repro.kernels.get_backend`, which guards on
+:data:`repro.kernels.NUMBA_AVAILABLE`.  Compilation is lazy (first
+call) and cached on disk via ``cache=True``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import numba
+from numba import njit, prange
+
+__all__ = ["NAME", "bin_gathered_pairs", "bin_dense_self", "bin_dense_cross"]
+
+NAME = "numba"
+
+#: Point-block edge of the dense kernels.  256 rows x 3 axes x 8 bytes
+#: = 6 KiB per operand block — two blocks plus a histogram row fit in
+#: L1/L2 comfortably.
+BLOCK = 256
+
+#: Work-chunk multiplier for the gathered-pairs kernel: more chunks
+#: than threads smooths load imbalance from uneven pair batches.
+_CHUNKS_PER_THREAD = 8
+
+
+def _num_chunks(n_items: int) -> int:
+    return max(1, min(n_items, numba.get_num_threads() * _CHUNKS_PER_THREAD))
+
+
+@njit(parallel=True, cache=True)
+def _gathered_pairs_kernel(
+    positions, idx_a, idx_b, width, nbins, box, periodic, nchunks
+):  # pragma: no cover - compiled
+    hist = np.zeros((nchunks, nbins), dtype=np.int64)
+    n = idx_a.shape[0]
+    dim = positions.shape[1]
+    for t in prange(nchunks):
+        for p in range(t, n, nchunks):
+            a = idx_a[p]
+            b = idx_b[p]
+            d2 = 0.0
+            for ax in range(dim):
+                delta = positions[a, ax] - positions[b, ax]
+                if periodic:
+                    delta = delta - box[ax] * np.rint(delta / box[ax])
+                d2 += delta * delta
+            k = np.int64(np.sqrt(d2) / width)
+            if k >= nbins:
+                k = nbins - 1
+            hist[t, k] += 1
+    return hist
+
+
+@njit(parallel=True, cache=True)
+def _dense_self_kernel(
+    positions, width, nbins, box, periodic, block
+):  # pragma: no cover - compiled
+    n = positions.shape[0]
+    dim = positions.shape[1]
+    nblocks = (n + block - 1) // block
+    rows = nblocks if nblocks > 0 else 1
+    hist = np.zeros((rows, nbins), dtype=np.int64)
+    for bi in prange(nblocks):
+        i0 = bi * block
+        i1 = min(n, i0 + block)
+        for bj in range(bi, nblocks):
+            j0 = bj * block
+            j1 = min(n, j0 + block)
+            for i in range(i0, i1):
+                js = i + 1 if bi == bj else j0
+                for j in range(js, j1):
+                    d2 = 0.0
+                    for ax in range(dim):
+                        delta = positions[i, ax] - positions[j, ax]
+                        if periodic:
+                            delta = delta - box[ax] * np.rint(
+                                delta / box[ax]
+                            )
+                        d2 += delta * delta
+                    k = np.int64(np.sqrt(d2) / width)
+                    if k >= nbins:
+                        k = nbins - 1
+                    hist[bi, k] += 1
+    return hist
+
+
+@njit(parallel=True, cache=True)
+def _dense_cross_kernel(
+    pos_a, pos_b, width, nbins, box, periodic, block
+):  # pragma: no cover - compiled
+    na = pos_a.shape[0]
+    nb = pos_b.shape[0]
+    dim = pos_a.shape[1]
+    nblocks = (na + block - 1) // block
+    rows = nblocks if nblocks > 0 else 1
+    hist = np.zeros((rows, nbins), dtype=np.int64)
+    for bi in prange(nblocks):
+        i0 = bi * block
+        i1 = min(na, i0 + block)
+        for j0 in range(0, nb, block):
+            j1 = min(nb, j0 + block)
+            for i in range(i0, i1):
+                for j in range(j0, j1):
+                    d2 = 0.0
+                    for ax in range(dim):
+                        delta = pos_a[i, ax] - pos_b[j, ax]
+                        if periodic:
+                            delta = delta - box[ax] * np.rint(
+                                delta / box[ax]
+                            )
+                        d2 += delta * delta
+                    k = np.int64(np.sqrt(d2) / width)
+                    if k >= nbins:
+                        k = nbins - 1
+                    hist[bi, k] += 1
+    return hist
+
+
+def _prep(positions: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(positions, dtype=np.float64)
+
+
+def _box_args(
+    box_lengths: np.ndarray | None, dim: int
+) -> tuple[np.ndarray, bool]:
+    if box_lengths is None:
+        # Never read by the kernel (periodic=False); ones keep the
+        # division well-defined for any speculative execution.
+        return np.ones(dim, dtype=np.float64), False
+    box = np.ascontiguousarray(
+        np.broadcast_to(np.asarray(box_lengths, dtype=np.float64), (dim,))
+    )
+    return box, True
+
+
+def bin_gathered_pairs(
+    positions: np.ndarray,
+    idx_a: np.ndarray,
+    idx_b: np.ndarray,
+    width: float,
+    nbins: int,
+    box_lengths: np.ndarray | None = None,
+    chunk: int = 2048,
+) -> tuple[np.ndarray, int]:
+    """Histogram the distances of explicitly enumerated index pairs."""
+    positions = _prep(positions)
+    idx_a = np.ascontiguousarray(idx_a, dtype=np.int64)
+    idx_b = np.ascontiguousarray(idx_b, dtype=np.int64)
+    box, periodic = _box_args(box_lengths, positions.shape[1])
+    hist = _gathered_pairs_kernel(
+        positions, idx_a, idx_b, float(width), int(nbins),
+        box, periodic, _num_chunks(idx_a.shape[0]),
+    )
+    return hist.sum(axis=0), int(idx_a.shape[0])
+
+
+def bin_dense_self(
+    positions: np.ndarray,
+    width: float,
+    nbins: int,
+    box_lengths: np.ndarray | None = None,
+    chunk: int = 2048,
+) -> tuple[np.ndarray, int]:
+    """Histogram all ``n(n-1)/2`` intra-set distances."""
+    positions = _prep(positions)
+    n = positions.shape[0]
+    box, periodic = _box_args(box_lengths, positions.shape[1])
+    hist = _dense_self_kernel(
+        positions, float(width), int(nbins), box, periodic, BLOCK
+    )
+    return hist.sum(axis=0), n * (n - 1) // 2
+
+
+def bin_dense_cross(
+    pos_a: np.ndarray,
+    pos_b: np.ndarray,
+    width: float,
+    nbins: int,
+    box_lengths: np.ndarray | None = None,
+    chunk: int = 2048,
+) -> tuple[np.ndarray, int]:
+    """Histogram all ``len(a) * len(b)`` cross-set distances."""
+    pos_a = _prep(pos_a)
+    pos_b = _prep(pos_b)
+    box, periodic = _box_args(box_lengths, pos_a.shape[1])
+    hist = _dense_cross_kernel(
+        pos_a, pos_b, float(width), int(nbins), box, periodic, BLOCK
+    )
+    return hist.sum(axis=0), int(pos_a.shape[0]) * int(pos_b.shape[0])

@@ -71,6 +71,7 @@ def parallel_sdh(
     mp_context: multiprocessing.context.BaseContext | str | None = None,
     pair_chunk: int = DEFAULT_PAIR_CHUNK,
     distance_chunk: int = DEFAULT_DISTANCE_CHUNK,
+    kernel: str = "auto",
 ) -> DistanceHistogram:
     """Compute an exact SDH on multiple cores; bit-identical to the grid engine.
 
@@ -87,6 +88,10 @@ def parallel_sdh(
     mp_context:
         A :mod:`multiprocessing` context or start-method name; the
         platform default (``fork`` on Linux) when None.
+    kernel:
+        Leaf-resolution backend tier (see :mod:`repro.kernels`) used by
+        every worker; processes and SIMD compose.  All tiers are
+        bit-identical, so the merge stays exact.
 
     Approximate mode and MBR resolution are not offered here — the
     allocator heuristics sample RNG state per batch, which has no
@@ -104,7 +109,7 @@ def parallel_sdh(
     if workers == 1:
         return dm_sdh_grid(
             pyramid, spec=spec, bucket_width=bucket_width, policy=policy,
-            stats=stats, periodic=periodic,
+            stats=stats, periodic=periodic, kernel=kernel,
         )
     if tasks_per_worker < 1:
         raise QueryError(
@@ -121,6 +126,7 @@ def parallel_sdh(
         periodic=periodic,
         pair_chunk=pair_chunk,
         distance_chunk=distance_chunk,
+        kernel=kernel,
     )
     start = engine._start_level()
     leaf = pyramid.leaf_level
@@ -159,6 +165,7 @@ def parallel_sdh(
         "box_hi": tuple(pyramid.particles.box.hi),
         "pair_chunk": pair_chunk,
         "distance_chunk": distance_chunk,
+        "kernel": engine.kernel,
     }
     registry = get_registry()
     task_seconds = registry.histogram(
@@ -330,6 +337,7 @@ def _init_worker(descriptor, config) -> None:
         periodic=config["periodic"],
         pair_chunk=config["pair_chunk"],
         distance_chunk=config["distance_chunk"],
+        kernel=config["kernel"],
     )
 
 

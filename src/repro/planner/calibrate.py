@@ -37,8 +37,11 @@ __all__ = [
     "save_calibration",
 ]
 
-#: On-disk schema version of the calibration file.
-CALIBRATION_VERSION = 1
+#: On-disk schema version of the calibration file.  Version 2 added the
+#: ``dist_pair_numba_s`` kernel-tier constant; older files are rejected
+#: (the lazy accessor then falls back to defaults) so stale constants
+#: never price the compiled tier.
+CALIBRATION_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -198,10 +201,26 @@ def calibrate(
     spec = UniformBuckets.with_count(data.max_possible_distance, 16)
     stats = SDHStats()
     started = time.perf_counter()
-    brute_force_sdh(data, spec=spec, stats=stats)
+    brute_force_sdh(data, spec=spec, stats=stats, kernel="numpy")
     brute_seconds = time.perf_counter() - started
     dist_pair_s = _per_op(brute_seconds, stats.distance_computations,
                           defaults.dist_pair_s)
+
+    # -- direct distances (compiled kernel tier, when installed) -------
+    from ..kernels import NUMBA_AVAILABLE
+
+    dist_pair_numba_s = defaults.dist_pair_numba_s
+    if NUMBA_AVAILABLE:
+        # First call pays JIT compilation; measure the second.
+        brute_force_sdh(data, spec=spec, kernel="numba")
+        stats = SDHStats()
+        started = time.perf_counter()
+        brute_force_sdh(data, spec=spec, stats=stats, kernel="numba")
+        dist_pair_numba_s = _per_op(
+            time.perf_counter() - started,
+            stats.distance_computations,
+            defaults.dist_pair_numba_s,
+        )
 
     # -- pyramid build -------------------------------------------------
     build_data = uniform(probe(20000), dim=2, rng=seed + 1)
@@ -218,7 +237,9 @@ def calibrate(
     )
     stats = SDHStats()
     started = time.perf_counter()
-    dm_sdh_grid(pyramid, spec=grid_spec, stats=stats)
+    # Pinned to numpy so subtracting dist_pair_s leaves pure resolve
+    # time, whatever tiers this host has installed.
+    dm_sdh_grid(pyramid, spec=grid_spec, stats=stats, kernel="numpy")
     grid_seconds = time.perf_counter() - started
     cell_pair_s = _per_op(
         max(grid_seconds - stats.distance_computations * dist_pair_s, 0.0),
@@ -239,7 +260,7 @@ def calibrate(
     )
     stats = SDHStats()
     started = time.perf_counter()
-    dm_sdh_tree(tree, spec=tree_spec, stats=stats)
+    dm_sdh_tree(tree, spec=tree_spec, stats=stats, kernel="numpy")
     tree_seconds = time.perf_counter() - started
     node_pair_s = _per_op(
         max(tree_seconds - stats.distance_computations * dist_pair_s, 0.0),
@@ -282,6 +303,7 @@ def calibrate(
 
     constants = CostConstants(
         dist_pair_s=dist_pair_s,
+        dist_pair_numba_s=dist_pair_numba_s,
         cell_pair_s=cell_pair_s,
         node_pair_s=node_pair_s,
         build_per_particle_s=build_per_particle_s,

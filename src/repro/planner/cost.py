@@ -55,8 +55,12 @@ class CostConstants:
     replaces them with measured values.  All values are seconds.
     """
 
-    #: Per pairwise distance in the vectorized (numpy) kernels.
+    #: Per pairwise distance in the vectorized (numpy) kernel tier.
     dist_pair_s: float = 6.0e-9
+    #: Per pairwise distance in the compiled (numba) kernel tier.
+    #: Only used when the tier is available; the default assumes the
+    #: typical ~5x speedup of the tiled parallel kernels.
+    dist_pair_numba_s: float = 1.2e-9
     #: Per cell-pair resolution op in the vectorized grid engine.
     cell_pair_s: float = 4.0e-8
     #: Per cell-pair resolution op in the Python node-tree engine.
@@ -191,6 +195,7 @@ def estimate_cost(
     levels: int | None = None,
     error_bound: float | None = None,
     cache_hot: bool = False,
+    kernel: str = "numpy",
 ) -> CostEstimate:
     """Predict the cost of running one engine on one workload.
 
@@ -208,7 +213,13 @@ def estimate_cost(
     cache_hot:
         Whether a built plan (pyramid) is already cached, so the build
         cost is sunk (the service's plan-cache scenario).
+    kernel:
+        Leaf-resolution kernel tier pricing the per-distance constant:
+        ``"numpy"`` uses ``dist_pair_s``, ``"numba"``
+        ``dist_pair_numba_s``.  All tiers are bit-identical, so this
+        only moves the predicted seconds, never the answer.
     """
+    dist_s = _dist_pair_seconds(constants, kernel)
     if mode == "adm":
         return _adm_cost(
             profile, constants, levels=levels, error_bound=error_bound,
@@ -216,7 +227,7 @@ def estimate_cost(
         )
     if engine == "brute":
         ops = profile.num_pairs
-        seconds = constants.floor_s + ops * constants.dist_pair_s
+        seconds = constants.floor_s + ops * dist_s
         return CostEstimate(
             seconds, ops, 0.0,
             f"N(N-1)/2 = {ops:.3g} direct distances",
@@ -228,6 +239,7 @@ def estimate_cost(
             build_s=0.0 if cache_hot
             else profile.n * constants.tree_build_per_particle_s,
             label="tree",
+            dist_s=dist_s,
         )
     if engine == "grid":
         return _exact_dm_cost(
@@ -236,6 +248,7 @@ def estimate_cost(
             build_s=0.0 if cache_hot
             else profile.n * constants.build_per_particle_s,
             label="grid",
+            dist_s=dist_s,
         )
     if engine == "parallel":
         core = _exact_dm_cost(
@@ -243,6 +256,7 @@ def estimate_cost(
             cell_op_s=constants.cell_pair_s,
             build_s=0.0,
             label="parallel",
+            dist_s=dist_s,
         )
         workers = max(int(workers), 1)
         build = (
@@ -264,6 +278,15 @@ def estimate_cost(
     raise QueryError(f"no cost model for engine {engine!r}")
 
 
+def _dist_pair_seconds(constants: CostConstants, kernel: str) -> float:
+    """Seconds per leaf distance under a kernel tier."""
+    if kernel == "numba":
+        return constants.dist_pair_numba_s
+    if kernel in ("numpy", "auto"):
+        return constants.dist_pair_s
+    raise QueryError(f"no cost model for kernel tier {kernel!r}")
+
+
 def _exact_dm_cost(
     profile: WorkloadProfile,
     constants: CostConstants,
@@ -271,6 +294,7 @@ def _exact_dm_cost(
     cell_op_s: float,
     build_s: float,
     label: str,
+    dist_s: float | None = None,
 ) -> CostEstimate:
     """Eq. (3) resolution ops + Theorem-2 leaf distances for DM-SDH."""
     resolve_ops = geometric_progression_cost(
@@ -281,11 +305,13 @@ def _exact_dm_cost(
     # below the start leaves everything unresolved.
     alpha = profile.alpha_after(profile.levels_below)
     leaf_distances = alpha * profile.num_pairs
+    if dist_s is None:
+        dist_s = constants.dist_pair_s
     seconds = (
         constants.floor_s
         + build_s
         + resolve_ops * cell_op_s
-        + leaf_distances * constants.dist_pair_s
+        + leaf_distances * dist_s
     )
     return CostEstimate(
         seconds,

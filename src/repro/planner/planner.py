@@ -31,6 +31,7 @@ from ..core.analysis import choose_levels_for_error
 from ..core.engines import available_engines, get_engine
 from ..core.request import SDHRequest
 from ..errors import QueryError
+from ..kernels import available_kernel_tiers, resolve_kernel
 from ..observability import get_registry, trace_span
 from .calibrate import Calibration, get_calibration
 from .cost import CostEstimate, WorkloadProfile, estimate_cost, profile_workload
@@ -55,6 +56,7 @@ class PlanCandidate:
     estimate: CostEstimate
     request: SDHRequest
     admitted: bool = True
+    kernel: str = "numpy"
 
     def describe(self) -> str:
         parts = [self.engine, self.mode]
@@ -62,12 +64,15 @@ class PlanCandidate:
             parts.append(f"workers={self.workers}")
         if self.mode == "adm":
             parts.append(f"m={self.levels}")
+        if self.kernel != "numpy":
+            parts.append(f"kernel={self.kernel}")
         return " ".join(parts)
 
     def to_dict(self) -> dict:
         body = {
             "engine": self.engine,
             "mode": self.mode,
+            "kernel": self.kernel,
             "predicted_ms": round(self.estimate.seconds * 1000.0, 3),
             "predicted_operations": self.estimate.operations,
             "predicted_error": self.estimate.error,
@@ -115,6 +120,7 @@ class ExecutionPlan:
         return {
             "engine": self.chosen.engine,
             "mode": self.chosen.mode,
+            "kernel": self.chosen.kernel,
             "workers": self.chosen.workers,
             "levels": self.chosen.levels,
             "predicted_ms": round(
@@ -227,6 +233,7 @@ def _replace_admitted(
         estimate=candidate.estimate,
         request=candidate.request,
         admitted=admitted,
+        kernel=candidate.kernel,
     )
 
 
@@ -255,12 +262,17 @@ def _enumerate_candidates(
             "grid", profile, constants,
             mode="adm", levels=levels, cache_hot=cache_hot,
         )
-        executable = _executable(request, "grid", request.workers)
+        # ADM's sampling allocator never reaches the leaf kernels, so
+        # the tier is carried through unchanged but not priced.
+        executable = _executable(
+            request, "grid", request.workers, request.kernel
+        )
         return [
             PlanCandidate(
                 engine="grid", mode="adm",
                 workers=max(request.workers or 1, 1),
                 levels=levels, estimate=estimate, request=executable,
+                kernel=resolve_kernel(request.kernel),
             )
         ]
 
@@ -280,26 +292,44 @@ def _enumerate_candidates(
             engine.check(request.replace(engine=name))
         except QueryError:
             continue  # engine lacks a feature this request needs
+        tiers = _kernel_candidates(engine, request)
         if name == "parallel":
             forced = request.engine == "parallel"
             for workers in _worker_candidates(request, calibration, forced):
-                estimate = estimate_cost(
-                    name, profile, constants,
-                    workers=workers, cache_hot=cache_hot,
-                )
+                for tier in tiers:
+                    estimate = estimate_cost(
+                        name, profile, constants,
+                        workers=workers, cache_hot=cache_hot, kernel=tier,
+                    )
+                    candidates.append(
+                        PlanCandidate(
+                            engine=name, mode="exact", workers=workers,
+                            levels=None, estimate=estimate,
+                            request=_executable(request, name, workers,
+                                                tier),
+                            kernel=tier,
+                        )
+                    )
+        else:
+            priced = True
+            for tier in tiers:
+                try:
+                    estimate = estimate_cost(
+                        name, profile, constants, cache_hot=cache_hot,
+                        kernel=tier,
+                    )
+                except QueryError:
+                    priced = False
+                    break
                 candidates.append(
                     PlanCandidate(
-                        engine=name, mode="exact", workers=workers,
-                        levels=None, estimate=estimate,
-                        request=_executable(request, name, workers),
+                        engine=name, mode="exact", workers=1, levels=None,
+                        estimate=estimate,
+                        request=_executable(request, name, None, tier),
+                        kernel=tier,
                     )
                 )
-        else:
-            try:
-                estimate = estimate_cost(
-                    name, profile, constants, cache_hot=cache_hot
-                )
-            except QueryError:
+            if not priced:
                 if request.engine == name:
                     # An explicitly requested engine the planner cannot
                     # price (e.g. an external registration): run it
@@ -312,23 +342,34 @@ def _enumerate_candidates(
                                 float("inf"), float("inf"), 0.0,
                                 "no cost model for this engine",
                             ),
-                            request=_executable(request, name, None),
+                            request=_executable(request, name, None,
+                                                request.kernel),
+                            kernel=resolve_kernel(request.kernel),
                         )
                     )
                 continue  # auto never routes to an unpriceable engine
-            candidates.append(
-                PlanCandidate(
-                    engine=name, mode="exact", workers=1, levels=None,
-                    estimate=estimate,
-                    request=_executable(request, name, None),
-                )
-            )
     if not candidates:
         raise QueryError(
             f"no registered engine supports this request "
             f"(engine={request.engine!r})"
         )
     return candidates
+
+
+def _kernel_candidates(engine, request: SDHRequest) -> list[str]:
+    """Kernel tiers worth pricing for one engine.
+
+    A pinned ``request.kernel`` is a constraint (the capability check
+    upstream already guaranteed the engine advertises it); ``auto``
+    enumerates every tier the engine advertises that is actually
+    available in this process, so the ranking decides — on a numba-free
+    host this is just ``["numpy"]`` and plans look exactly as before.
+    """
+    if request.kernel != "auto":
+        return [request.kernel]
+    usable = available_kernel_tiers()
+    tiers = [t for t in engine.capabilities.kernel_tiers if t in usable]
+    return tiers or ["numpy"]
 
 
 def _worker_candidates(
@@ -349,18 +390,23 @@ def _worker_candidates(
 
 
 def _executable(
-    request: SDHRequest, engine: str, workers: int | None
+    request: SDHRequest,
+    engine: str,
+    workers: int | None,
+    kernel: str,
 ) -> SDHRequest:
     """The directly runnable form of a planned request.
 
     ``planner="off"`` stops downstream layers from re-planning, and the
     latency budget is dropped because it has been admitted here (the
     two must be cleared together — the request validator rejects a
-    budget with the planner off).
+    budget with the planner off).  The chosen kernel tier is pinned so
+    running the plan reproduces exactly what was priced.
     """
     return request.replace(
         engine=engine,
         workers=workers,
+        kernel=kernel,
         planner="off",
         latency_budget_ms=None,
     )

@@ -127,8 +127,9 @@ class SDHClient:
 
         Give ``num_buckets`` or ``bucket_width``, optionally
         ``error_bound`` / ``levels`` / ``heuristic`` (approximate mode),
-        ``type_filter`` / ``type_pair`` (restricted queries), ``policy``
-        and a per-request ``timeout``.
+        ``type_filter`` / ``type_pair`` (restricted queries),
+        ``kernel`` (``"auto"`` / ``"numpy"`` / ``"numba"`` leaf-resolution
+        tier), ``policy`` and a per-request ``timeout``.
         """
         body = {"dataset": dataset, **params}
         payload = self._request("POST", "/v1/sdh", body)

@@ -41,6 +41,7 @@ from ..core.request import SDHRequest
 from ..data.generators import uniform, zipf_clustered
 from ..data.particles import ParticleSet
 from ..errors import ReproError
+from ..kernels import available_kernel_tiers
 
 __all__ = [
     "Discrepancy",
@@ -131,31 +132,52 @@ def run_engines(
     the fan-out/merge path.  An engine whose capability check rejects
     the request is recorded as skipped, not failed — a tree engine
     asked for periodic boundaries is not a bug.
+
+    When the request leaves ``kernel="auto"`` and an engine advertises
+    more than one usable kernel tier, the engine runs once per tier
+    (labelled ``name[tier]``), so the bit-identity contract between the
+    numpy and compiled backends is enforced differentially on every
+    fuzz case.  On a numba-free host each engine has a single tier and
+    labels stay plain engine names.
     """
     request = request.normalize()
     names = engines if engines is not None else exact_engines()
+    usable = available_kernel_tiers()
     outcomes: list[EngineOutcome] = []
     for name in names:
         engine = get_engine(name)
         run_request = request.replace(engine=name)
-        if engine.capabilities.workers:
+        if engine.capabilities.supports_workers:
             if run_request.workers is None or run_request.workers < 2:
                 run_request = run_request.replace(workers=workers)
         else:
             run_request = run_request.replace(workers=None)
-        try:
-            engine.check(run_request)
-        except ReproError as exc:
-            outcomes.append(EngineOutcome(name, skipped=str(exc)))
-            continue
-        try:
-            hist = compute_sdh(particles, run_request)
-        except ReproError as exc:
-            outcomes.append(
-                EngineOutcome(name, error=type(exc).__name__)
-            )
+        tiers: list[str] = []
+        if request.kernel == "auto":
+            tiers = [
+                t for t in engine.capabilities.kernel_tiers if t in usable
+            ]
+        if len(tiers) > 1:
+            variants = [
+                (f"{name}[{tier}]", run_request.replace(kernel=tier))
+                for tier in tiers
+            ]
         else:
-            outcomes.append(EngineOutcome(name, histogram=hist))
+            variants = [(name, run_request)]
+        for label, variant in variants:
+            try:
+                engine.check(variant)
+            except ReproError as exc:
+                outcomes.append(EngineOutcome(label, skipped=str(exc)))
+                continue
+            try:
+                hist = compute_sdh(particles, variant)
+            except ReproError as exc:
+                outcomes.append(
+                    EngineOutcome(label, error=type(exc).__name__)
+                )
+            else:
+                outcomes.append(EngineOutcome(label, histogram=hist))
     return outcomes
 
 

@@ -407,6 +407,7 @@ class VerifyReport:
 
     seeds: list[int] = field(default_factory=list)
     engines: tuple[str, ...] = ()
+    kernel: str = "auto"
     cases_run: int = 0
     corpus_replayed: int = 0
     adm_checked: bool = False
@@ -427,6 +428,7 @@ class VerifyReport:
             "adm_checked": self.adm_checked,
             "planner_checked": self.planner_checked,
             "engines": list(self.engines),
+            "kernel": self.kernel,
             "seeds": self.seeds,
             "discrepancies": [d.to_dict() for d in self.discrepancies],
             "corpus_written": self.corpus_written,
@@ -443,6 +445,7 @@ def run_verification(
     adm: bool = True,
     planner: bool = True,
     workers: int = 2,
+    kernel: str = "auto",
 ) -> VerifyReport:
     """The full harness: corpus replay, fuzzing, ADM model bounds.
 
@@ -454,6 +457,11 @@ def run_verification(
     forced-engine run (:func:`check_planner_neutrality`).  Progress is
     recorded on the default metrics registry (``verify_cases_total``,
     ``verify_discrepancies_total``) and as trace spans.
+
+    ``kernel`` pins every fuzz case to one leaf-resolution tier (the
+    CI numba job forces ``"numba"``); the default ``"auto"`` instead
+    lets :func:`~repro.verify.differential.run_engines` expand each
+    engine across all its available tiers and diff them bit-for-bit.
     """
     from ..core.engines import available_engines
 
@@ -469,7 +477,10 @@ def run_verification(
         ("kind",),
     )
     report = VerifyReport(
-        engines=engines if engines is not None else available_engines(),
+        engines=tuple(
+            engines if engines is not None else available_engines()
+        ),
+        kernel=kernel,
         planner_checked=planner,
     )
     started = time.perf_counter()
@@ -488,6 +499,10 @@ def run_verification(
         for seed in range(seed_start, seed_start + seeds):
             report.seeds.append(seed)
             case = generate_case(seed)
+            if kernel != "auto":
+                case = case.with_request(
+                    case.request.replace(kernel=kernel)
+                )
             with trace_span(
                 "verify_case", seed=seed, family=case.name,
                 particles=case.particles.size,

@@ -100,11 +100,14 @@ class TestRegistry:
 class TestCapabilities:
     def test_default_capabilities_deny_everything_optional(self):
         caps = EngineCapabilities()
-        assert not caps.periodic
-        assert not caps.restricted
-        assert not caps.approximate
-        assert not caps.mbr
-        assert not caps.workers
+        assert not caps.supports_periodic
+        assert not caps.supports_region
+        assert not caps.supports_type_filter
+        assert not caps.supports_type_pair
+        assert not caps.supports_approximate
+        assert not caps.supports_mbr
+        assert not caps.supports_workers
+        assert caps.kernel_tiers == ("numpy",)
 
     def test_tree_rejects_periodic(self):
         engine = get_engine("tree")
@@ -146,6 +149,66 @@ class TestCapabilities:
             compute_sdh(
                 data,
                 SDHRequest(num_buckets=4, engine="tree", periodic=True),
+            )
+
+    def test_kernel_tiers_validated_at_registration(self):
+        with pytest.raises(QueryError, match="unknown kernel tier"):
+            EngineCapabilities(kernel_tiers=("numpy", "cuda"))
+        with pytest.raises(QueryError, match="at least one tier"):
+            EngineCapabilities(kernel_tiers=())
+        with pytest.raises(QueryError, match="'numpy'"):
+            EngineCapabilities(kernel_tiers=("numba",))
+
+
+class TestLegacyCapabilityShims:
+    """One-release compatibility for the pre-kernel capability API."""
+
+    def test_legacy_keywords_warn_and_expand(self):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            caps = EngineCapabilities(periodic=True, restricted=True)
+        assert caps.supports_periodic
+        assert caps.supports_region
+        assert caps.supports_type_filter
+        assert caps.supports_type_pair
+        assert not caps.supports_mbr
+
+    def test_legacy_properties_warn(self):
+        caps = EngineCapabilities(
+            supports_periodic=True,
+            supports_region=True,
+            supports_type_filter=True,
+            supports_type_pair=True,
+        )
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            assert caps.periodic
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            assert caps.restricted
+
+    def test_legacy_string_set_registration_warns(self):
+        with pytest.warns(DeprecationWarning, match="string set"):
+            register_engine(
+                "legacy-test",
+                lambda *a, **k: None,
+                capabilities={"periodic", "mbr"},
+            )
+        try:
+            caps = get_engine("legacy-test").capabilities
+            assert caps.supports_periodic
+            assert caps.supports_mbr
+            assert not caps.supports_workers
+        finally:
+            unregister_engine("legacy-test")
+
+    def test_unknown_legacy_keyword_rejected(self):
+        with pytest.raises(QueryError, match="unknown EngineCapabilities"):
+            EngineCapabilities(warp_drive=True)
+
+    def test_unknown_capability_string_rejected(self):
+        with pytest.raises(QueryError, match="unknown capability"):
+            register_engine(
+                "bad-caps-test",
+                lambda *a, **k: None,
+                capabilities={"warp"},
             )
 
 

@@ -1,0 +1,348 @@
+"""Leaf-resolution kernel tier: backends, eligibility, capability wiring.
+
+The numpy backend is the bit-identical reference; the numba tests run
+only where numba is installed (the CI kernel job) and assert exact
+equality against it.  Engine-integration parity pins ``kernel=`` through
+``compute_sdh`` and checks the histograms never move.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CustomBuckets,
+    QueryError,
+    SDHRequest,
+    UniformBuckets,
+    available_engines,
+    compute_sdh,
+    get_engine,
+    lattice,
+    uniform,
+    zipf_clustered,
+)
+from repro.kernels import (
+    KERNEL_TIERS,
+    NUMBA_AVAILABLE,
+    available_kernel_tiers,
+    fast_uniform_width,
+    get_backend,
+    resolve_kernel,
+)
+
+NBINS = 12
+
+numba_only = pytest.mark.skipif(
+    not NUMBA_AVAILABLE, reason="numba is not installed"
+)
+
+
+def _dataset(family: str):
+    if family == "uniform2d":
+        return uniform(160, dim=2, rng=11)
+    if family == "uniform3d":
+        return uniform(120, dim=3, rng=12)
+    if family == "zipf":
+        return zipf_clustered(150, dim=2, rng=13)
+    return lattice(12, dim=2)
+
+
+FAMILIES = ("uniform2d", "uniform3d", "zipf", "lattice")
+
+
+def _spec_for(data):
+    return UniformBuckets.with_count(data.max_possible_distance, NBINS)
+
+
+def _reference_self(positions, width, nbins, box_lengths=None):
+    """Unchunked O(n^2) reference with the contract's op sequence."""
+    n = positions.shape[0]
+    idx_a, idx_b = np.triu_indices(n, k=1)
+    delta = positions[idx_a] - positions[idx_b]
+    if box_lengths is not None:
+        lengths = np.asarray(box_lengths, dtype=np.float64)
+        delta = delta - lengths * np.round(delta / lengths)
+    distances = np.sqrt(np.einsum("ij,ij->i", delta, delta))
+    bins = np.minimum((distances / width).astype(np.int64), nbins - 1)
+    return np.bincount(bins, minlength=nbins).astype(np.int64), distances.size
+
+
+class TestResolution:
+    def test_numpy_always_available(self):
+        tiers = available_kernel_tiers()
+        assert tiers[0] == "numpy"
+        assert set(tiers) <= set(KERNEL_TIERS)
+
+    def test_auto_resolves_to_available_tier(self):
+        assert resolve_kernel("auto") in available_kernel_tiers()
+
+    def test_explicit_names_pass_through(self):
+        assert resolve_kernel("numpy") == "numpy"
+        assert resolve_kernel("NumPy") == "numpy"
+        # Explicit numba resolves even when absent (the planner prices
+        # it); get_backend is what enforces availability.
+        assert resolve_kernel("numba") == "numba"
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(QueryError, match="unknown kernel tier"):
+            resolve_kernel("fortran")
+
+    def test_get_backend_names(self):
+        assert get_backend("numpy").NAME == "numpy"
+        assert get_backend("auto").NAME == resolve_kernel("auto")
+
+    @pytest.mark.skipif(NUMBA_AVAILABLE, reason="numba is installed")
+    def test_missing_numba_backend_rejected(self):
+        with pytest.raises(QueryError, match="numba is not installed"):
+            get_backend("numba")
+
+
+class TestFastUniformWidth:
+    def test_covering_uniform_spec_is_eligible(self):
+        spec = UniformBuckets.with_count(10.0, 5)
+        assert fast_uniform_width(spec, 10.0) == spec.width
+        assert fast_uniform_width(spec, 9.0) == spec.width
+
+    def test_short_spec_is_ineligible(self):
+        spec = UniformBuckets.with_count(5.0, 5)
+        assert fast_uniform_width(spec, 10.0) is None
+
+    def test_custom_buckets_are_ineligible(self):
+        spec = CustomBuckets([0.0, 1.0, 2.0, 4.0])
+        assert fast_uniform_width(spec, 2.0) is None
+
+    def test_edge_tolerance(self):
+        # A reach epsilon past the top edge still qualifies.
+        spec = UniformBuckets.with_count(10.0, 5)
+        assert fast_uniform_width(spec, 10.0 * (1 + 1e-12)) == spec.width
+
+
+class TestNumpyBackend:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_dense_self_matches_unchunked_reference(self, family):
+        data = _dataset(family)
+        spec = _spec_for(data)
+        expected, npairs = _reference_self(
+            data.positions, spec.width, NBINS
+        )
+        backend = get_backend("numpy")
+        for chunk in (7, 64, 4096):
+            hist, total = backend.bin_dense_self(
+                data.positions, spec.width, NBINS, chunk=chunk
+            )
+            np.testing.assert_array_equal(hist, expected)
+            assert total == npairs == data.num_pairs
+
+    def test_periodic_minimum_image(self):
+        data = uniform(130, dim=3, rng=21)
+        spec = UniformBuckets.with_count(data.max_periodic_distance, NBINS)
+        lengths = np.asarray(data.box.sides)
+        expected, npairs = _reference_self(
+            data.positions, spec.width, NBINS, box_lengths=lengths
+        )
+        hist, total = get_backend("numpy").bin_dense_self(
+            data.positions, spec.width, NBINS, box_lengths=lengths,
+            chunk=17,
+        )
+        np.testing.assert_array_equal(hist, expected)
+        assert total == npairs
+
+    def test_cross_plus_self_decomposition(self):
+        # self(A ++ B) == self(A) + self(B) + cross(A, B): a metamorphic
+        # identity that is not circular with the implementation.
+        a = uniform(90, dim=2, rng=31).positions
+        b = uniform(70, dim=2, rng=32).positions
+        both = np.vstack((a, b))
+        reach = float(
+            np.sqrt(((both.max(0) - both.min(0)) ** 2).sum())
+        )
+        spec = UniformBuckets.with_count(reach, NBINS)
+        backend = get_backend("numpy")
+        whole, n_whole = backend.bin_dense_self(both, spec.width, NBINS)
+        ha, na = backend.bin_dense_self(a, spec.width, NBINS)
+        hb, nb = backend.bin_dense_self(b, spec.width, NBINS)
+        hab, nab = backend.bin_dense_cross(a, b, spec.width, NBINS)
+        np.testing.assert_array_equal(whole, ha + hb + hab)
+        assert n_whole == na + nb + nab == both.shape[0] * (
+            both.shape[0] - 1
+        ) // 2
+
+    def test_gathered_pairs_match_dense_self(self):
+        data = uniform(80, dim=2, rng=41)
+        spec = _spec_for(data)
+        backend = get_backend("numpy")
+        idx_a, idx_b = np.triu_indices(data.size, k=1)
+        gathered, n_gathered = backend.bin_gathered_pairs(
+            data.positions, idx_a, idx_b, spec.width, NBINS
+        )
+        dense, n_dense = backend.bin_dense_self(
+            data.positions, spec.width, NBINS
+        )
+        np.testing.assert_array_equal(gathered, dense)
+        assert n_gathered == n_dense
+
+    def test_empty_and_singleton_inputs(self):
+        backend = get_backend("numpy")
+        empty_idx = np.zeros(0, dtype=np.int64)
+        one = np.zeros((1, 3))
+        hist, total = backend.bin_gathered_pairs(
+            one, empty_idx, empty_idx, 1.0, NBINS
+        )
+        assert total == 0 and not hist.any()
+        hist, total = backend.bin_dense_self(one, 1.0, NBINS)
+        assert total == 0 and not hist.any()
+        hist, total = backend.bin_dense_cross(
+            np.zeros((0, 3)), one, 1.0, NBINS
+        )
+        assert total == 0 and not hist.any()
+
+
+@numba_only
+class TestNumbaParity:
+    """Bit-identity of the compiled tier against the numpy reference."""
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_dense_self_identical(self, family):
+        data = _dataset(family)
+        spec = _spec_for(data)
+        ref, n_ref = get_backend("numpy").bin_dense_self(
+            data.positions, spec.width, NBINS
+        )
+        hist, total = get_backend("numba").bin_dense_self(
+            data.positions, spec.width, NBINS
+        )
+        np.testing.assert_array_equal(hist, ref)
+        assert total == n_ref
+
+    def test_dense_cross_identical(self):
+        a = uniform(90, dim=3, rng=51).positions
+        b = uniform(60, dim=3, rng=52).positions
+        reach = float(np.sqrt(27.0))  # unit-cube pair, generous cover
+        spec = UniformBuckets.with_count(max(reach, 1.0) * 4, NBINS)
+        ref, n_ref = get_backend("numpy").bin_dense_cross(
+            a, b, spec.width, NBINS
+        )
+        hist, total = get_backend("numba").bin_dense_cross(
+            a, b, spec.width, NBINS
+        )
+        np.testing.assert_array_equal(hist, ref)
+        assert total == n_ref
+
+    def test_periodic_identical(self):
+        data = uniform(110, dim=3, rng=53)
+        spec = UniformBuckets.with_count(data.max_periodic_distance, NBINS)
+        lengths = np.asarray(data.box.sides)
+        ref, _ = get_backend("numpy").bin_dense_self(
+            data.positions, spec.width, NBINS, box_lengths=lengths
+        )
+        hist, _ = get_backend("numba").bin_dense_self(
+            data.positions, spec.width, NBINS, box_lengths=lengths
+        )
+        np.testing.assert_array_equal(hist, ref)
+
+    def test_gathered_pairs_identical(self):
+        data = zipf_clustered(140, dim=2, rng=54)
+        spec = _spec_for(data)
+        idx_a, idx_b = np.triu_indices(data.size, k=1)
+        ref, _ = get_backend("numpy").bin_gathered_pairs(
+            data.positions, idx_a, idx_b, spec.width, NBINS
+        )
+        hist, _ = get_backend("numba").bin_gathered_pairs(
+            data.positions, idx_a, idx_b, spec.width, NBINS
+        )
+        np.testing.assert_array_equal(hist, ref)
+
+
+class TestEngineIntegration:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return uniform(220, dim=2, rng=61)
+
+    @pytest.mark.parametrize("engine", ("brute", "tree", "grid"))
+    def test_pinned_numpy_matches_auto(self, data, engine):
+        base = compute_sdh(
+            data, SDHRequest(num_buckets=NBINS, engine=engine)
+        )
+        pinned = compute_sdh(
+            data,
+            SDHRequest(num_buckets=NBINS, engine=engine, kernel="numpy"),
+        )
+        np.testing.assert_array_equal(base.counts, pinned.counts)
+        assert base.total == data.num_pairs
+
+    def test_all_tiers_agree_across_engines(self, data):
+        reference = None
+        for engine in ("brute", "tree", "grid"):
+            for tier in available_kernel_tiers():
+                hist = compute_sdh(
+                    data,
+                    SDHRequest(
+                        num_buckets=NBINS, engine=engine, kernel=tier
+                    ),
+                )
+                if reference is None:
+                    reference = hist.counts
+                np.testing.assert_array_equal(hist.counts, reference)
+
+    def test_custom_buckets_ignore_kernel_pin(self, data):
+        # Ineligible specs fall back to the inline binning path; the
+        # pin must be accepted and the result unchanged.
+        edges = CustomBuckets(
+            [0.0, 0.1, 0.5, data.max_possible_distance]
+        )
+        base = compute_sdh(data, SDHRequest(spec=edges))
+        pinned = compute_sdh(
+            data, SDHRequest(spec=edges, kernel="numpy")
+        )
+        np.testing.assert_array_equal(base.counts, pinned.counts)
+
+    def test_unavailable_tier_is_rejected(self, data):
+        request = SDHRequest(
+            num_buckets=NBINS, engine="grid", kernel="numba"
+        )
+        if "numba" in available_kernel_tiers():
+            hist = compute_sdh(data, request)
+            reference = compute_sdh(
+                data,
+                SDHRequest(
+                    num_buckets=NBINS, engine="grid", kernel="numpy"
+                ),
+            )
+            np.testing.assert_array_equal(hist.counts, reference.counts)
+        else:
+            with pytest.raises(QueryError, match="kernel tier"):
+                compute_sdh(data, request)
+
+
+class TestCapabilityMatrix:
+    def test_every_engine_declares_tiers(self):
+        for name, caps in available_engines().items():
+            assert isinstance(caps.kernel_tiers, tuple), name
+            assert "numpy" in caps.kernel_tiers, name
+            assert set(caps.kernel_tiers) <= set(KERNEL_TIERS), name
+
+    def test_builtins_advertise_available_tiers(self):
+        for name in ("brute", "tree", "grid", "parallel"):
+            caps = get_engine(name).capabilities
+            assert caps.kernel_tiers == available_kernel_tiers()
+
+
+class TestRequestKernelField:
+    def test_default_is_auto_and_omitted_from_json(self):
+        request = SDHRequest(num_buckets=4)
+        assert request.kernel == "auto"
+        assert "kernel" not in request.to_dict()
+
+    def test_explicit_kernel_round_trips(self):
+        request = SDHRequest(num_buckets=4, kernel="numpy").normalize()
+        body = request.to_dict()
+        assert body["kernel"] == "numpy"
+        assert SDHRequest.from_dict(body) == request
+
+    def test_normalize_lowercases(self):
+        assert SDHRequest(num_buckets=4, kernel="NUMBA").normalize(
+        ).kernel == "numba"
+
+    def test_bad_kernel_rejected(self):
+        with pytest.raises(QueryError, match="kernel"):
+            SDHRequest(num_buckets=4, kernel="cuda").validate()

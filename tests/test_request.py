@@ -328,8 +328,7 @@ class TestComputeSdhShim:
 
     def test_bare_kwargs_equivalent(self, data):
         via_request = compute_sdh(data, SDHRequest(num_buckets=8))
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")  # kwargs alone must not warn
+        with pytest.warns(DeprecationWarning, match="keyword-style"):
             via_kwargs = compute_sdh(data, num_buckets=8)
         np.testing.assert_array_equal(
             via_request.counts, via_kwargs.counts

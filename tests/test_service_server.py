@@ -149,6 +149,17 @@ class TestErrorPaths:
                 {"dataset": key, "num_buckets": 4, "wat": 1},
             )
 
+    def test_kernel_field_over_the_wire(self, client, dataset):
+        key = client.register(dataset)
+        pinned = client.sdh(key, num_buckets=8, kernel="numpy")
+        base = client.sdh(key, num_buckets=8)
+        np.testing.assert_array_equal(pinned.counts, base.counts)
+
+    def test_bad_kernel_rejected_as_query_error(self, client, dataset):
+        key = client.register(dataset)
+        with pytest.raises(QueryError, match="kernel must be one of"):
+            client.sdh(key, num_buckets=8, kernel="cuda")
+
     def test_nan_region_rejected_as_400(self, service, client, dataset):
         # Python's json parser accepts bare NaN, so a hostile payload
         # can smuggle non-finite coordinates past JSON syntax; the wire
