@@ -1,0 +1,407 @@
+"""Load-test harness for the SDH query service — the standing
+serving-perf trajectory.
+
+Drives a live server (an in-process :class:`~repro.service.SDHService`
+by default, or any running instance via ``--url``) with a closed-loop
+multi-threaded client mix and reports the numbers that matter for a
+high-QPS serving tier:
+
+* **p50 / p99 latency and QPS** per request class and overall;
+* **coalesce rate** — what fraction of an identical-request stampede
+  was absorbed by singleflight instead of recomputed;
+* **result-cache hit rate** — what fraction of the warm mix was served
+  without touching the executor.
+
+Two phases:
+
+1. ``identical`` — barrier-synchronized bursts: every thread issues the
+   *same* cold query at the same instant, repeated for several rounds
+   with a fresh query per round.  Exercises request coalescing; with
+   the serving tier working, each round costs exactly one computation.
+2. ``mixed`` — a closed-loop duration run where each thread draws from
+   a weighted mix of warm repeats (result-cache hits), cold uniques
+   (misses), a shared hot query, and small batches — the
+   dashboard-plus-notebooks traffic shape the result cache exists for.
+
+Results are printed and written as JSON into ``benchmarks/results/``
+(``service_load.json`` by default).  With ``--check-coalesce`` (the
+default in ``--quick`` CI mode) the run exits non-zero when the
+identical-burst phase coalesced nothing — a regression gate on the
+singleflight layer.
+
+Usage::
+
+    python benchmarks/bench_service_load.py --quick         # CI smoke
+    python benchmarks/bench_service_load.py --threads 16 --duration 10
+    python benchmarks/bench_service_load.py --url http://host:8787
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import os
+import sys
+import threading
+import time
+
+THIS_DIR = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(os.path.dirname(THIS_DIR), "src"))
+
+from repro.data import uniform  # noqa: E402
+from repro.errors import ReproError  # noqa: E402
+from repro.service import SDHClient, SDHService, ServiceConfig  # noqa: E402
+
+RESULTS_DIR = os.path.join(THIS_DIR, "results")
+
+
+# ----------------------------------------------------------------------
+# Measurement helpers
+# ----------------------------------------------------------------------
+def percentile(samples: list[float], p: float) -> float:
+    """The p-th percentile (nearest-rank) of a non-empty sample list."""
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(round(p / 100.0 * len(ordered) - 0.5))))
+    return ordered[rank]
+
+
+def summarize(samples: list[float]) -> dict:
+    if not samples:
+        return {"count": 0}
+    return {
+        "count": len(samples),
+        "p50_ms": round(percentile(samples, 50) * 1e3, 3),
+        "p99_ms": round(percentile(samples, 99) * 1e3, 3),
+        "mean_ms": round(sum(samples) / len(samples) * 1e3, 3),
+        "max_ms": round(max(samples) * 1e3, 3),
+    }
+
+
+class Recorder:
+    """Thread-safe per-class latency/error sink."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.latencies: dict[str, list[float]] = {}
+        self.errors: dict[str, int] = {}
+
+    def observe(self, klass: str, seconds: float) -> None:
+        with self._lock:
+            self.latencies.setdefault(klass, []).append(seconds)
+
+    def error(self, klass: str) -> None:
+        with self._lock:
+            self.errors[klass] = self.errors.get(klass, 0) + 1
+
+    def all_latencies(self) -> list[float]:
+        with self._lock:
+            return [s for bucket in self.latencies.values() for s in bucket]
+
+    def report(self) -> dict:
+        with self._lock:
+            body = {
+                klass: summarize(bucket)
+                for klass, bucket in sorted(self.latencies.items())
+            }
+            if self.errors:
+                body["errors"] = dict(self.errors)
+            return body
+
+
+def _delta(after: dict, before: dict, *path: str) -> float:
+    a, b = after, before
+    for key in path:
+        a = a[key]
+        b = b[key]
+    return a - b
+
+
+# ----------------------------------------------------------------------
+# Phases
+# ----------------------------------------------------------------------
+def run_identical_phase(
+    base_url: str, dataset_key: str, threads: int, rounds: int
+) -> dict:
+    """Barrier-synchronized identical-request bursts (coalescing)."""
+    recorder = Recorder()
+    barrier = threading.Barrier(threads)
+
+    def worker() -> None:
+        client = SDHClient(base_url, timeout=120.0)
+        for burst in range(rounds):
+            # A fresh bucket count per round keeps every burst cold in
+            # the result cache: coalescing (not caching) must absorb it.
+            buckets = 1000 + burst
+            barrier.wait(timeout=60.0)
+            start = time.perf_counter()
+            try:
+                client.sdh(dataset_key, num_buckets=buckets)
+                recorder.observe("identical", time.perf_counter() - start)
+            except ReproError:
+                recorder.error("identical")
+
+    crew = [threading.Thread(target=worker) for _ in range(threads)]
+    started = time.perf_counter()
+    for t in crew:
+        t.start()
+    for t in crew:
+        t.join()
+    elapsed = time.perf_counter() - started
+    body = recorder.report()
+    body["wall_seconds"] = round(elapsed, 3)
+    body["threads"] = threads
+    body["rounds"] = rounds
+    return body
+
+
+def run_mixed_phase(
+    base_url: str,
+    dataset_key: str,
+    threads: int,
+    duration: float,
+    warm_pool: tuple[int, ...] = (8, 16, 32, 64),
+) -> dict:
+    """Closed-loop weighted mix: warm / cold / hot-identical / batch."""
+    recorder = Recorder()
+    cold_buckets = itertools.count(2000)  # unique per draw → cache miss
+
+    # Pre-warm the warm pool so "warm" ops measure result-cache hits,
+    # not first-touch computation.
+    prewarm = SDHClient(base_url, timeout=120.0)
+    for buckets in warm_pool:
+        prewarm.sdh(dataset_key, num_buckets=buckets)
+
+    deadline = time.monotonic() + duration
+    # Deterministic per-thread op schedule (no RNG: reproducible mixes).
+    #   6/10 warm repeats, 2/10 cold uniques, 1/10 shared hot query,
+    #   1/10 small batch.
+    schedule = (
+        "warm", "warm", "cold", "warm", "hot",
+        "warm", "cold", "warm", "batch", "warm",
+    )
+
+    def worker(worker_id: int) -> None:
+        client = SDHClient(base_url, timeout=120.0)
+        for step in itertools.count():
+            if time.monotonic() >= deadline:
+                return
+            op = schedule[(worker_id + step) % len(schedule)]
+            start = time.perf_counter()
+            try:
+                if op == "warm":
+                    buckets = warm_pool[step % len(warm_pool)]
+                    client.sdh(dataset_key, num_buckets=buckets)
+                elif op == "cold":
+                    client.sdh(
+                        dataset_key, num_buckets=next(cold_buckets)
+                    )
+                elif op == "hot":
+                    client.sdh(dataset_key, num_buckets=warm_pool[0])
+                else:  # batch
+                    client.sdh_batch(
+                        dataset_key,
+                        [{"num_buckets": b} for b in warm_pool[:2]],
+                    )
+                recorder.observe(op, time.perf_counter() - start)
+            except ReproError:
+                recorder.error(op)
+
+    crew = [
+        threading.Thread(target=worker, args=(i,)) for i in range(threads)
+    ]
+    started = time.perf_counter()
+    for t in crew:
+        t.start()
+    for t in crew:
+        t.join()
+    elapsed = time.perf_counter() - started
+    samples = recorder.all_latencies()
+    body = recorder.report()
+    body["wall_seconds"] = round(elapsed, 3)
+    body["threads"] = threads
+    body["requests"] = len(samples)
+    body["qps"] = round(len(samples) / elapsed, 2) if elapsed else 0.0
+    body["overall"] = summarize(samples)
+    return body
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def run_load(
+    url: str | None = None,
+    n: int = 50_000,
+    dim: int = 3,
+    threads: int = 8,
+    rounds: int = 4,
+    duration: float = 8.0,
+    workers: int = 4,
+    out: str = "service_load.json",
+) -> dict:
+    """Run both phases against a live server; returns the report dict."""
+    service = None
+    if url is None:
+        service = SDHService(
+            ServiceConfig(max_workers=workers, max_queue=64, timeout=120.0)
+        ).start()
+        url = service.url
+    try:
+        client = SDHClient(url, timeout=120.0)
+        dataset_key = client.register(uniform(n, dim=dim, rng=7))
+        before = client.stats()
+
+        identical = run_identical_phase(url, dataset_key, threads, rounds)
+        mid = client.stats()
+        mixed = run_mixed_phase(url, dataset_key, threads, duration)
+        after = client.stats()
+
+        ident_requests = identical.get("identical", {}).get("count", 0)
+        coalesced = _delta(mid, before, "results", "coalesced")
+        report = {
+            "config": {
+                "url": url,
+                "num_particles": n,
+                "dim": dim,
+                "threads": threads,
+                "rounds": rounds,
+                "duration_seconds": duration,
+                "in_process_server": service is not None,
+            },
+            "identical": dict(
+                identical,
+                coalesced=coalesced,
+                computations=_delta(
+                    mid, before, "executor", "submitted"
+                ),
+                coalesce_rate=round(coalesced / ident_requests, 4)
+                if ident_requests
+                else 0.0,
+            ),
+            "mixed": mixed,
+            "server_totals": {
+                "result_hits": _delta(after, before, "results", "hits"),
+                "result_misses": _delta(
+                    after, before, "results", "misses"
+                ),
+                "result_coalesced": _delta(
+                    after, before, "results", "coalesced"
+                ),
+                "result_hit_rate": after["results"]["hit_rate"],
+                "plan_cache_hits": _delta(after, before, "cache", "hits"),
+                "executor_submitted": _delta(
+                    after, before, "executor", "submitted"
+                ),
+                "executor_timeouts": _delta(
+                    after, before, "executor", "timeouts"
+                ),
+            },
+        }
+    finally:
+        if service is not None:
+            service.shutdown()
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, out)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(f"[service_load] written to {path}")
+    return report
+
+
+def _print_summary(report: dict) -> None:
+    ident = report["identical"]
+    mixed = report["mixed"]
+    totals = report["server_totals"]
+    print(
+        f"identical : {ident.get('identical', {}).get('count', 0)} reqs, "
+        f"{ident['computations']:.0f} computations, "
+        f"coalesce rate {ident['coalesce_rate']:.2%}, "
+        f"p99 {ident.get('identical', {}).get('p99_ms', float('nan'))} ms"
+    )
+    overall = mixed.get("overall", {})
+    print(
+        f"mixed     : {mixed['requests']} reqs in "
+        f"{mixed['wall_seconds']}s → {mixed['qps']} QPS, "
+        f"p50 {overall.get('p50_ms')} ms, p99 {overall.get('p99_ms')} ms"
+    )
+    print(
+        f"server    : result hits {totals['result_hits']:.0f} / "
+        f"misses {totals['result_misses']:.0f} / "
+        f"coalesced {totals['result_coalesced']:.0f}, "
+        f"hit rate {totals['result_hit_rate']:.2%}, "
+        f"executor submitted {totals['executor_submitted']:.0f}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Pytest entry point (collected by `pytest benchmarks/`)
+# ----------------------------------------------------------------------
+def test_service_load_smoke():
+    """Quick end-to-end load smoke: the identical-burst phase must
+    coalesce at least one request, and the report must carry the
+    latency/QPS fields the trajectory tracks."""
+    report = run_load(
+        n=4000, dim=2, threads=4, rounds=3, duration=1.0, workers=2,
+        out="service_load_smoke.json",
+    )
+    assert report["identical"]["coalesced"] > 0
+    assert report["identical"]["computations"] <= 3  # one per round
+    assert report["mixed"]["qps"] > 0
+    assert "p99_ms" in report["mixed"]["overall"]
+    assert report["server_totals"]["result_hits"] > 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--url", default=None,
+        help="drive an already-running server instead of an in-process one",
+    )
+    parser.add_argument("--n", type=int, default=50_000,
+                        help="dataset size (particles)")
+    parser.add_argument("--dim", type=int, default=3)
+    parser.add_argument("--threads", type=int, default=8,
+                        help="concurrent closed-loop clients")
+    parser.add_argument("--rounds", type=int, default=4,
+                        help="identical-burst rounds")
+    parser.add_argument("--duration", type=float, default=8.0,
+                        help="mixed-phase seconds")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="server worker threads (in-process server)")
+    parser.add_argument("--out", default="service_load.json",
+                        help="JSON filename under benchmarks/results/")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: small dataset, few threads, short duration, "
+        "and --check-coalesce on",
+    )
+    parser.add_argument(
+        "--check-coalesce", action="store_true",
+        help="exit non-zero when the identical phase coalesced nothing",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.n = min(args.n, 6000)
+        args.dim = 2
+        args.threads = min(args.threads, 4)
+        args.rounds = min(args.rounds, 3)
+        args.duration = min(args.duration, 2.0)
+        args.check_coalesce = True
+    report = run_load(
+        url=args.url, n=args.n, dim=args.dim, threads=args.threads,
+        rounds=args.rounds, duration=args.duration, workers=args.workers,
+        out=args.out,
+    )
+    _print_summary(report)
+    if args.check_coalesce and report["identical"]["coalesced"] <= 0:
+        print(
+            "FAIL: identical-request bursts coalesced nothing — the "
+            "singleflight layer is not absorbing stampedes",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

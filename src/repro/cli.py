@@ -274,6 +274,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-query time budget in seconds (0 = unlimited)",
     )
     serve.add_argument(
+        "--result-cache-capacity",
+        type=int,
+        default=256,
+        metavar="N",
+        help="finished responses kept in the result cache "
+        "(0 disables storage; identical in-flight requests still "
+        "coalesce)",
+    )
+    serve.add_argument(
+        "--result-ttl",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="seconds a cached result stays servable (0 = no expiry)",
+    )
+    serve.add_argument(
         "--parallel-threshold",
         type=int,
         default=None,
@@ -509,6 +525,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_workers=args.workers,
         max_queue=args.queue,
         timeout=None if args.timeout <= 0 else args.timeout,
+        result_cache_capacity=args.result_cache_capacity,
+        result_ttl=None if args.result_ttl <= 0 else args.result_ttl,
         parallel_threshold=args.parallel_threshold,
         parallel_workers=args.parallel_workers,
     )

@@ -9,6 +9,10 @@ server (stdlib only, no new dependencies):
 * :mod:`~repro.service.cache` — an LRU plan cache keyed by dataset
   content fingerprint, so the density-map pyramid is built once per
   dataset and shared across queries;
+* :mod:`~repro.service.results` — a result cache (LRU + TTL) above the
+  plan cache plus request coalescing: repeated queries are answered
+  from finished responses, and N identical in-flight queries share one
+  computation;
 * :mod:`~repro.service.executor` — a bounded worker pool with
   per-request timeouts and queue-depth backpressure;
 * :mod:`~repro.service.server` — the HTTP server exposing
@@ -31,6 +35,7 @@ programmatically::
 from .cache import CacheStats, PlanCache
 from .client import SDHClient
 from .executor import ExecutorStats, QueryExecutor
+from .results import ResultCache, ResultCacheStats, result_cache_key
 from .server import SDHService, ServiceConfig
 
 __all__ = [
@@ -38,7 +43,10 @@ __all__ = [
     "ExecutorStats",
     "PlanCache",
     "QueryExecutor",
+    "ResultCache",
+    "ResultCacheStats",
     "SDHClient",
     "SDHService",
     "ServiceConfig",
+    "result_cache_key",
 ]

@@ -92,17 +92,24 @@ class PlanCache:
     builder:
         Plan factory, defaulting to :func:`~repro.core.query.build_plan`.
         Tests substitute counting builders here.
+    on_evict:
+        Optional callback invoked with each evicted cache key (after
+        the cache lock is released, so it may take other locks).  The
+        server uses it to invalidate the result cache when a dataset's
+        pyramid is dropped.
     """
 
     def __init__(
         self,
         capacity: int = 8,
         builder: Callable[[ParticleSet], SDHQuery] = build_plan,
+        on_evict: Callable[[str], None] | None = None,
     ):
         if capacity < 1:
             raise ServiceError(f"cache capacity must be >= 1, got {capacity}")
         self._capacity = capacity
         self._builder = builder
+        self._on_evict = on_evict
         self._plans: OrderedDict[str, SDHQuery] = OrderedDict()
         self._lock = threading.Lock()
         self._build_locks: dict[str, _BuildLockEntry] = {}
@@ -178,28 +185,37 @@ class PlanCache:
     def evict(self, key: str) -> bool:
         """Drop one plan; True when it was present."""
         with self._lock:
-            if key in self._plans:
+            present = key in self._plans
+            if present:
                 del self._plans[key]
                 self.stats.evictions += 1
-                return True
-            return False
+        if present:
+            self._notify_evicted([key])
+        return present
 
     def clear(self) -> None:
         """Drop every cached plan (counters are preserved)."""
         with self._lock:
+            evicted = list(self._plans)
             self.stats.evictions += len(self._plans)
             self._plans.clear()
+        self._notify_evicted(evicted)
 
     def snapshot(self) -> dict:
-        """JSON-ready state: counters, size, capacity, resident keys."""
+        """JSON-ready state: counters, size, capacity, resident keys.
+
+        ``plan.describe()`` can be arbitrarily slow for large pyramids,
+        so only the counters and the plan *references* are copied under
+        the cache lock; the describe calls run outside it — a
+        ``GET /v1/stats`` scrape never stalls concurrent lookups.
+        """
         with self._lock:
             body = self.stats.snapshot()
             body["size"] = len(self._plans)
             body["capacity"] = self._capacity
-            body["plans"] = {
-                key: plan.describe() for key, plan in self._plans.items()
-            }
-            return body
+            resident = list(self._plans.items())
+        body["plans"] = {key: plan.describe() for key, plan in resident}
+        return body
 
     # ------------------------------------------------------------------
     def _lookup(self, key: str, count: bool = True) -> SDHQuery | None:
@@ -237,10 +253,19 @@ class PlanCache:
             return len(self._build_locks)
 
     def _insert(self, key: str, plan: SDHQuery) -> None:
+        evicted: list[str] = []
         with self._lock:
             self._plans[key] = plan
             self._plans.move_to_end(key)
             self.stats.builds += 1
             while len(self._plans) > self._capacity:
-                self._plans.popitem(last=False)
+                dropped, _ = self._plans.popitem(last=False)
+                evicted.append(dropped)
                 self.stats.evictions += 1
+        self._notify_evicted(evicted)
+
+    def _notify_evicted(self, keys: list[str]) -> None:
+        if self._on_evict is None:
+            return
+        for key in keys:
+            self._on_evict(key)

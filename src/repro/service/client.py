@@ -28,6 +28,12 @@ from ..physics.rdf import RadialDistributionFunction
 
 __all__ = ["SDHClient"]
 
+#: Seconds added on top of a per-request server budget when stretching
+#: the socket timeout: covers queueing, planning, and (de)serialization
+#: around the budgeted computation, so a server-side QueryTimeout always
+#: arrives before the socket gives up.
+_TIMEOUT_SLACK = 5.0
+
 
 class SDHClient:
     """Client for one SDH service endpoint.
@@ -50,7 +56,15 @@ class SDHClient:
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
-    def _request(self, method: str, path: str, payload: dict | None = None):
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        timeout: float | None = ...,  # type: ignore[assignment]
+    ):
+        if timeout is ...:
+            timeout = self._timeout
         url = f"{self._base}{path}"
         data = None
         headers = {"Accept": "application/json"}
@@ -62,7 +76,7 @@ class SDHClient:
         )
         try:
             with urllib.request.urlopen(
-                request, timeout=self._timeout
+                request, timeout=timeout
             ) as response:
                 return json.loads(response.read())
         except urllib.error.HTTPError as exc:
@@ -71,6 +85,24 @@ class SDHClient:
             raise ServiceError(
                 f"cannot reach SDH service at {self._base}: {exc.reason}"
             ) from exc
+
+    def _socket_timeout(self, body: dict) -> float | None:
+        """The socket timeout covering ``body``'s server time budget.
+
+        A per-request server ``timeout`` larger than the client's
+        socket timeout would otherwise make the *client* give up first
+        — surfacing an opaque ``URLError``-wrapped
+        :class:`~repro.errors.ServiceError` instead of the server's
+        :class:`~repro.errors.QueryTimeout`.  Stretch the socket budget
+        to the server budget plus slack (never shrink it); an explicit
+        ``timeout: None`` (unlimited server budget) waits forever.
+        """
+        if "timeout" not in body:
+            return self._timeout
+        budget = body["timeout"]
+        if budget is None:
+            return None
+        return max(self._timeout, float(budget) + _TIMEOUT_SLACK)
 
     # ------------------------------------------------------------------
     # Endpoints
@@ -132,7 +164,9 @@ class SDHClient:
         tier), ``policy`` and a per-request ``timeout``.
         """
         body = {"dataset": dataset, **params}
-        payload = self._request("POST", "/v1/sdh", body)
+        payload = self._request(
+            "POST", "/v1/sdh", body, timeout=self._socket_timeout(body)
+        )
         spec = CustomBuckets(payload["edges"])
         return DistanceHistogram(spec, np.asarray(payload["counts"]))
 
@@ -155,7 +189,10 @@ class SDHClient:
         body: dict[str, Any] = {"dataset": dataset, "queries": queries}
         if timeout is not None:
             body["timeout"] = timeout
-        payload = self._request("POST", "/v1/sdh/batch", body)
+        payload = self._request(
+            "POST", "/v1/sdh/batch", body,
+            timeout=self._socket_timeout(body),
+        )
         results: list[DistanceHistogram | Exception] = []
         for entry in payload["results"]:
             if "error" in entry:
@@ -184,7 +221,9 @@ class SDHClient:
         (``"corrected"`` / ``"shell"`` / ``"periodic"``), ``timeout``.
         """
         body = {"dataset": dataset, **params}
-        payload = self._request("POST", "/v1/rdf", body)
+        payload = self._request(
+            "POST", "/v1/rdf", body, timeout=self._socket_timeout(body)
+        )
         return RadialDistributionFunction(
             r=np.asarray(payload["r"]),
             g=np.asarray(payload["g"]),

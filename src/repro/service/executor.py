@@ -39,6 +39,13 @@ class ExecutorStats:
     rejected: int = 0
     timeouts: int = 0
     failures: int = 0
+    #: Work abandoned by a timed-out caller that later finished anyway.
+    #: Such completions/failures are *also* counted in ``completed`` /
+    #: ``failures`` (via a done-callback), so the ledger still balances:
+    #: completed + failures + (timeouts - late_completions -
+    #: late_failures) == submitted once everything settles.
+    late_completions: int = 0
+    late_failures: int = 0
 
     def snapshot(self) -> dict:
         """A JSON-ready copy of the counters.
@@ -54,6 +61,8 @@ class ExecutorStats:
             "rejected": self.rejected,
             "timeouts": self.timeouts,
             "failures": self.failures,
+            "late_completions": self.late_completions,
+            "late_failures": self.late_failures,
         }
 
 
@@ -175,6 +184,13 @@ class QueryExecutor:
         except concurrent.futures.TimeoutError:
             with self._lock:
                 self.stats.timeouts += 1
+            # The caller walks away but the worker runs to completion:
+            # without a done-callback a late exception would never be
+            # retrieved (Python logs "exception was never retrieved")
+            # and neither `failures` nor `completed` would ever move
+            # for this query.  The callback consumes the outcome and
+            # keeps the counters honest.
+            future.add_done_callback(self._settle_abandoned)
             raise QueryTimeout(
                 f"query exceeded the {timeout:g}s server time budget"
             ) from None
@@ -185,6 +201,26 @@ class QueryExecutor:
         with self._lock:
             self.stats.completed += 1
         return result
+
+    def _settle_abandoned(self, future: concurrent.futures.Future) -> None:
+        """Account for work whose caller already timed out and left.
+
+        Runs on the worker thread when the abandoned future settles.
+        ``future.exception()`` *retrieves* the exception, which both
+        tells us the outcome and suppresses the interpreter's
+        "exception was never retrieved" warning at GC time.
+        """
+        if future.cancelled():  # pragma: no cover - shutdown race
+            exc: BaseException | None = concurrent.futures.CancelledError()
+        else:
+            exc = future.exception()
+        with self._lock:
+            if exc is None:
+                self.stats.completed += 1
+                self.stats.late_completions += 1
+            else:
+                self.stats.failures += 1
+                self.stats.late_failures += 1
 
     def _run_admitted(self, fn: Callable, args: tuple, kwargs: dict) -> Any:
         # Admission is released when the *work* finishes, not when the

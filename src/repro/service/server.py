@@ -79,6 +79,7 @@ from ..observability import (
 from ..physics.rdf import rdf_from_histogram
 from .cache import PlanCache
 from .executor import QueryExecutor
+from .results import ResultCache, result_cache_key
 
 __all__ = ["SDHService", "ServiceConfig"]
 
@@ -117,6 +118,11 @@ class ServiceConfig:
     max_workers: int = 4
     max_queue: int = 16
     timeout: float | None = 30.0
+    #: Finished responses kept in the result cache (LRU); 0 disables
+    #: storage but keeps request coalescing.  See docs/SERVICE.md.
+    result_cache_capacity: int = 256
+    #: Seconds a cached result stays servable; None = no expiry.
+    result_ttl: float | None = None
     #: Deprecated (the cost-based planner now routes ``engine="auto"``
     #: queries — see ``docs/PLANNER.md``).  When set, acts as a planner
     #: override: datasets of at least this many particles are pinned to
@@ -172,9 +178,22 @@ class _ServiceState:
     config: ServiceConfig
     cache: PlanCache = field(init=False)
     executor: QueryExecutor = field(init=False)
+    results: ResultCache = field(init=False)
 
     def __post_init__(self) -> None:
-        self.cache = PlanCache(capacity=self.config.cache_capacity)
+        self.results = ResultCache(
+            capacity=self.config.result_cache_capacity,
+            ttl=self.config.result_ttl,
+        )
+        # Evicting a dataset's pyramid drops its cached results too:
+        # the pyramid is gone, so re-serving histograms derived from it
+        # while a rebuild would be needed misrepresents server state.
+        self.cache = PlanCache(
+            capacity=self.config.cache_capacity,
+            on_evict=lambda key: self.results.invalidate_dataset(
+                key.split(":", 1)[0]
+            ),
+        )
         self.executor = QueryExecutor(
             max_workers=self.config.max_workers,
             max_queue=self.config.max_queue,
@@ -202,9 +221,17 @@ class _ServiceState:
     def register(self, particles: ParticleSet, name: str | None) -> str:
         key = particles.fingerprint()
         with self._lock:
+            previous = self._aliases.get(name) if name is not None else None
             self._datasets[key] = particles
             if name is not None:
                 self._aliases[name] = key
+        # (Re-)registration invalidates cached results for the dataset —
+        # and for whatever dataset the alias used to point at.  Keys are
+        # content fingerprints, so this is conservative staleness
+        # policy, not correctness (identical content hashes identically).
+        self.results.invalidate_dataset(key)
+        if previous is not None and previous != key:
+            self.results.invalidate_dataset(previous)
         return key
 
     def resolve_dataset(self, ref: str) -> ParticleSet:
@@ -251,6 +278,7 @@ class _ServiceState:
             "uptime_seconds": uptime,
             "datasets": datasets,
             "cache": self.cache.snapshot(),
+            "results": self.results.snapshot(),
             "executor": self.executor.snapshot(),
             "engines": engines,
             "requests": requests,
@@ -267,6 +295,7 @@ class _ServiceState:
         serves torn values.
         """
         cache = self.cache.snapshot()
+        results = self.results.snapshot()
         executor = self.executor.snapshot()
         with self._lock:
             engines = {
@@ -289,6 +318,34 @@ class _ServiceState:
                     "Plans currently resident in the cache.", cache["size"]),
             _sample("sdh_cache_capacity", "gauge",
                     "Plan-cache capacity.", cache["capacity"]),
+            _sample("sdh_result_cache_hits_total", "counter",
+                    "Queries served straight from the result cache.",
+                    results["hits"]),
+            _sample("sdh_result_cache_misses_total", "counter",
+                    "Result-cache lookups that ran a computation.",
+                    results["misses"]),
+            _sample("sdh_result_coalesced_total", "counter",
+                    "Queries that shared an identical in-flight "
+                    "computation instead of starting their own.",
+                    results["coalesced"]),
+            _sample("sdh_result_cache_evictions_total", "counter",
+                    "Results evicted by the LRU capacity bound.",
+                    results["evictions"]),
+            _sample("sdh_result_cache_expirations_total", "counter",
+                    "Results dropped at lookup because their TTL passed.",
+                    results["expirations"]),
+            _sample("sdh_result_cache_invalidations_total", "counter",
+                    "Results dropped by dataset re-registration or "
+                    "plan eviction.", results["invalidations"]),
+            _sample("sdh_result_cache_bypassed_total", "counter",
+                    "Requests that legitimately skipped the result "
+                    "cache (e.g. unseeded approximate queries).",
+                    results["bypassed"]),
+            _sample("sdh_result_cache_entries", "gauge",
+                    "Results currently resident in the cache.",
+                    results["size"]),
+            _sample("sdh_result_cache_capacity", "gauge",
+                    "Result-cache capacity.", results["capacity"]),
             _sample("sdh_executor_submitted_total", "counter",
                     "Queries admitted to the worker pool.",
                     executor["submitted"]),
@@ -303,6 +360,12 @@ class _ServiceState:
                     executor["timeouts"]),
             _sample("sdh_executor_failures_total", "counter",
                     "Queries that raised.", executor["failures"]),
+            _sample("sdh_executor_late_completions_total", "counter",
+                    "Abandoned (timed-out) queries that later finished.",
+                    executor["late_completions"]),
+            _sample("sdh_executor_late_failures_total", "counter",
+                    "Abandoned (timed-out) queries that later raised.",
+                    executor["late_failures"]),
             _sample("sdh_executor_in_flight", "gauge",
                     "Queries currently running or queued.",
                     executor["in_flight"]),
@@ -650,24 +713,70 @@ def _histogram_body(hist: Any, request: SDHRequest) -> dict:
     }
 
 
-def _handle_sdh(state: _ServiceState, body: dict) -> dict:
-    particles = state.resolve_dataset(_dataset_ref(body))
-    request, rng = _parse_request(body)
-    request, query_plan = _route_request(state, particles, request)
+#: Extra seconds a coalesced waiter outlasts the leader's server time
+#: budget before giving up: the leader enforces the actual budget (and
+#: propagates its QueryTimeout to every waiter); the slack only covers
+#: scheduling and serialization around it.
+_COALESCE_SLACK = 2.0
+
+
+def _wait_budget(state: _ServiceState, body: dict) -> float | None:
+    """How long a coalesced request waits for the in-flight leader."""
+    timeout = body.get("timeout", ...)
+    if timeout is ...:
+        timeout = state.config.timeout
+    if timeout is None:
+        return None
+    return float(timeout) + _COALESCE_SLACK
+
+
+def _compute_sdh_body(
+    state: _ServiceState,
+    particles: ParticleSet,
+    request: SDHRequest,
+    rng: Any,
+    timeout: Any,
+) -> dict:
+    """Route, execute, and account one SDH query; returns the wire body."""
+    routed, query_plan = _route_request(state, particles, request)
 
     def run() -> tuple[Any, SDHStats]:
-        plan = state.cache.get_or_build(particles, request)
+        plan = state.cache.get_or_build(particles, routed)
         stats = SDHStats()
-        hist = plan.run(request, stats=stats, rng=rng)
+        hist = plan.run(routed, stats=stats, rng=rng)
         return hist, stats
 
-    hist, stats = state.executor.submit(run, timeout=body.get("timeout", ...))
-    state.absorb_stats(_engine_label(request), stats)
-    response = {"dataset": particles.fingerprint()}
-    response.update(_histogram_body(hist, request))
+    hist, stats = state.executor.submit(run, timeout=timeout)
+    state.absorb_stats(_engine_label(routed), stats)
+    response = _histogram_body(hist, routed)
     if query_plan is not None:
         response["plan"] = query_plan.to_dict()
     return response
+
+
+def _handle_sdh(state: _ServiceState, body: dict) -> dict:
+    particles = state.resolve_dataset(_dataset_ref(body))
+    request, rng = _parse_request(body)
+    fingerprint = particles.fingerprint()
+    key = result_cache_key("sdh", fingerprint, request, rng)
+
+    def compute() -> dict:
+        return _compute_sdh_body(
+            state, particles, request, rng, body.get("timeout", ...)
+        )
+
+    if key is None:
+        # Not a pure function of the request (unseeded sampling): every
+        # call is its own computation, never cached, never coalesced.
+        state.results.count_bypass()
+        cached, outcome = compute(), "bypass"
+    else:
+        cached, outcome = state.results.fetch(
+            key, compute, wait_timeout=_wait_budget(state, body)
+        )
+    # Shallow copy: the cached body is shared across responses and must
+    # never be mutated; the per-response fields ride on the copy.
+    return dict(cached, dataset=fingerprint, result_source=outcome)
 
 
 def _handle_batch(state: _ServiceState, body: dict) -> dict:
@@ -683,6 +792,7 @@ def _handle_batch(state: _ServiceState, body: dict) -> dict:
             "batch body must carry 'queries': a non-empty list of "
             "query objects"
         )
+    fingerprint = particles.fingerprint()
     parsed: list[Any] = []
     for index, item in enumerate(queries):
         if not isinstance(item, dict):
@@ -693,7 +803,8 @@ def _handle_batch(state: _ServiceState, body: dict) -> dict:
                 item, protocol=frozenset({"rng"})
             )
             routed, _ = _route_request(state, particles, request)
-            parsed.append((routed, rng))
+            key = result_cache_key("sdh", fingerprint, request, rng)
+            parsed.append((routed, rng, key))
         except ReproError as exc:
             # Includes per-item SLOInfeasibleError: one infeasible
             # budget must not fail the whole batch.
@@ -706,7 +817,18 @@ def _handle_batch(state: _ServiceState, body: dict) -> dict:
             if isinstance(entry, Exception):
                 results.append(_error_entry(entry))
                 continue
-            request, rng = entry
+            request, rng, key = entry
+            # Batch items share the result cache with /v1/sdh (same
+            # keys), but do not coalesce — the whole batch already runs
+            # in one executor slot, so the only stampede it could join
+            # is itself.
+            if key is not None:
+                cached = state.results.get(key)
+                if cached is not None:
+                    results.append(_batch_entry(cached))
+                    continue
+            else:
+                state.results.count_bypass()
             stats = SDHStats()
             try:
                 plan = state.cache.get_or_build(particles, request)
@@ -715,7 +837,10 @@ def _handle_batch(state: _ServiceState, body: dict) -> dict:
                 results.append(_error_entry(exc))
                 continue
             absorbed.append((_engine_label(request), stats))
-            results.append(_histogram_body(hist, request))
+            entry_body = _histogram_body(hist, request)
+            if key is not None:
+                state.results.put(key, entry_body)
+            results.append(entry_body)
         return results, absorbed
 
     results, absorbed = state.executor.submit(
@@ -728,6 +853,13 @@ def _handle_batch(state: _ServiceState, body: dict) -> dict:
         "count": len(results),
         "results": results,
     }
+
+
+def _batch_entry(cached: dict) -> dict:
+    """A batch item body from a cached result (keys are shared with
+    ``/v1/sdh``, whose stored bodies may carry a ``plan`` block that
+    batch items never include)."""
+    return {k: v for k, v in cached.items() if k != "plan"}
 
 
 def _error_entry(exc: Exception) -> dict:
@@ -750,24 +882,41 @@ def _handle_rdf(state: _ServiceState, body: dict) -> dict:
     particles = state.resolve_dataset(_dataset_ref(body))
     request = SDHRequest(num_buckets=body.get("num_buckets", 100)).normalize()
     finite_size = body.get("finite_size", "corrected")
+    fingerprint = particles.fingerprint()
+    # RDFs cache and coalesce like SDHs; the finite-size normalization
+    # is part of the key (same histogram, different g(r)).
+    key = result_cache_key(
+        f"rdf[{finite_size}]", fingerprint, request, None
+    )
 
-    def run() -> tuple[Any, SDHStats]:
-        plan = state.cache.get_or_build(particles, request)
-        stats = SDHStats()
-        hist = plan.run(request, stats=stats)
-        return rdf_from_histogram(hist, particles, finite_size), stats
+    def compute() -> dict:
+        def run() -> tuple[Any, SDHStats]:
+            plan = state.cache.get_or_build(particles, request)
+            stats = SDHStats()
+            hist = plan.run(request, stats=stats)
+            return rdf_from_histogram(hist, particles, finite_size), stats
 
-    rdf, stats = state.executor.submit(run, timeout=body.get("timeout", ...))
-    state.absorb_stats("rdf", stats)
-    return {
-        "dataset": particles.fingerprint(),
-        "r": rdf.r.tolist(),
-        "g": rdf.g.tolist(),
-        "edges": rdf.edges.tolist(),
-        "density": rdf.density,
-        "num_particles": rdf.num_particles,
-        "dim": rdf.dim,
-    }
+        rdf, stats = state.executor.submit(
+            run, timeout=body.get("timeout", ...)
+        )
+        state.absorb_stats("rdf", stats)
+        return {
+            "r": rdf.r.tolist(),
+            "g": rdf.g.tolist(),
+            "edges": rdf.edges.tolist(),
+            "density": rdf.density,
+            "num_particles": rdf.num_particles,
+            "dim": rdf.dim,
+        }
+
+    if key is None:  # pragma: no cover - plain requests always key
+        state.results.count_bypass()
+        cached, outcome = compute(), "bypass"
+    else:
+        cached, outcome = state.results.fetch(
+            key, compute, wait_timeout=_wait_budget(state, body)
+        )
+    return dict(cached, dataset=fingerprint, result_source=outcome)
 
 
 # ----------------------------------------------------------------------

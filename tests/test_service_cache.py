@@ -1,6 +1,7 @@
 """Tests for repro.service.cache (the LRU plan cache)."""
 
 import threading
+import time
 
 import pytest
 
@@ -254,3 +255,77 @@ class TestBuildLockHygiene:
         # The key is not poisoned: the next request simply rebuilds.
         assert cache.get_or_build(datasets[0]) is not None
         assert cache.build_lock_count() == 0
+
+
+class _SlowDescribePlan:
+    """A stand-in plan whose describe() blocks until released."""
+
+    def __init__(self):
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def describe(self):
+        self.entered.set()
+        assert self.release.wait(5.0)
+        return {"slow": True}
+
+
+class TestSnapshotDoesNotStallLookups:
+    """Regression test: snapshot() must not hold the cache lock while
+    calling plan.describe() — a slow describe would stall every lookup
+    (and therefore every query) for the duration of a stats scrape."""
+
+    def test_lookup_proceeds_while_describe_blocks(self):
+        plan = _SlowDescribePlan()
+        cache = PlanCache(capacity=2, builder=lambda particles: plan)
+        particles = uniform(10, dim=2, rng=1)
+        cache.get_or_build(particles)
+
+        bodies = []
+        scraper = threading.Thread(
+            target=lambda: bodies.append(cache.snapshot())
+        )
+        scraper.start()
+        try:
+            assert plan.entered.wait(5.0)
+            # describe() is blocked mid-snapshot; a lookup must still
+            # complete immediately instead of queueing on the lock.
+            start = time.monotonic()
+            assert cache.get_or_build(particles) is plan
+            assert time.monotonic() - start < 1.0
+            assert cache.stats.hits == 1
+        finally:
+            plan.release.set()
+            scraper.join(timeout=5.0)
+        assert bodies and bodies[0]["plans"] != {}
+
+
+class TestEvictionCallback:
+    def test_capacity_eviction_notifies(self):
+        evicted = []
+        cache = PlanCache(
+            capacity=1,
+            builder=lambda particles: object(),
+            on_evict=evicted.append,
+        )
+        a = uniform(10, dim=2, rng=1)
+        b = uniform(12, dim=2, rng=2)
+        cache.get_or_build(a)
+        cache.get_or_build(b)
+        assert evicted == [a.fingerprint()]
+
+    def test_explicit_evict_and_clear_notify(self):
+        evicted = []
+        cache = PlanCache(
+            capacity=4,
+            builder=lambda particles: object(),
+            on_evict=evicted.append,
+        )
+        a = uniform(10, dim=2, rng=1)
+        b = uniform(12, dim=2, rng=2)
+        cache.get_or_build(a)
+        cache.get_or_build(b)
+        assert cache.evict(a.fingerprint())
+        assert not cache.evict(a.fingerprint())  # absent: no callback
+        cache.clear()
+        assert evicted == [a.fingerprint(), b.fingerprint()]

@@ -278,3 +278,68 @@ class TestStatsConsistency:
         assert final["completed"] == 40
         assert final["failures"] == 20
         assert final["in_flight"] == 0
+
+
+class TestAbandonedWork:
+    """Regression tests: a future abandoned on timeout must still be
+    consumed when it settles — late failures count (no "exception was
+    never retrieved" leaks) and late completions move `completed`."""
+
+    def test_late_failure_is_consumed_and_counted(self):
+        release = threading.Event()
+
+        def late_boom():
+            release.wait(5.0)
+            raise ValueError("raised after the caller left")
+
+        pool = QueryExecutor(max_workers=1, default_timeout=0.05)
+        try:
+            with pytest.raises(QueryTimeout):
+                pool.submit(late_boom)
+            assert pool.stats.timeouts == 1
+            assert pool.stats.failures == 0  # not settled yet
+            release.set()
+            deadline = time.time() + 5.0
+            while pool.stats.late_failures == 0 and time.time() < deadline:
+                time.sleep(0.01)
+            assert pool.stats.failures == 1
+            assert pool.stats.late_failures == 1
+            assert pool.stats.completed == 0
+        finally:
+            release.set()
+            pool.shutdown()
+
+    def test_late_completion_is_counted(self):
+        release = threading.Event()
+
+        def late_ok():
+            release.wait(5.0)
+            return "too late"
+
+        pool = QueryExecutor(max_workers=1, default_timeout=0.05)
+        try:
+            with pytest.raises(QueryTimeout):
+                pool.submit(late_ok)
+            release.set()
+            deadline = time.time() + 5.0
+            while (
+                pool.stats.late_completions == 0 and time.time() < deadline
+            ):
+                time.sleep(0.01)
+            assert pool.stats.completed == 1
+            assert pool.stats.late_completions == 1
+            assert pool.stats.failures == 0
+            body = pool.snapshot()
+            assert body["late_completions"] == 1
+            assert body["late_failures"] == 0
+        finally:
+            release.set()
+            pool.shutdown()
+
+    def test_in_time_work_never_counts_late(self):
+        with QueryExecutor(max_workers=1, default_timeout=5.0) as pool:
+            assert pool.submit(lambda: 3) == 3
+            with pytest.raises(ValueError):
+                pool.submit(lambda: (_ for _ in ()).throw(ValueError("x")))
+            assert pool.stats.late_completions == 0
+            assert pool.stats.late_failures == 0

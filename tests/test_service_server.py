@@ -203,7 +203,9 @@ class TestErrorPaths:
 
     def test_oversized_queue_rejected_as_503(self, dataset):
         """Saturate a 1-worker/0-queue server; the overflow request
-        must come back as ServerOverloaded, not hang."""
+        must come back as ServerOverloaded, not hang.  The burst uses
+        *distinct* queries — identical ones would coalesce onto a
+        single executor slot and never overload the pool."""
         config = ServiceConfig(max_workers=1, max_queue=0, timeout=None)
         with SDHService(config) as service:
             client = SDHClient(service.url)
@@ -212,14 +214,17 @@ class TestErrorPaths:
             done = []
             lock = threading.Lock()
 
-            def fire():
+            def fire(buckets):
                 try:
-                    done.append(client.sdh(key, num_buckets=64))
+                    done.append(client.sdh(key, num_buckets=buckets))
                 except ServerOverloaded:
                     with lock:
                         rejected.append(1)
 
-            threads = [threading.Thread(target=fire) for _ in range(6)]
+            threads = [
+                threading.Thread(target=fire, args=(60 + i,))
+                for i in range(6)
+            ]
             for t in threads:
                 t.start()
             for t in threads:
@@ -437,7 +442,8 @@ class TestObservability:
     def test_metrics_exposition(self, service, client, dataset):
         key = client.register(dataset)
         client.sdh(key, num_buckets=8)
-        client.sdh(key, num_buckets=8)  # plan-cache hit
+        client.sdh(key, num_buckets=8)  # result-cache hit
+        client.sdh(key, num_buckets=16)  # plan-cache hit, new result
         status, headers, text = self._raw_get(service.url + "/metrics")
         assert status == 200
         assert headers["Content-Type"].startswith("text/plain")
@@ -445,7 +451,14 @@ class TestObservability:
         assert "# TYPE sdh_cache_hits_total counter" in text
         assert "sdh_cache_builds_total 1" in text
         assert "sdh_cache_plans 1" in text
+        # The repeated query was served from the result cache, so only
+        # two computations reached the executor.
+        assert "sdh_result_cache_hits_total 1" in text
+        assert "sdh_result_cache_misses_total 2" in text
+        assert "sdh_result_coalesced_total 0" in text
+        assert "sdh_result_cache_entries 2" in text
         assert "sdh_executor_completed_total 2" in text
+        assert "sdh_executor_late_failures_total 0" in text
         assert "sdh_executor_in_flight 0" in text
         assert "sdh_uptime_seconds" in text
         # Per-request latency histogram, labelled by route.  These
