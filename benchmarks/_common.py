@@ -16,11 +16,15 @@ Each ``bench_*.py`` file regenerates one table or figure of the paper
 
 from __future__ import annotations
 
+import json
 import os
+import platform
 import time
+from datetime import datetime, timezone
 from typing import Callable
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def write_result(name: str, text: str) -> None:
@@ -30,6 +34,43 @@ def write_result(name: str, text: str) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text + "\n")
     print(f"\n[{name}] written to {path}\n{text}")
+
+
+def write_bench_json(
+    name: str, metrics: dict, config: dict | None = None
+) -> str:
+    """Record one harness run as ``BENCH_<name>.json`` at the repo root.
+
+    The repo-root files are the machine-readable perf trajectory: one
+    flat, standardized document per harness (schema below), committed
+    alongside the code so a regression shows up as a diff.  The
+    free-form tables under ``benchmarks/results/`` remain the
+    human-readable view.
+
+    Schema (v1): ``bench`` (harness name), ``created_utc``, ``host``
+    (cpu count / platform / python), ``config`` (workload knobs), and
+    ``metrics`` (the numbers the trajectory tracks).
+    """
+    body = {
+        "bench": name,
+        "schema_version": 1,
+        "created_utc": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "config": dict(config or {}),
+        "metrics": metrics,
+    }
+    path = os.path.join(REPO_ROOT, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(body, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[{name}] trajectory point written to {path}")
+    return path
 
 
 def timed(fn: Callable[[], object]) -> tuple[object, float]:

@@ -25,7 +25,7 @@ import pytest
 from repro import SDHRequest, UniformBuckets, compute_sdh, uniform
 from repro.kernels import NUMBA_AVAILABLE, get_backend
 
-from _common import write_result
+from _common import write_bench_json, write_result
 
 pytestmark = pytest.mark.skipif(
     not NUMBA_AVAILABLE or (os.cpu_count() or 1) < 4,
@@ -86,6 +86,21 @@ def leaf_timings():
         f"(gate: >= {GATE_SPEEDUP:.0f}x, cores={os.cpu_count()})",
     ]
     write_result("bench_kernels", "\n".join(rows))
+    write_bench_json(
+        "kernels",
+        {
+            "numpy_seconds": round(numpy_s, 6),
+            "numba_seconds": round(numba_s, 6),
+            "speedup": round(numpy_s / numba_s, 3),
+            "pairs_per_second_numba": round(n_ref / numba_s, 1),
+        },
+        config={
+            "n": N,
+            "dim": 3,
+            "num_buckets": NUM_BUCKETS,
+            "gate_speedup": GATE_SPEEDUP,
+        },
+    )
     return {"numpy": numpy_s, "numba": numba_s}
 
 

@@ -53,6 +53,8 @@ from repro.data import uniform  # noqa: E402
 from repro.errors import ReproError  # noqa: E402
 from repro.service import SDHClient, SDHService, ServiceConfig  # noqa: E402
 
+from _common import write_bench_json  # noqa: E402
+
 RESULTS_DIR = os.path.join(THIS_DIR, "results")
 
 
@@ -305,6 +307,22 @@ def run_load(
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
     print(f"[service_load] written to {path}")
+
+    overall = report["mixed"].get("overall", {})
+    write_bench_json(
+        os.path.splitext(out)[0],
+        {
+            "qps": report["mixed"]["qps"],
+            "p50_ms": overall.get("p50_ms"),
+            "p99_ms": overall.get("p99_ms"),
+            "coalesce_rate": report["identical"]["coalesce_rate"],
+            "result_hit_rate": report["server_totals"]["result_hit_rate"],
+            "executor_submitted": report["server_totals"][
+                "executor_submitted"
+            ],
+        },
+        config=report["config"],
+    )
     return report
 
 
@@ -349,6 +367,18 @@ def test_service_load_smoke():
     assert report["mixed"]["qps"] > 0
     assert "p99_ms" in report["mixed"]["overall"]
     assert report["server_totals"]["result_hits"] > 0
+
+    # The repo-root trajectory point must exist and follow the schema.
+    from _common import REPO_ROOT
+
+    bench_path = os.path.join(REPO_ROOT, "BENCH_service_load_smoke.json")
+    assert os.path.exists(bench_path)
+    with open(bench_path, encoding="utf-8") as handle:
+        body = json.load(handle)
+    assert body["bench"] == "service_load_smoke"
+    assert body["schema_version"] == 1
+    assert body["metrics"]["qps"] > 0
+    assert "created_utc" in body and "host" in body
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -148,6 +148,20 @@ def build_parser() -> argparse.ArgumentParser:
         "planner; 'off' uses the static rule (grid, or parallel when "
         "--workers > 1)",
     )
+    sdh.add_argument(
+        "--weights",
+        default=None,
+        metavar="FILE",
+        help="per-particle weights for a weighted SDH: a .npy file or "
+        "a text file with one weight per line",
+    )
+    sdh.add_argument(
+        "--cross",
+        default=None,
+        metavar="FILE",
+        help="second dataset (.npz or .xyz) for a two-dataset "
+        "cross-set SDH counting only A-B pairs",
+    )
 
     plan = sub.add_parser(
         "plan",
@@ -414,6 +428,13 @@ def _load(path: str) -> ParticleSet:
     return load_particles(path)
 
 
+def _load_weights(path: str) -> np.ndarray:
+    """One weight per particle: a ``.npy`` array or a text column."""
+    if path.endswith(".npy"):
+        return np.asarray(np.load(path), dtype=np.float64).ravel()
+    return np.loadtxt(path, dtype=np.float64).ravel()
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     if args.family == "uniform":
@@ -435,6 +456,28 @@ def _cmd_sdh(args: argparse.Namespace) -> int:
     with trace_span("load_dataset", path=args.input) as span:
         data = _load(args.input)
         span.annotate(particles=data.size)
+    if args.weights is not None:
+        data = data.with_weights(_load_weights(args.weights))
+    b = None
+    if args.cross is not None:
+        b = _load(args.cross)
+        if b.box != data.box:
+            # Files carry their own extent-fitted boxes; cross-set
+            # operands must share one, so pool the two.
+            from .geometry import AABB
+
+            lo = np.minimum(data.box.lo, b.box.lo)
+            hi = np.maximum(data.box.hi, b.box.hi)
+            pooled = AABB(lo, hi)
+            data = ParticleSet(
+                data.positions,
+                box=pooled,
+                types=data.types,
+                weights=data.weights,
+            )
+            b = ParticleSet(
+                b.positions, box=pooled, types=b.types, weights=b.weights
+            )
     stats = SDHStats()
     request = SDHRequest(
         bucket_width=args.width,
@@ -449,9 +492,13 @@ def _cmd_sdh(args: argparse.Namespace) -> int:
         planner=args.planner,
         kernel=args.kernel,
     )
-    histogram = compute_sdh(data, request, stats=stats)
+    histogram = compute_sdh(data, request, stats=stats, b=b)
     print(histogram.to_text())
-    print(f"total pairs: {histogram.total:.0f}")
+    weighted = data.weighted or (b is not None and b.weighted)
+    if weighted:
+        print(f"total pair mass: {histogram.total:.17g}")
+    else:
+        print(f"total pairs: {histogram.total:.0f}")
     if args.stats:
         print(f"start level:       {stats.start_level}")
         print(f"resolve calls:     {stats.total_resolve_calls}")

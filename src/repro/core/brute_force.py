@@ -14,10 +14,12 @@ import numpy as np
 
 from ..data.particles import ParticleSet
 from ..geometry import AABB, iter_cross_distance_chunks, iter_self_distance_chunks
-from ..kernels import fast_uniform_width, get_backend
+from ..geometry.distance import minimum_image
+from ..kernels import exact, fast_uniform_width, get_backend
 from .buckets import BucketSpec, OverflowPolicy, UniformBuckets
 from .histogram import DistanceHistogram
 from .instrumentation import SDHStats
+from .weighted import WeightedAccumulator
 
 __all__ = ["brute_force_sdh", "brute_force_cross_sdh"]
 
@@ -81,8 +83,24 @@ def brute_force_sdh(
             reach = AABB.of_points(positions).diagonal
         fast_width = fast_uniform_width(spec, reach)
 
+    weights = (
+        particles.weights if isinstance(particles, ParticleSet) else None
+    )
     histogram = DistanceHistogram(spec)
-    if fast_width is not None:
+    if weights is not None:
+        accum = WeightedAccumulator(spec, policy)
+        if fast_width is not None:
+            limbs, computed = backend.bin_dense_self_weighted(
+                positions, weights, fast_width, spec.num_buckets,
+                box_lengths, chunk=chunk,
+            )
+            accum.add_limbs(limbs, computed)
+        else:
+            computed = _slow_weighted_self(
+                positions, weights, accum, box_lengths, chunk
+            )
+        accum.finalize_into(histogram)
+    elif fast_width is not None:
         hist, computed = backend.bin_dense_self(
             positions, fast_width, spec.num_buckets, box_lengths, chunk=chunk
         )
@@ -136,8 +154,29 @@ def brute_force_cross_sdh(
             reach = AABB.of_points(np.vstack((pos_a, pos_b))).diagonal
         fast_width = fast_uniform_width(spec, reach)
 
+    weights_a = a.weights if isinstance(a, ParticleSet) else None
+    weights_b = b.weights if isinstance(b, ParticleSet) else None
+    weighted = weights_a is not None or weights_b is not None
     histogram = DistanceHistogram(spec)
-    if fast_width is not None:
+    if weighted:
+        if weights_a is None:
+            weights_a = np.ones(pos_a.shape[0])
+        if weights_b is None:
+            weights_b = np.ones(pos_b.shape[0])
+        accum = WeightedAccumulator(spec, policy)
+        if fast_width is not None:
+            limbs, computed = backend.bin_dense_cross_weighted(
+                pos_a, pos_b, weights_a, weights_b, fast_width,
+                spec.num_buckets, box_lengths, chunk=chunk,
+            )
+            accum.add_limbs(limbs, computed)
+        else:
+            computed = _slow_weighted_cross(
+                pos_a, pos_b, weights_a, weights_b, accum, box_lengths,
+                chunk,
+            )
+        accum.finalize_into(histogram)
+    elif fast_width is not None:
         hist, computed = backend.bin_dense_cross(
             pos_a, pos_b, fast_width, spec.num_buckets, box_lengths,
             chunk=chunk,
@@ -155,6 +194,86 @@ def brute_force_cross_sdh(
     if stats is not None:
         stats.distance_computations += computed
     return histogram
+
+
+def _slow_weighted_self(
+    positions: np.ndarray,
+    weights: np.ndarray,
+    accum: WeightedAccumulator,
+    box_lengths: np.ndarray | None,
+    chunk: int,
+) -> int:
+    """Weighted self sweep for kernel-ineligible bucket specs.
+
+    Enumerates the same blocked pair order (and the identical distance
+    op-sequence) as the kernels, but bins through ``spec.bucket_of`` so
+    custom buckets, ``low > 0`` and the overflow policy behave exactly
+    like the unweighted ``bin_counts_query`` path.
+    """
+    positions = np.asarray(positions, dtype=float)
+    w_ints = exact.weight_ints(weights)
+    n, dim = positions.shape
+    computed = 0
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        block = positions[start:stop]
+        m = stop - start
+        if m >= 2:
+            iu, ju = np.triu_indices(m, k=1)
+            delta = block[iu] - block[ju]
+            if box_lengths is not None:
+                delta = minimum_image(delta, box_lengths)
+            distances = np.sqrt(np.einsum("ij,ij->i", delta, delta))
+            accum.bin_products(
+                distances, w_ints[start + iu], w_ints[start + ju]
+            )
+            computed += distances.size
+        for rstart in range(stop, n, chunk):
+            rstop = min(rstart + chunk, n)
+            delta = (
+                block[:, None, :] - positions[rstart:rstop][None, :, :]
+            ).reshape(-1, dim)
+            if box_lengths is not None:
+                delta = minimum_image(delta, box_lengths)
+            distances = np.sqrt(np.einsum("ij,ij->i", delta, delta))
+            ia = np.repeat(np.arange(start, stop), rstop - rstart)
+            ib = np.tile(np.arange(rstart, rstop), m)
+            accum.bin_products(distances, w_ints[ia], w_ints[ib])
+            computed += distances.size
+    return computed
+
+
+def _slow_weighted_cross(
+    pos_a: np.ndarray,
+    pos_b: np.ndarray,
+    weights_a: np.ndarray,
+    weights_b: np.ndarray,
+    accum: WeightedAccumulator,
+    box_lengths: np.ndarray | None,
+    chunk: int,
+) -> int:
+    """Weighted cross sweep for kernel-ineligible bucket specs."""
+    pos_a = np.asarray(pos_a, dtype=float)
+    pos_b = np.asarray(pos_b, dtype=float)
+    wa_ints = exact.weight_ints(weights_a)
+    wb_ints = exact.weight_ints(weights_b)
+    computed = 0
+    for astart in range(0, pos_a.shape[0], chunk):
+        astop = min(astart + chunk, pos_a.shape[0])
+        ablock = pos_a[astart:astop]
+        for bstart in range(0, pos_b.shape[0], chunk):
+            bstop = min(bstart + chunk, pos_b.shape[0])
+            delta = (
+                ablock[:, None, :] - pos_b[bstart:bstop][None, :, :]
+            ).reshape(-1, pos_a.shape[1])
+            if box_lengths is not None:
+                delta = minimum_image(delta, box_lengths)
+            distances = np.sqrt(np.einsum("ij,ij->i", delta, delta))
+            ia = np.repeat(np.arange(astart, astop), bstop - bstart)
+            ib = np.tile(np.arange(bstart, bstop), astop - astart)
+            accum.bin_products(distances, wa_ints[ia], wb_ints[ib])
+            computed += distances.size
+    return computed
 
 
 def _derive_spec(

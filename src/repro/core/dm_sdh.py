@@ -26,12 +26,13 @@ import numpy as np
 from ..data.particles import ParticleSet
 from ..errors import QueryError
 from ..geometry import Region, Relation, cross_distances, pairwise_distances
-from ..kernels import fast_uniform_width, get_backend
+from ..kernels import exact, fast_uniform_width, get_backend
 from ..quadtree.node import DensityNode
 from ..quadtree.tree import DensityMapTree
 from .buckets import BucketSpec, OverflowPolicy, UniformBuckets
 from .histogram import DistanceHistogram
 from .instrumentation import SDHStats
+from .weighted import WeightedAccumulator
 
 __all__ = ["TreeSDHEngine", "dm_sdh_tree"]
 
@@ -167,6 +168,17 @@ class TreeSDHEngine:
         self._indices_cache: dict[int, tuple[np.ndarray, ...]] = {}
         self._count_cache: dict[int, tuple[float, ...]] = {}
 
+        # Weighted datasets route every contribution through one exact
+        # accumulator (see repro.core.weighted); control flow stays
+        # count-based so a zero *mass* never prunes unresolved pairs.
+        self.weighted = self.particles.weighted
+        self._accum: WeightedAccumulator | None = None
+        self._w_ints: np.ndarray | None = None
+        self._mass_cache: dict[int, tuple[int, int, int]] = {}
+        if self.weighted:
+            self._accum = WeightedAccumulator(self.spec, policy)
+            self._w_ints = exact.weight_ints(self.particles.weights)
+
     # ------------------------------------------------------------------
     # Entry point (Algorithm DM-SDH, Fig. 2)
     # ------------------------------------------------------------------
@@ -187,13 +199,18 @@ class TreeSDHEngine:
             if shortcut:
                 weight = self._self_weight(cell)
                 if weight:
-                    self.histogram.add(0, weight)
+                    if self._accum is not None:
+                        self._accum.add_mass(0, self._self_mass(cell))
+                    else:
+                        self.histogram.add(0, weight)
             else:
                 self._intra_distances(cell)
         # Lines 6-7: resolve every pair of cells on the start map.
         for i, m1 in enumerate(cells):
             for m2 in cells[i + 1 :]:
                 self._resolve_two_cells(m1, m2)
+        if self._accum is not None:
+            self._accum.finalize_into(self.histogram)
         return self.histogram
 
     # ------------------------------------------------------------------
@@ -215,7 +232,7 @@ class TreeSDHEngine:
         if v < self.spec.low:
             return
         if u > self.spec.high:
-            self._handle_overflow_pair(weight)
+            self._handle_overflow_pair(weight, m1, m2)
             return
 
         bucket = self.spec.resolve_range(u, v)
@@ -227,7 +244,10 @@ class TreeSDHEngine:
             # Lines 2-5: the pair resolves.
             self.stats.record_batch(level, examined=0, resolved=1,
                                     resolved_distances=float(weight))
-            self.histogram.add(bucket, weight)
+            if self._accum is not None:
+                self._accum.add_mass(bucket, self._pair_mass(m1, m2))
+            else:
+                self.histogram.add(bucket, weight)
             return
 
         if m1.is_leaf or m2.is_leaf:
@@ -237,7 +257,10 @@ class TreeSDHEngine:
             if bucket is not None:
                 self.stats.record_batch(level, examined=0, resolved=1,
                                         resolved_distances=float(weight))
-                self.histogram.add(bucket, weight)
+                if self._accum is not None:
+                    self._accum.add_mass(bucket, self._pair_mass(m1, m2))
+                else:
+                    self.histogram.add(bucket, weight)
                 return
             self._leaf_distances(m1, m2)
             return
@@ -318,6 +341,52 @@ class TreeSDHEngine:
         return a * (a - 1) / 2.0
 
     # ------------------------------------------------------------------
+    # Exact weight masses (weighted datasets only)
+    # ------------------------------------------------------------------
+    def _mass_sums(self, cell: DensityNode) -> tuple[int, int, int]:
+        """Exact (type-a sum, type-b sum, type-a sum of squares) of a cell.
+
+        Sums are weight-scale integers (see :mod:`repro.kernels.exact`);
+        the sum of squares is product-scale and only consumed by the
+        untyped :meth:`_self_mass`.  Cached per node like the counts.
+        """
+        assert self._w_ints is not None
+        key = id(cell)
+        cached = self._mass_cache.get(key)
+        if cached is None:
+            idx_a, idx_b = self._qualifying_indices(cell)
+            wa = sum(self._w_ints[idx_a].tolist(), 0)
+            if idx_b is idx_a:
+                wb = wa
+            else:
+                wb = sum(self._w_ints[idx_b].tolist(), 0)
+            s2 = sum((x * x for x in self._w_ints[idx_a].tolist()), 0)
+            cached = (wa, wb, s2)
+            self._mass_cache[key] = cached
+        return cached
+
+    def _pair_mass(self, m1: DensityNode, m2: DensityNode) -> int:
+        """Exact product-scale pair mass across two distinct cells.
+
+        ``(Σa)(Σb) = ΣΣ aᵢbⱼ`` holds exactly over the scaled integers,
+        so crediting a resolved pair here agrees bit for bit with the
+        leaf-level enumeration of the same pairs.
+        """
+        wa1, wb1, _ = self._mass_sums(m1)
+        wa2, wb2, _ = self._mass_sums(m2)
+        if self._type_a is not None and self._type_a != self._type_b:
+            return wa1 * wb2 + wb1 * wa2
+        return wa1 * wa2
+
+    def _self_mass(self, cell: DensityNode) -> int:
+        """Exact product-scale mass of qualifying pairs within one cell."""
+        wa, wb, s2 = self._mass_sums(cell)
+        if self._type_a is not None and self._type_a != self._type_b:
+            return wa * wb
+        # Σ_{i<j} wᵢwⱼ = (W² − Σw²)/2; the numerator is exactly even.
+        return (wa * wa - s2) >> 1
+
+    # ------------------------------------------------------------------
     # Leaf-level distance computation
     # ------------------------------------------------------------------
     def _qualifying_indices(self, node: DensityNode) -> tuple[np.ndarray, np.ndarray]:
@@ -364,6 +433,9 @@ class TreeSDHEngine:
         for left, right in batches:
             if left.size == 0 or right.size == 0:
                 continue
+            if self.weighted:
+                self._weighted_cross_batch(left, right)
+                continue
             if self._fast_bin_width is not None:
                 hist, computed = self._kernel_backend.bin_dense_cross(
                     positions[left],
@@ -391,6 +463,9 @@ class TreeSDHEngine:
         a, b = self._qualifying_indices(cell)
         if self._type_a is not None and self._type_a != self._type_b:
             if a.size and b.size:
+                if self.weighted:
+                    self._weighted_cross_batch(a, b)
+                    return
                 if self._fast_bin_width is not None:
                     hist, computed = self._kernel_backend.bin_dense_cross(
                         positions[a],
@@ -409,6 +484,9 @@ class TreeSDHEngine:
             return
         if a.size < 2:
             return
+        if self.weighted:
+            self._weighted_self_batch(a)
+            return
         if self._fast_bin_width is not None:
             hist, computed = self._kernel_backend.bin_dense_self(
                 positions[a], self._fast_bin_width, self.spec.num_buckets
@@ -422,9 +500,63 @@ class TreeSDHEngine:
             self.spec.bin_counts_query(distances, policy=self.policy)
         )
 
+    def _weighted_cross_batch(
+        self, left: np.ndarray, right: np.ndarray
+    ) -> None:
+        """Bin all cross pairs of two index sets into the accumulator."""
+        assert self._accum is not None and self._w_ints is not None
+        positions = self.particles.positions
+        weights = self.particles.weights
+        if self._fast_bin_width is not None:
+            limbs, computed = self._kernel_backend.bin_dense_cross_weighted(
+                positions[left],
+                positions[right],
+                weights[left],
+                weights[right],
+                self._fast_bin_width,
+                self.spec.num_buckets,
+            )
+            self.stats.distance_computations += computed
+            self._accum.add_limbs(limbs, computed)
+            return
+        distances = cross_distances(positions[left], positions[right])
+        self.stats.distance_computations += distances.size
+        ia = np.repeat(left, right.size)
+        ib = np.tile(right, left.size)
+        self._accum.bin_products(
+            distances, self._w_ints[ia], self._w_ints[ib]
+        )
+
+    def _weighted_self_batch(self, idx: np.ndarray) -> None:
+        """Bin all intra-set pairs of one index set into the accumulator."""
+        assert self._accum is not None and self._w_ints is not None
+        positions = self.particles.positions
+        weights = self.particles.weights
+        if self._fast_bin_width is not None:
+            limbs, computed = self._kernel_backend.bin_dense_self_weighted(
+                positions[idx],
+                weights[idx],
+                self._fast_bin_width,
+                self.spec.num_buckets,
+            )
+            self.stats.distance_computations += computed
+            self._accum.add_limbs(limbs, computed)
+            return
+        distances = pairwise_distances(positions[idx])
+        self.stats.distance_computations += distances.size
+        iu, ju = np.triu_indices(idx.size, k=1)
+        self._accum.bin_products(
+            distances, self._w_ints[idx[iu]], self._w_ints[idx[ju]]
+        )
+
     # ------------------------------------------------------------------
-    def _handle_overflow_pair(self, weight: float) -> None:
+    def _handle_overflow_pair(
+        self, weight: float, m1: DensityNode, m2: DensityNode
+    ) -> None:
         """A whole cell pair lies beyond the histogram's range."""
+        if self._accum is not None:
+            self._accum.add_overflow(self._pair_mass(m1, m2), int(weight))
+            return
         if self.policy is OverflowPolicy.RAISE:
             from ..errors import DistanceOverflowError
 

@@ -36,12 +36,13 @@ import numpy as np
 from ..data.particles import ParticleSet
 from ..errors import DistanceOverflowError, QueryError
 from ..geometry import box_pair_bounds
-from ..kernels import expand_products, fast_uniform_width, get_backend
+from ..kernels import exact, expand_products, fast_uniform_width, get_backend
 from ..quadtree.grid import GridPyramid
 from .buckets import BucketSpec, OverflowPolicy, UniformBuckets
 from .heuristics import AllocationContext, Allocator
 from .histogram import DistanceHistogram
 from .instrumentation import SDHStats
+from .weighted import WeightedAccumulator
 
 __all__ = ["GridSDHEngine", "dm_sdh_grid"]
 
@@ -69,6 +70,7 @@ def dm_sdh_grid(
     rng: np.random.Generator | int | None = None,
     periodic: bool = False,
     kernel: str = "auto",
+    cross_split: int | None = None,
 ) -> DistanceHistogram:
     """Compute an SDH with the vectorized DM-SDH engine.
 
@@ -78,9 +80,17 @@ def dm_sdh_grid(
 
     Parameters mirror :func:`repro.core.dm_sdh.dm_sdh_tree` where they
     overlap.  ``kernel`` selects the leaf-resolution backend (see
-    :mod:`repro.kernels`).  The two extra parameters select approximate
-    mode:
+    :mod:`repro.kernels`).  Weighted datasets (a :class:`ParticleSet`
+    carrying per-particle weights) accumulate exact pair products; see
+    :mod:`repro.core.weighted`.  The extra parameters select cross-set
+    and approximate mode:
 
+    cross_split:
+        Cross-set mode: ``data`` holds the concatenation of two sets
+        (A first), ``cross_split`` is ``|A|``, and the histogram counts
+        only pairs with one particle from each side (every cell tracks
+        per-side counts, so a resolved cell pair contributes
+        ``na1 * nb2 + nb1 * na2``).
     stop_after_levels:
         Visit at most this many density maps below the start map
         (the paper's ``m``).  Requires ``allocator``.
@@ -104,6 +114,7 @@ def dm_sdh_grid(
         rng=rng,
         periodic=periodic,
         kernel=kernel,
+        cross_split=cross_split,
     )
     return engine.run()
 
@@ -139,6 +150,7 @@ class GridSDHEngine:
         distance_chunk: int = DEFAULT_DISTANCE_CHUNK,
         periodic: bool = False,
         kernel: str = "auto",
+        cross_split: int | None = None,
     ):
         self.pyramid = pyramid
         self.particles = pyramid.particles
@@ -203,6 +215,51 @@ class GridSDHEngine:
             "callable[[np.ndarray, np.ndarray], None] | None"
         ) = None
 
+        # Weighted / cross-set state.  Weighted mode replaces the float
+        # histogram accumulation with the exact integer machinery of
+        # repro.core.weighted; cross mode tracks per-side cell masses.
+        self.cross_split = None if cross_split is None else int(cross_split)
+        self.weighted = self.particles.weighted
+        if self.weighted or self.cross_split is not None:
+            if self.approximate:
+                raise QueryError(
+                    "weighted/cross-set queries cannot run in "
+                    "approximate mode"
+                )
+            if pyramid.order is None:
+                raise QueryError(
+                    "weighted/cross-set queries need a pyramid with a "
+                    "materialized sort order"
+                )
+        if self.cross_split is not None and not (
+            0 < self.cross_split < self.particles.size
+        ):
+            raise QueryError(
+                f"cross_split must split the set, got {cross_split} "
+                f"of {self.particles.size}"
+            )
+        self._accum = (
+            WeightedAccumulator(self.spec, policy) if self.weighted else None
+        )
+        self._sides_sorted = (
+            None
+            if self.cross_split is None
+            else pyramid.order >= self.cross_split
+        )
+        self._w_sorted = (
+            self.particles.weights[pyramid.order] if self.weighted else None
+        )
+        self._w_obj_sorted = (
+            exact.weight_ints(self._w_sorted) if self.weighted else None
+        )
+        self._wsum_levels: "list[np.ndarray] | None" = None
+        self._side_wsum_levels: (
+            "tuple[list[np.ndarray], list[np.ndarray]] | None"
+        ) = None
+        self._side_count_levels: (
+            "tuple[list[np.ndarray], list[np.ndarray]] | None"
+        ) = None
+
     # ------------------------------------------------------------------
     @property
     def approximate(self) -> bool:
@@ -222,6 +279,8 @@ class GridSDHEngine:
 
         self._intra_cell(start)
         self._drain(start, self._start_pairs(start), last_level)
+        if self._accum is not None:
+            self._accum.finalize_into(self.histogram)
         return self.histogram
 
     def _drain(
@@ -362,6 +421,83 @@ class GridSDHEngine:
             self._float_counts[level] = cached
         return cached
 
+    # ------------------------------------------------------------------
+    # Weighted / cross auxiliary pyramids (built lazily, all levels)
+    # ------------------------------------------------------------------
+    def _leaf_cell_ids(self) -> np.ndarray:
+        """Leaf cell id of every sorted particle (CSR expansion)."""
+        starts = self.pyramid.leaf_starts
+        return np.repeat(
+            np.arange(starts.size - 1, dtype=np.int64), np.diff(starts)
+        )
+
+    def _pool_leaf(self, leaf_values: np.ndarray) -> "list[np.ndarray]":
+        grid = 1 << (self.pyramid.height - 1)
+        return _pool_values(leaf_values, grid, self.pyramid.dim)
+
+    def _weight_sums(self, level: int) -> np.ndarray:
+        """Exact integer weight sum per cell at a level (object array)."""
+        if self._wsum_levels is None:
+            leaf = exact.zero_ints(self.pyramid.leaf_starts.size - 1)
+            np.add.at(leaf, self._leaf_cell_ids(), self._w_obj_sorted)
+            self._wsum_levels = self._pool_leaf(leaf)
+        return self._wsum_levels[level]
+
+    def _side_weight_sums(
+        self, level: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact per-side weight sums per cell (cross mode, object arrays)."""
+        if self._side_wsum_levels is None:
+            cells = self._leaf_cell_ids()
+            num = self.pyramid.leaf_starts.size - 1
+            sides = self._sides_sorted
+            leaf_a = exact.zero_ints(num)
+            leaf_b = exact.zero_ints(num)
+            np.add.at(leaf_a, cells[~sides], self._w_obj_sorted[~sides])
+            np.add.at(leaf_b, cells[sides], self._w_obj_sorted[sides])
+            self._side_wsum_levels = (
+                self._pool_leaf(leaf_a), self._pool_leaf(leaf_b)
+            )
+        return (
+            self._side_wsum_levels[0][level],
+            self._side_wsum_levels[1][level],
+        )
+
+    def _side_counts(self, level: int) -> tuple[np.ndarray, np.ndarray]:
+        """Per-side float cell counts (cross mode)."""
+        if self._side_count_levels is None:
+            cells = self._leaf_cell_ids()
+            num = self.pyramid.leaf_starts.size - 1
+            leaf_b = np.bincount(
+                cells[self._sides_sorted], minlength=num
+            ).astype(np.float64)
+            nb_levels = self._pool_leaf(leaf_b)
+            na_levels = [
+                self._counts_float(lvl) - nb_levels[lvl]
+                for lvl in range(self.pyramid.height)
+            ]
+            self._side_count_levels = (na_levels, nb_levels)
+        return (
+            self._side_count_levels[0][level],
+            self._side_count_levels[1][level],
+        )
+
+    def _pair_masses(
+        self, level: int, flat_a: np.ndarray, flat_b: np.ndarray
+    ) -> np.ndarray:
+        """Exact pair-product masses of whole cell pairs (object array).
+
+        For a resolved pair the sum of its particle-pair products equals
+        the product of the two cell weight sums — exactly, because the
+        sums are exact integers (the float shortcut the density-map
+        engines rely on would not survive rounding).
+        """
+        if self.cross_split is not None:
+            wa, wb = self._side_weight_sums(level)
+            return wa[flat_a] * wb[flat_b] + wb[flat_a] * wa[flat_b]
+        w = self._weight_sums(level)
+        return w[flat_a] * w[flat_b]
+
     def _wrap_deltas(self, delta: np.ndarray) -> np.ndarray:
         """Apply the minimum-image convention when periodic."""
         if not self.periodic:
@@ -401,6 +537,29 @@ class GridSDHEngine:
         and binning; anything else keeps the inline wrap/einsum path so
         policy handling and custom buckets behave exactly as before.
         """
+        if self.weighted:
+            if self._fast_bin_width is not None:
+                limbs, computed = (
+                    self._kernel_backend.bin_gathered_pairs_weighted(
+                        positions,
+                        self._w_sorted,
+                        g1,
+                        g2,
+                        self._fast_bin_width,
+                        self.spec.num_buckets,
+                        self._box_lengths,
+                    )
+                )
+                self.stats.distance_computations += computed
+                self._accum.add_limbs(limbs, computed)
+                return
+            delta = self._wrap_deltas(positions[g1] - positions[g2])
+            distances = np.sqrt(np.einsum("ij,ij->i", delta, delta))
+            self.stats.distance_computations += distances.size
+            self._accum.bin_products(
+                distances, self._w_obj_sorted[g1], self._w_obj_sorted[g2]
+            )
+            return
         if self._fast_bin_width is not None:
             hist, computed = self._kernel_backend.bin_gathered_pairs(
                 positions,
@@ -426,6 +585,24 @@ class GridSDHEngine:
             and self.pyramid.cell_diagonal(start) <= float(self.spec.edges[1])
         )
         if shortcut:
+            if self.weighted:
+                if self.cross_split is not None:
+                    wa, wb = self._side_weight_sums(start)
+                    mass = sum((wa * wb).tolist(), 0)
+                else:
+                    # sum_c (W_c^2 - S2_c) / 2, with sum_c S2_c equal to
+                    # the level-independent global sum of squares.
+                    w = self._weight_sums(start)
+                    square = sum(
+                        (x * x for x in self._w_obj_sorted.tolist()), 0
+                    )
+                    mass = (sum((w * w).tolist(), 0) - square) >> 1
+                self._accum.add_mass(0, mass)
+                return
+            if self.cross_split is not None:
+                na, nb = self._side_counts(start)
+                self.histogram.add(0, float((na * nb).sum()))
+                return
             n = counts.astype(np.float64)
             self.histogram.add(0, float((n * (n - 1)).sum() / 2.0))
             return
@@ -475,6 +652,8 @@ class GridSDHEngine:
                 starts[block], c, starts[block], c, self.distance_chunk
             ):
                 keep = g1 < g2
+                if self._sides_sorted is not None:
+                    keep &= self._sides_sorted[g1] != self._sides_sorted[g2]
                 g1, g2 = g1[keep], g2[keep]
                 if g1.size == 0:
                     continue
@@ -519,7 +698,11 @@ class GridSDHEngine:
         counts = self._counts_float(level)
         flat_a = self._flat(level, idx_a)
         flat_b = self._flat(level, idx_b)
-        weights = counts[flat_a] * counts[flat_b]
+        if self.cross_split is not None:
+            na, nb = self._side_counts(level)
+            weights = na[flat_a] * nb[flat_b] + nb[flat_a] * na[flat_b]
+        else:
+            weights = counts[flat_a] * counts[flat_b]
         num = self.spec.num_buckets
 
         if self.use_mbr:
@@ -543,15 +726,34 @@ class GridSDHEngine:
 
         resolved = status == _RESOLVED
         if resolved.any():
-            self.histogram.add_counts(
-                np.bincount(
-                    bucket[resolved], weights=weights[resolved],
-                    minlength=num,
+            if self.weighted:
+                self._accum.add_resolved(
+                    np.asarray(bucket[resolved], dtype=np.int64),
+                    self._pair_masses(level, flat_a[resolved],
+                                      flat_b[resolved]),
                 )
-            )
+            else:
+                self.histogram.add_counts(
+                    np.bincount(
+                        bucket[resolved], weights=weights[resolved],
+                        minlength=num,
+                    )
+                )
         above = status == _ABOVE
+        if self.cross_split is not None:
+            # A cell pair holding no cross pairs (e.g. both cells pure
+            # side A) contributes nothing and must not trip the policy.
+            above = above & (weights > 0)
         if above.any():
-            self._handle_overflow(weights[above])
+            if self.weighted:
+                masses = self._pair_masses(
+                    level, flat_a[above], flat_b[above]
+                )
+                self._accum.add_overflow(
+                    sum(masses.tolist(), 0), int(above.sum())
+                )
+            else:
+                self._handle_overflow(weights[above])
         self.stats.record_batch(
             level,
             examined=idx_a.shape[0],
@@ -694,6 +896,11 @@ class GridSDHEngine:
         for g1, g2 in expand_products(
             starts[a_ids], c1, starts[b_ids], c2, self.distance_chunk
         ):
+            if self._sides_sorted is not None:
+                keep = self._sides_sorted[g1] != self._sides_sorted[g2]
+                g1, g2 = g1[keep], g2[keep]
+                if g1.size == 0:
+                    continue
             self._bin_pairs(positions, g1, g2)
 
     # ------------------------------------------------------------------
@@ -735,6 +942,32 @@ class GridSDHEngine:
 # Backward-compatible alias: expand_products moved to repro.kernels.csr
 # so the kernel backends can share the CSR enumeration.
 _expand_products = expand_products
+
+
+def _pool_values(
+    leaf_values: np.ndarray, grid: int, dim: int
+) -> "list[np.ndarray]":
+    """Per-level cell sums, finest to coarsest, for arbitrary dtypes.
+
+    The same 2x sum-pooling as :meth:`GridPyramid._pool_counts`, but
+    usable with float side counts and object-int weight sums (python
+    ints survive ``reshape``/``sum``, so the pooled sums stay exact).
+    """
+    height = grid.bit_length()  # grid == 2**(height-1)
+    levels: "list[np.ndarray]" = [None] * height  # type: ignore
+    levels[height - 1] = leaf_values
+    current = leaf_values.reshape((grid,) * dim, order="F")
+    for level in range(height - 2, -1, -1):
+        pooled = current
+        for axis in range(dim):
+            g = pooled.shape[axis]
+            new_shape = (
+                pooled.shape[:axis] + (g // 2, 2) + pooled.shape[axis + 1 :]
+            )
+            pooled = pooled.reshape(new_shape).sum(axis=axis + 1)
+        current = pooled
+        levels[level] = current.reshape(-1, order="F").copy()
+    return levels
 
 
 def _resolve_spec(

@@ -97,6 +97,8 @@ class EngineCapabilities:
     supports_approximate: bool = False
     supports_mbr: bool = False
     supports_workers: bool = False
+    supports_weights: bool = False
+    supports_cross: bool = False
     kernel_tiers: tuple[str, ...] = ("numpy",)
 
     def __init__(
@@ -108,6 +110,8 @@ class EngineCapabilities:
         supports_approximate: bool = False,
         supports_mbr: bool = False,
         supports_workers: bool = False,
+        supports_weights: bool = False,
+        supports_cross: bool = False,
         kernel_tiers: Iterable[str] = ("numpy",),
         **legacy: bool,
     ):
@@ -119,6 +123,8 @@ class EngineCapabilities:
             "supports_approximate": bool(supports_approximate),
             "supports_mbr": bool(supports_mbr),
             "supports_workers": bool(supports_workers),
+            "supports_weights": bool(supports_weights),
+            "supports_cross": bool(supports_cross),
         }
         if legacy:
             unknown = sorted(set(legacy) - set(_LEGACY_FIELDS))
@@ -238,10 +244,28 @@ class Engine:
         default_factory=EngineCapabilities
     )
 
-    def check(self, request) -> None:
-        """Raise :class:`QueryError` if the request needs missing features."""
+    def check(
+        self, request, weighted: bool = False, cross: bool = False
+    ) -> None:
+        """Raise :class:`QueryError` if the request needs missing features.
+
+        ``weighted`` lets the dispatcher flag a dataset that carries
+        per-particle weights even when the request itself has none (the
+        request's ``weights`` field is only the per-call override);
+        ``cross`` likewise flags a second operand supplied directly to
+        :func:`~repro.core.query.compute_sdh` without a wire-level
+        ``dataset_b`` name.
+        """
         caps = self.capabilities
         missing = []
+        if (
+            weighted or getattr(request, "weights", None) is not None
+        ) and not caps.supports_weights:
+            missing.append("weighted datasets")
+        if (
+            cross or getattr(request, "dataset_b", None) is not None
+        ) and not caps.supports_cross:
+            missing.append("cross-set queries")
         if request.periodic and not caps.supports_periodic:
             missing.append("periodic boundaries")
         if request.region is not None and not caps.supports_region:

@@ -58,6 +58,7 @@ def compute_sdh(
     particles: ParticleSet,
     request: SDHRequest | BucketSpec | float | None = None,
     *,
+    b: ParticleSet | None = None,
     stats: SDHStats | None = None,
     rng: np.random.Generator | int | None = None,
     **kwargs,
@@ -68,6 +69,14 @@ def compute_sdh(
     see :class:`~repro.core.request.SDHRequest` for every query knob.
     ``stats`` and ``rng`` are runtime arguments (counters and sampling
     randomness), not part of the query itself.
+
+    ``b`` makes the query a *cross-set* SDH: the histogram counts every
+    pair with one particle from ``particles`` and one from ``b``
+    (``N_a * N_b`` pairs), never intra-set pairs.  Both sets must share
+    the simulation box and dimensionality.  ``request.weights``
+    attaches per-particle weights to ``particles`` for this call
+    (equivalent to ``particles.with_weights(...)``); ``b`` carries its
+    own weights, if any, on the set itself.
 
     Two shims keep older call styles working, both deprecated in favour
     of an explicit :class:`SDHRequest` (one-release compatibility):
@@ -83,17 +92,87 @@ def compute_sdh(
     emitted, and callers should use ``request.replace(...)`` instead.
     """
     request = _coerce_request(request, kwargs)
-    request = _maybe_plan(particles, request)
+    particles, request = _apply_request_weights(particles, request)
+    b = _check_cross_operand(particles, request, b)
+    request = _maybe_plan(particles, request, b=b)
     spec = request.resolved_spec(particles)
     name = resolve_engine_name(request)
     engine = get_engine(name)
-    engine.check(request)
+    weighted = particles.weighted or (b is not None and b.weighted)
+    engine.check(request, weighted=weighted, cross=b is not None)
     if stats is None:
         stats = SDHStats()
+    extra = {} if b is None else {"b": b}
     with trace_span("query", engine=name, particles=particles.size):
-        result = engine.run(particles, request, spec, stats=stats, rng=rng)
+        result = engine.run(
+            particles, request, spec, stats=stats, rng=rng, **extra
+        )
     publish_stats(stats, name)
     return result
+
+
+def _apply_request_weights(
+    particles: ParticleSet, request: SDHRequest
+) -> tuple[ParticleSet, SDHRequest]:
+    """Fold ``request.weights`` into the dataset for this call.
+
+    The request field is the wire/per-call override; engines only ever
+    see weights on the :class:`ParticleSet` itself.  Returns the
+    (possibly reweighted) dataset and the request with the field
+    cleared, so downstream caching and checks key off the dataset.
+    """
+    if request.weights is None:
+        return particles, request
+    weights = np.asarray(request.weights, dtype=float)
+    if weights.size != particles.size:
+        raise QueryError(
+            f"request carries {weights.size} weight(s) for a dataset of "
+            f"{particles.size} particle(s)"
+        )
+    return particles.with_weights(weights), request.replace(weights=None)
+
+
+def _check_cross_operand(
+    particles: ParticleSet, request: SDHRequest, b: ParticleSet | None
+) -> ParticleSet | None:
+    """Validate the second operand of a cross-set query.
+
+    ``request.dataset_b`` is the wire-level name of the second set; at
+    the library level the caller must supply the actual
+    :class:`ParticleSet` via ``compute_sdh(a, request, b=...)``.
+    """
+    if b is None:
+        if request.dataset_b is not None:
+            raise QueryError(
+                f"request names dataset_b={request.dataset_b!r} but no "
+                "second particle set was supplied; call "
+                "compute_sdh(a, request, b=...)"
+            )
+        return None
+    if not isinstance(b, ParticleSet):
+        raise QueryError(
+            f"b must be a ParticleSet, got {type(b).__name__}"
+        )
+    if b.dim != particles.dim:
+        raise QueryError(
+            f"cross-set operands disagree on dimensionality "
+            f"({particles.dim} vs {b.dim})"
+        )
+    if b.box != particles.box:
+        raise QueryError(
+            "cross-set operands must share the simulation box; "
+            "construct both sets with an explicit common AABB"
+        )
+    if request.restricted:
+        raise QueryError(
+            "cross-set queries cannot be combined with region or type "
+            "restrictions"
+        )
+    if request.approximate:
+        raise QueryError(
+            "cross-set queries cannot run in approximate mode"
+        )
+    return b
 
 
 def resolve_engine_name(request: SDHRequest) -> str:
@@ -114,7 +193,7 @@ def resolve_engine_name(request: SDHRequest) -> str:
 
 
 def _maybe_plan(
-    particles, request: SDHRequest, cache_hot: bool = False
+    particles, request: SDHRequest, cache_hot: bool = False, b=None
 ) -> SDHRequest:
     """Route an ``auto`` request through the cost-based planner.
 
@@ -132,7 +211,9 @@ def _maybe_plan(
     # layering (it also feeds the service and CLI).
     from ..planner import plan_request
 
-    return plan_request(request, particles, cache_hot=cache_hot).request
+    return plan_request(
+        request, particles, cache_hot=cache_hot, b=b
+    ).request
 
 
 def _coerce_request(request, kwargs: dict) -> SDHRequest:
@@ -173,7 +254,42 @@ def _coerce_request(request, kwargs: dict) -> SDHRequest:
 # ----------------------------------------------------------------------
 # Engine runners (registered at the bottom of the module)
 # ----------------------------------------------------------------------
-def _run_brute(particles, request, spec, *, stats, rng):
+def _combined_cross_set(a: ParticleSet, b: ParticleSet) -> ParticleSet:
+    """Concatenate the operands of a cross-set query into one set.
+
+    The DM engines index the union and count only pairs whose sides
+    differ; the side label rides along as the type array (the cross
+    query rejects type restrictions, so the slot is free).  When either
+    side is weighted, the other defaults to unit weights so one exact
+    accumulation covers both.
+    """
+    positions = np.vstack((a.positions, b.positions))
+    sides = np.concatenate(
+        [
+            np.zeros(a.size, dtype=np.int64),
+            np.ones(b.size, dtype=np.int64),
+        ]
+    )
+    weights = None
+    if a.weighted or b.weighted:
+        weights = np.concatenate(
+            [
+                a.weights if a.weighted else np.ones(a.size),
+                b.weights if b.weighted else np.ones(b.size),
+            ]
+        )
+    return ParticleSet(positions, box=a.box, types=sides, weights=weights)
+
+
+def _run_brute(particles, request, spec, *, stats, rng, b=None):
+    if b is not None:
+        from .brute_force import brute_force_cross_sdh
+
+        return brute_force_cross_sdh(
+            particles, b, spec, policy=request.policy,
+            stats=stats or SDHStats(), periodic=request.periodic,
+            kernel=request.kernel,
+        )
     filtered = _filter_brute(
         particles, request.region, request.type_filter, request.type_pair
     )
@@ -195,7 +311,22 @@ def _run_brute(particles, request, spec, *, stats, rng):
     )
 
 
-def _run_tree(particles, request, spec, *, stats, rng):
+def _run_tree(particles, request, spec, *, stats, rng, b=None):
+    if b is not None:
+        # Cross-set on the reference engine: index the union with side
+        # labels as types and reuse the type-pair machinery — a (0, 1)
+        # pair is exactly "one particle from each side".
+        combined = _combined_cross_set(particles, b)
+        tree = DensityMapTree(combined, with_mbr=request.use_mbr)
+        return dm_sdh_tree(
+            tree,
+            spec=spec,
+            use_mbr=request.use_mbr,
+            type_pair=(0, 1),
+            policy=request.policy,
+            stats=stats,
+            kernel=request.kernel,
+        )
     tree = DensityMapTree(particles, with_mbr=request.use_mbr)
     return dm_sdh_tree(
         tree,
@@ -210,8 +341,20 @@ def _run_tree(particles, request, spec, *, stats, rng):
     )
 
 
-def _run_grid(particles, request, spec, *, stats, rng):
+def _run_grid(particles, request, spec, *, stats, rng, b=None):
+    if b is not None:
+        combined = _combined_cross_set(particles, b)
+        return dm_sdh_grid(
+            combined, spec=spec, use_mbr=request.use_mbr,
+            policy=request.policy, stats=stats, periodic=request.periodic,
+            kernel=request.kernel, cross_split=particles.size,
+        )
     if request.approximate:
+        if particles.weighted:
+            raise QueryError(
+                "weighted queries cannot run in approximate mode "
+                "(fractional allocation is not exact)"
+            )
         return adm_sdh(
             particles,
             spec=spec,
@@ -232,12 +375,24 @@ def _run_grid(particles, request, spec, *, stats, rng):
             kernel=request.kernel,
         )
 
+    def run_cross(sa: ParticleSet, sb: ParticleSet) -> DistanceHistogram:
+        return dm_sdh_grid(
+            _combined_cross_set(sa, sb), spec=spec,
+            use_mbr=request.use_mbr, policy=request.policy, stats=stats,
+            periodic=request.periodic, kernel=request.kernel,
+            cross_split=sa.size,
+        )
+
     if request.restricted:
-        return _restricted_subsets(particles, spec, request, run_full)
+        return _restricted_subsets(
+            particles, spec, request, run_full, run_cross
+        )
     return run_full(particles)
 
 
-def _run_parallel(particles, request, spec, *, stats, rng):
+def _run_parallel(particles, request, spec, *, stats, rng, b=None):
+    if b is not None:  # pragma: no cover - capability check rejects first
+        raise QueryError("engine 'parallel' does not support cross-set queries")
     # Imported lazily: repro.parallel imports this module's siblings,
     # and the registry must be populated before the first query anyway.
     from ..parallel.engine import parallel_sdh
@@ -259,6 +414,7 @@ def _restricted_subsets(
     spec: BucketSpec,
     request: SDHRequest,
     run_full,
+    run_cross=None,
 ) -> DistanceHistogram:
     """Restricted queries on a plain engine via subsetting.
 
@@ -266,7 +422,11 @@ def _restricted_subsets(
     prebuilt quadtree; materializing the qualifying subset and running
     the plain algorithm is equivalent and, in this implementation,
     usually faster.  Cross-type histograms use the exact identity
-    ``h(A x B) = h(A u B) - h(A) - h(B)`` for disjoint A, B.
+    ``h(A x B) = h(A u B) - h(A) - h(B)`` for disjoint A, B — except on
+    weighted datasets, where the three terms are independently rounded
+    doubles and the subtraction would be off by an ulp from the engines
+    that count the cross pairs directly; those run the true cross-set
+    path (``run_cross``) instead.
     """
     current = particles
     if request.region is not None:
@@ -287,6 +447,13 @@ def _restricted_subsets(
         _require_distinct_pair(particles, pair)
         subset_a = current.of_type(pair[0])
         subset_b = current.of_type(pair[1])
+        if current.weighted:
+            if run_cross is None:  # pragma: no cover - engines that
+                # subset never advertise weights without a cross path
+                raise QueryError(
+                    "this engine cannot run weighted type-pair queries"
+                )
+            return run_cross(subset_a, subset_b)
         both = current.select(
             (current.types == current.resolve_type(pair[0]))
             | (current.types == current.resolve_type(pair[1]))
@@ -415,13 +582,25 @@ class SDHQuery:
                 "for keyword-style queries"
             )
         request = request.normalize()
+        if request.dataset_b is not None:
+            raise QueryError(
+                "a prebuilt plan indexes one dataset; run cross-set "
+                "queries with compute_sdh(a, request, b=...)"
+            )
+        if request.weights is not None:
+            # The cached pyramid indexes the unweighted dataset; a
+            # per-call weight override runs the one-shot path instead.
+            particles, request = _apply_request_weights(
+                self._particles, request
+            )
+            return compute_sdh(particles, request, stats=stats, rng=rng)
         # The pyramid is already built, so planning treats index
         # construction as sunk cost (cache_hot).
         request = _maybe_plan(self._particles, request, cache_hot=True)
         spec = request.resolved_spec(self._particles)
         name = resolve_engine_name(request)
         engine = get_engine(name)
-        engine.check(request)
+        engine.check(request, weighted=self._particles.weighted)
         if stats is None:
             stats = SDHStats()
         with trace_span(
@@ -452,6 +631,11 @@ class SDHQuery:
                 kernel=request.kernel,
             )
         if request.approximate:
+            if self._particles.weighted:
+                raise QueryError(
+                    "weighted queries cannot run in approximate mode "
+                    "(fractional allocation is not exact)"
+                )
             return adm_sdh(
                 self._pyramid,
                 spec=spec,
@@ -482,8 +666,17 @@ class SDHQuery:
                     periodic=request.periodic, kernel=request.kernel,
                 )
 
+            def run_cross(sa, sb) -> DistanceHistogram:
+                return dm_sdh_grid(
+                    _combined_cross_set(sa, sb), spec=spec, use_mbr=False,
+                    policy=request.policy, stats=stats,
+                    periodic=request.periodic, kernel=request.kernel,
+                    cross_split=sa.size,
+                )
+
             return _restricted_subsets(
-                self._particles, spec, request, run_full
+                self._particles, spec, request, run_full,
+                None if name == "parallel" else run_cross,
             )
         if name == "parallel":
             from ..parallel.engine import parallel_sdh
@@ -601,6 +794,8 @@ register_engine(
         supports_type_filter=True,
         supports_type_pair=True,
         supports_mbr=True,
+        supports_weights=True,
+        supports_cross=True,
         kernel_tiers=available_kernel_tiers(),
     ),
     replace=True,
@@ -613,6 +808,8 @@ register_engine(
         supports_type_filter=True,
         supports_type_pair=True,
         supports_mbr=True,
+        supports_weights=True,
+        supports_cross=True,
         kernel_tiers=available_kernel_tiers(),
     ),
     replace=True,
@@ -627,6 +824,8 @@ register_engine(
         supports_type_pair=True,
         supports_approximate=True,
         supports_mbr=True,
+        supports_weights=True,
+        supports_cross=True,
         kernel_tiers=available_kernel_tiers(),
     ),
     replace=True,

@@ -86,6 +86,22 @@ class SDHRequest:
         installed, numpy otherwise); ``"numpy"`` / ``"numba"`` pin one.
         Pinning ``"numba"`` on a host without numba is rejected by the
         engine capability check.
+    weights:
+        Optional per-particle weights for the (first) dataset, one
+        float per particle; a pair then contributes ``w_i * w_j`` to
+        its bucket instead of 1.  Overrides any weights the dataset
+        itself carries.  Must be finite; zero and negative values are
+        allowed.  Incompatible with approximate mode (the allocator
+        distributes float shares, which cannot stay exact).
+    dataset_b:
+        Reference to a second dataset, turning the query into a
+        *cross-set* SDH: one histogram of all ``|A| * |B|`` distances
+        between the two sets (both must share a simulation box).  Over
+        the wire this is the registered dataset's fingerprint; at the
+        library level :func:`~repro.core.query.compute_sdh` takes the
+        resolved :class:`~repro.data.particles.ParticleSet` as ``b=``.
+        Incompatible with region/type restrictions and approximate
+        mode.
     """
 
     bucket_width: float | None = None
@@ -105,6 +121,8 @@ class SDHRequest:
     latency_budget_ms: float | None = None
     planner: str = "auto"
     kernel: str = "auto"
+    weights: tuple[float, ...] | None = None
+    dataset_b: str | None = None
 
     # ------------------------------------------------------------------
     # Derived properties
@@ -113,6 +131,11 @@ class SDHRequest:
     def approximate(self) -> bool:
         """Whether this request runs ADM-SDH (Sec. V)."""
         return self.error_bound is not None or self.levels is not None
+
+    @property
+    def cross(self) -> bool:
+        """Whether this is a two-dataset cross-set query."""
+        return self.dataset_b is not None
 
     @property
     def restricted(self) -> bool:
@@ -163,6 +186,19 @@ class SDHRequest:
             self.latency_budget_ms, float
         ):
             changes["latency_budget_ms"] = float(self.latency_budget_ms)
+        if self.weights is not None and not (
+            isinstance(self.weights, tuple)
+            and all(isinstance(w, float) for w in self.weights)
+        ):
+            try:
+                changes["weights"] = tuple(
+                    float(w) for w in np.asarray(self.weights).ravel()
+                )
+            except (TypeError, ValueError):
+                raise QueryError(
+                    "weights must be a sequence of numbers, "
+                    f"got {self.weights!r}"
+                )
         request = self.replace(**changes) if changes else self
         request.validate()
         return request
@@ -253,6 +289,31 @@ class SDHRequest:
                 raise QueryError(
                     "latency_budget_ms needs the planner; "
                     "it cannot be combined with planner='off'"
+                )
+        if self.weights is not None:
+            if not isinstance(self.weights, tuple) or not self.weights:
+                raise QueryError(
+                    "weights must be a non-empty sequence of numbers"
+                )
+            arr = np.asarray(self.weights, dtype=np.float64)
+            if not np.all(np.isfinite(arr)):
+                raise QueryError("weights must all be finite")
+            if self.approximate:
+                raise QueryError(
+                    "weighted queries cannot run in approximate mode "
+                    "(fractional allocation is not exact)"
+                )
+        if self.dataset_b is not None:
+            if not isinstance(self.dataset_b, str) or not self.dataset_b:
+                raise QueryError("dataset_b must be a non-empty string")
+            if self.restricted:
+                raise QueryError(
+                    "cross-set queries cannot be combined with region "
+                    "or type restrictions"
+                )
+            if self.approximate:
+                raise QueryError(
+                    "cross-set queries cannot run in approximate mode"
                 )
         return self
 

@@ -44,6 +44,11 @@ class ParticleSet:
     type_names:
         Optional mapping from type code to a human-readable name
         (e.g. ``{0: "C", 1: "O"}``).
+    weights:
+        Optional length-N float64 array of per-particle weights (a pair
+        contributes ``w_i * w_j`` to its bucket instead of 1).  Weights
+        must be finite; zero and negative values are allowed — FKP-style
+        correlation estimators use both.
     """
 
     def __init__(
@@ -52,6 +57,7 @@ class ParticleSet:
         box: AABB | None = None,
         types: np.ndarray | None = None,
         type_names: Mapping[int, str] | None = None,
+        weights: np.ndarray | None = None,
     ):
         positions = np.ascontiguousarray(positions, dtype=np.float64)
         if positions.ndim != 2:
@@ -83,12 +89,24 @@ class ParticleSet:
             if types.min(initial=0) < 0:
                 raise DatasetError("type codes must be non-negative")
 
+        if weights is not None:
+            weights = np.ascontiguousarray(weights, dtype=np.float64)
+            if weights.shape != (positions.shape[0],):
+                raise DatasetError(
+                    "weights must be a 1D array with one entry per particle"
+                )
+            if not np.all(np.isfinite(weights)):
+                raise DatasetError("weights must be finite")
+
         self._positions = positions
         self._positions.setflags(write=False)
         self._box = box
         self._types = types
         if self._types is not None:
             self._types.setflags(write=False)
+        self._weights = weights
+        if self._weights is not None:
+            self._weights.setflags(write=False)
         self._type_names = dict(type_names) if type_names else {}
         self._fingerprint: str | None = None
 
@@ -116,6 +134,16 @@ class ParticleSet:
         return dict(self._type_names)
 
     @property
+    def weights(self) -> np.ndarray | None:
+        """Per-particle weights, or None when unweighted."""
+        return self._weights
+
+    @property
+    def weighted(self) -> bool:
+        """Whether the set carries per-particle weights."""
+        return self._weights is not None
+
+    @property
     def size(self) -> int:
         """Number of particles N."""
         return self._positions.shape[0]
@@ -130,6 +158,19 @@ class ParticleSet:
         """``N * (N - 1) / 2`` — the mass every exact SDH must conserve."""
         n = self.size
         return n * (n - 1) // 2
+
+    @property
+    def weighted_num_pairs(self) -> float:
+        """Total weighted pair mass ``((sum w)^2 - sum w^2) / 2``.
+
+        Equals :attr:`num_pairs` for unweighted sets (all weights 1);
+        this is the conservation total a weighted exact SDH must hit.
+        """
+        if self._weights is None:
+            return float(self.num_pairs)
+        total = float(self._weights.sum())
+        square = float((self._weights * self._weights).sum())
+        return (total * total - square) / 2.0
 
     @property
     def max_possible_distance(self) -> float:
@@ -170,6 +211,11 @@ class ParticleSet:
                 digest.update(
                     np.ascontiguousarray(self._types, dtype="<i4").tobytes()
                 )
+            if self._weights is not None:
+                digest.update(b"weights")
+                digest.update(
+                    np.ascontiguousarray(self._weights, dtype="<f8").tobytes()
+                )
             for code in sorted(self._type_names):
                 digest.update(
                     f"{code}={self._type_names[code]}".encode("utf-8")
@@ -182,7 +228,8 @@ class ParticleSet:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         typed = "" if self._types is None else ", typed"
-        return f"ParticleSet(N={self.size}, d={self.dim}{typed})"
+        weighted = "" if self._weights is None else ", weighted"
+        return f"ParticleSet(N={self.size}, d={self.dim}{typed}{weighted})"
 
     # ------------------------------------------------------------------
     # Derived sets
@@ -193,7 +240,10 @@ class ParticleSet:
         if positions.shape[0] == 0:
             raise DatasetError("selection is empty")
         types = None if self._types is None else self._types[mask]
-        return ParticleSet(positions, self._box, types, self._type_names)
+        weights = None if self._weights is None else self._weights[mask]
+        return ParticleSet(
+            positions, self._box, types, self._type_names, weights=weights
+        )
 
     def of_type(self, type_code: int | str) -> "ParticleSet":
         """Particles of one type (by code or by registered name)."""
@@ -264,7 +314,14 @@ class ParticleSet:
         types = None
         if self._types is not None:
             types = np.concatenate([self._types, self._types[extra_idx]])
-        return ParticleSet(positions, self._box, types, self._type_names)
+        weights = None
+        if self._weights is not None:
+            weights = np.concatenate(
+                [self._weights, self._weights[extra_idx]]
+            )
+        return ParticleSet(
+            positions, self._box, types, self._type_names, weights=weights
+        )
 
     def with_types(
         self,
@@ -272,7 +329,21 @@ class ParticleSet:
         type_names: Mapping[int, str] | None = None,
     ) -> "ParticleSet":
         """A copy of this set with (new) type labels attached."""
-        return ParticleSet(self._positions, self._box, types, type_names)
+        return ParticleSet(
+            self._positions, self._box, types, type_names,
+            weights=self._weights,
+        )
+
+    def with_weights(self, weights: np.ndarray | None) -> "ParticleSet":
+        """A copy of this set with (new) per-particle weights.
+
+        ``None`` strips the weights, returning the unweighted view of
+        the same coordinates.
+        """
+        return ParticleSet(
+            self._positions, self._box, self._types, self._type_names,
+            weights=weights,
+        )
 
 
 def _enclosing_cube(positions: np.ndarray) -> AABB:

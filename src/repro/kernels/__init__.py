@@ -30,6 +30,16 @@ chunk=...)``
     All cross-set distances (type-restricted baselines, tree leaf
     pairs).
 
+Each function also has a ``*_weighted`` variant (taking the per-point
+weights after the coordinates) that returns ``(limb_array,
+number_of_distances)`` instead: per-bucket exact fixed-point integer
+sums of the pair products ``w_i * w_j``, in the representation of
+:mod:`repro.kernels.exact`.  Exactness makes the weighted contract
+*stronger* than op-sequence equality — any summation order yields the
+same integers, so backends, thread counts, and chunk sizes can never
+disagree; only the distance op-sequence (which picks the bucket) must
+match, and it is shared with the unweighted kernels.
+
 The kernels only implement the *fast binning* contract: a standard
 uniform-bucket query starting at zero whose buckets cover every
 realizable distance, where a clamped truncating division bins exactly

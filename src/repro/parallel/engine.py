@@ -101,6 +101,13 @@ def parallel_sdh(
         pyramid = data
     else:
         pyramid = GridPyramid(data, with_mbr=False)
+    if pyramid.particles.weighted:
+        # The merge of exact weighted accumulators across workers is
+        # not implemented; the capability registry routes weighted
+        # queries elsewhere, this guard catches direct calls.
+        raise QueryError(
+            "the parallel engine does not support weighted datasets"
+        )
     if workers is None:
         workers = os.cpu_count() or 1
     workers = int(workers)

@@ -134,14 +134,22 @@ class WorkloadProfile:
         return non_covering_factor(levels, self.num_buckets)
 
 
-def profile_workload(particles, spec) -> WorkloadProfile:
+def profile_workload(particles, spec, b=None) -> WorkloadProfile:
     """Analytic workload profile for a dataset / bucket-spec pair.
 
     ``particles`` needs only ``size``, ``dim``, ``num_pairs``, and
     ``box.sides``; ``spec`` is a resolved
-    :class:`~repro.core.buckets.BucketSpec`.
+    :class:`~repro.core.buckets.BucketSpec`.  With ``b``, the profile
+    describes the *cross-set* workload: the DM engines index the
+    concatenation of both sets (so cell geometry uses the combined
+    ``N``) while the pair mass to histogram is ``N_a * N_b`` — also
+    exactly the brute-force distance count for the cross sweep.
     """
     n = int(particles.size)
+    num_pairs = float(particles.num_pairs)
+    if b is not None:
+        num_pairs = float(particles.size) * float(b.size)
+        n += int(b.size)
     dim = int(particles.dim)
     height = tree_height(max(n, 1), dim)
     leaf_level = height - 1
@@ -159,7 +167,7 @@ def profile_workload(particles, spec) -> WorkloadProfile:
     return WorkloadProfile(
         n=n,
         dim=dim,
-        num_pairs=float(particles.num_pairs),
+        num_pairs=num_pairs,
         num_buckets=int(spec.num_buckets),
         height=height,
         start_level=start_level,

@@ -170,6 +170,7 @@ def plan_request(
     *,
     calibration: Calibration | None = None,
     cache_hot: bool = False,
+    b=None,
 ) -> ExecutionPlan:
     """Choose the execution strategy for one request on one dataset.
 
@@ -182,12 +183,21 @@ def plan_request(
     ``cache_hot`` tells the cost model a built pyramid for this dataset
     is already available (the service's plan-cache scenario), so index
     build cost is sunk for the pyramid-backed engines.
+
+    ``b`` is the second operand of a cross-set query: candidates are
+    restricted to cross-capable engines and priced on the cross
+    workload (combined index, ``N_a * N_b`` pair mass).  A weighted
+    dataset likewise restricts candidates to weight-capable engines.
     """
     request = request.normalize()
     if calibration is None:
         calibration = get_calibration()
     spec = request.resolved_spec(particles)
-    profile = profile_workload(particles, spec)
+    profile = profile_workload(particles, spec, b=b)
+    weighted = bool(getattr(particles, "weighted", False)) or (
+        b is not None and bool(getattr(b, "weighted", False))
+    )
+    cross = b is not None or request.dataset_b is not None
     with trace_span(
         "planner_plan",
         particles=profile.n,
@@ -195,7 +205,8 @@ def plan_request(
         calibrated=calibration.calibrated,
     ) as span:
         candidates = _enumerate_candidates(
-            request, profile, calibration, cache_hot
+            request, profile, calibration, cache_hot,
+            weighted=weighted, cross=cross,
         )
         candidates.sort(key=lambda c: c.estimate.seconds)
         admitted = admit(
@@ -242,6 +253,8 @@ def _enumerate_candidates(
     profile: WorkloadProfile,
     calibration: Calibration,
     cache_hot: bool,
+    weighted: bool = False,
+    cross: bool = False,
 ) -> list[PlanCandidate]:
     """All strategies this request could legally run, priced."""
     constants = calibration.constants
@@ -289,7 +302,10 @@ def _enumerate_candidates(
     for name in names:
         engine = get_engine(name)  # unknown names fail loudly here
         try:
-            engine.check(request.replace(engine=name))
+            engine.check(
+                request.replace(engine=name),
+                weighted=weighted, cross=cross,
+            )
         except QueryError:
             continue  # engine lacks a feature this request needs
         tiers = _kernel_candidates(engine, request)

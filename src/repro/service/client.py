@@ -160,9 +160,15 @@ class SDHClient:
         Give ``num_buckets`` or ``bucket_width``, optionally
         ``error_bound`` / ``levels`` / ``heuristic`` (approximate mode),
         ``type_filter`` / ``type_pair`` (restricted queries),
-        ``kernel`` (``"auto"`` / ``"numpy"`` / ``"numba"`` leaf-resolution
-        tier), ``policy`` and a per-request ``timeout``.
+        ``weights`` (per-particle masses; a list or numpy array),
+        ``dataset_b`` (a second registered dataset id/alias for a
+        cross-set query), ``kernel`` (``"auto"`` / ``"numpy"`` /
+        ``"numba"`` leaf-resolution tier), ``policy`` and a
+        per-request ``timeout``.
         """
+        weights = params.get("weights")
+        if isinstance(weights, np.ndarray):
+            params = {**params, "weights": weights.tolist()}
         body = {"dataset": dataset, **params}
         payload = self._request(
             "POST", "/v1/sdh", body, timeout=self._socket_timeout(body)

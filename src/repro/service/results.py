@@ -51,7 +51,11 @@ def result_cache_key(
     (:meth:`SDHRequest.plan_key`), and the canonical sorted-JSON form of
     the normalized request — so any two wire bodies that normalize to
     the same query share one entry, across ``/v1/sdh`` and items of
-    ``/v1/sdh/batch`` alike.
+    ``/v1/sdh/batch`` alike.  Cross-set queries pass a compound
+    ``fingerprint`` of the form ``"<fp_a>+<fp_b>"`` (both content
+    hashes, with ``dataset_b`` in the request already resolved to
+    ``fp_b``), so re-registering *either* operand invalidates the
+    entry and two aliases of the same content share one.
 
     Returns ``None`` — caller must bypass caching *and* coalescing —
     when the response is not a pure function of the key: an approximate
@@ -274,10 +278,15 @@ class ResultCache:
         this is a memory/staleness policy, not a correctness requirement
         — an in-flight computation racing this call may still store its
         (correct) result afterwards.
+
+        Cross-set entries carry a compound ``"<fp_a>+<fp_b>"``
+        fingerprint; they are dropped when *either* operand matches.
         """
         with self._lock:
             doomed = [
-                key for key in self._entries if key[0] == fingerprint
+                key
+                for key in self._entries
+                if fingerprint in key[0].split("+")
             ]
             for key in doomed:
                 del self._entries[key]

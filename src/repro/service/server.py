@@ -10,7 +10,11 @@ Endpoints:
   dataset.  The body is parsed once into a
   :class:`~repro.core.request.SDHRequest`; the plan cache guarantees
   the density-map pyramid is built once per dataset no matter how many
-  queries arrive.  ``engine="auto"`` queries are routed by the
+  queries arrive.  A ``weights`` list runs a weighted (per-particle
+  mass) query, and ``dataset_b`` (a second registered dataset id or
+  alias) runs a two-dataset cross-set query; cross results are cached
+  under both content fingerprints and echo ``dataset_b`` (resolved to
+  its fingerprint) in the response.  ``engine="auto"`` queries are routed by the
   cost-based planner (:mod:`repro.planner`); the chosen strategy and
   the ranked candidates are echoed back in a ``plan`` response block,
   and an infeasible ``latency_budget_ms`` is rejected with HTTP 422
@@ -57,7 +61,7 @@ from typing import Any
 import numpy as np
 
 from ..core.instrumentation import SDHStats
-from ..core.query import resolve_engine_name
+from ..core.query import compute_sdh, resolve_engine_name
 from ..core.request import SDHRequest
 from ..data.io import load_particles, load_xyz
 from ..data.particles import ParticleSet
@@ -659,6 +663,7 @@ def _maybe_parallel(
         or request.engine != "auto"
         or request.workers is not None
         or request.approximate
+        or request.weights is not None  # parallel engine is unweighted
         or particles.size < config.parallel_threshold
     ):
         return request
@@ -669,7 +674,10 @@ def _maybe_parallel(
 
 
 def _route_request(
-    state: _ServiceState, particles: ParticleSet, request: SDHRequest
+    state: _ServiceState,
+    particles: ParticleSet,
+    request: SDHRequest,
+    b: ParticleSet | None = None,
 ):
     """Plan one query; returns ``(executable_request, plan_or_None)``.
 
@@ -678,18 +686,21 @@ def _route_request(
     then ``engine="auto"`` queries — and any query carrying a
     ``latency_budget_ms`` — go through the cost-based planner.  The
     planner treats index build cost as sunk (``cache_hot``) because
-    the plan cache amortizes pyramids across queries.  Raises
+    the plan cache amortizes pyramids across queries — except for
+    cross-set queries, whose combined (A ∪ B) pyramid is built per
+    call and therefore priced cold.  Raises
     :class:`~repro.errors.SLOInfeasibleError` (HTTP 422) when no
     strategy fits the budget.
     """
-    request = _maybe_parallel(state.config, particles, request)
+    if b is None:
+        request = _maybe_parallel(state.config, particles, request)
     if request.planner != "auto" or (
         request.engine != "auto" and request.latency_budget_ms is None
     ):
         return request, None
     from ..planner import plan_request
 
-    plan = plan_request(request, particles, cache_hot=True)
+    plan = plan_request(request, particles, cache_hot=b is None, b=b)
     return plan.request, plan
 
 
@@ -736,13 +747,23 @@ def _compute_sdh_body(
     request: SDHRequest,
     rng: Any,
     timeout: Any,
+    b: ParticleSet | None = None,
 ) -> dict:
-    """Route, execute, and account one SDH query; returns the wire body."""
-    routed, query_plan = _route_request(state, particles, request)
+    """Route, execute, and account one SDH query; returns the wire body.
+
+    Cross-set queries (``b`` supplied) bypass the plan cache — the
+    cached pyramid indexes dataset A alone, while the cross engines
+    build a combined (A ∪ B) structure — and run through
+    :func:`compute_sdh` directly inside the executor slot.
+    """
+    routed, query_plan = _route_request(state, particles, request, b=b)
 
     def run() -> tuple[Any, SDHStats]:
-        plan = state.cache.get_or_build(particles, routed)
         stats = SDHStats()
+        if b is not None:
+            hist = compute_sdh(particles, routed, b=b, stats=stats, rng=rng)
+            return hist, stats
+        plan = state.cache.get_or_build(particles, routed)
         hist = plan.run(routed, stats=stats, rng=rng)
         return hist, stats
 
@@ -758,11 +779,25 @@ def _handle_sdh(state: _ServiceState, body: dict) -> dict:
     particles = state.resolve_dataset(_dataset_ref(body))
     request, rng = _parse_request(body)
     fingerprint = particles.fingerprint()
-    key = result_cache_key("sdh", fingerprint, request, rng)
+    b = b_fingerprint = None
+    key_fp, keyed = fingerprint, request
+    if request.dataset_b is not None:
+        # Cross-set query: resolve the second operand like the primary
+        # one (alias or fingerprint; unknown -> 404 DatasetNotFound).
+        # The cache key folds in BOTH content fingerprints — the
+        # compound fingerprint slot makes re-registration of either
+        # operand invalidate the entry, and rewriting ``dataset_b`` to
+        # the resolved fingerprint means an alias re-pointed at new
+        # content can never be served a stale body.
+        b = state.resolve_dataset(request.dataset_b)
+        b_fingerprint = b.fingerprint()
+        key_fp = f"{fingerprint}+{b_fingerprint}"
+        keyed = request.replace(dataset_b=b_fingerprint)
+    key = result_cache_key("sdh", key_fp, keyed, rng)
 
     def compute() -> dict:
         return _compute_sdh_body(
-            state, particles, request, rng, body.get("timeout", ...)
+            state, particles, request, rng, body.get("timeout", ...), b=b
         )
 
     if key is None:
@@ -776,7 +811,10 @@ def _handle_sdh(state: _ServiceState, body: dict) -> dict:
         )
     # Shallow copy: the cached body is shared across responses and must
     # never be mutated; the per-response fields ride on the copy.
-    return dict(cached, dataset=fingerprint, result_source=outcome)
+    response = dict(cached, dataset=fingerprint, result_source=outcome)
+    if b_fingerprint is not None:
+        response["dataset_b"] = b_fingerprint
+    return response
 
 
 def _handle_batch(state: _ServiceState, body: dict) -> dict:
@@ -802,6 +840,13 @@ def _handle_batch(state: _ServiceState, body: dict) -> dict:
             request, rng = _parse_request(
                 item, protocol=frozenset({"rng"})
             )
+            if request.dataset_b is not None:
+                # The batch amortizes ONE pyramid across items; a
+                # cross-set item needs a combined (A ∪ B) structure.
+                raise _BadRequest(
+                    f"queries[{index}] names dataset_b: cross-set "
+                    "queries must go to /v1/sdh"
+                )
             routed, _ = _route_request(state, particles, request)
             key = result_cache_key("sdh", fingerprint, request, rng)
             parsed.append((routed, rng, key))

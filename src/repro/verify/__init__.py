@@ -9,7 +9,8 @@ executable harness (``repro-sdh verify``):
   engine, one answer (plus ADM error bounded by the model);
 * :mod:`~repro.verify.invariants` — metamorphic properties (pair
   conservation, rigid motions, split/merge additivity, bucket
-  refinement) that need no oracle;
+  refinement, weight-scaling bilinearity, zero-weight deletion,
+  cross-vs-self identities) that need no oracle;
 * :mod:`~repro.verify.fuzz` — deterministic seeded adversarial case
   generation with greedy shrinking;
 * :mod:`~repro.verify.corpus` — failures persisted as replayable JSON
@@ -34,10 +35,18 @@ from .fuzz import (
     run_verification,
     shrink_case,
 )
-from .invariants import ALL_INVARIANTS, run_invariants, snap_dyadic
+from .invariants import (
+    ALL_INVARIANTS,
+    CROSS_INVARIANTS,
+    run_cross_invariants,
+    run_invariants,
+    snap_dyadic,
+)
 
 __all__ = [
     "ALL_INVARIANTS",
+    "CROSS_INVARIANTS",
+    "run_cross_invariants",
     "Corpus",
     "Discrepancy",
     "EngineOutcome",

@@ -124,6 +124,7 @@ def run_engines(
     request: SDHRequest,
     engines: tuple[str, ...] | None = None,
     workers: int = 2,
+    b: ParticleSet | None = None,
 ) -> list[EngineOutcome]:
     """Execute ``request`` on each engine, collecting outcomes.
 
@@ -131,7 +132,9 @@ def run_engines(
     parallel engine gets ``workers`` processes so it actually exercises
     the fan-out/merge path.  An engine whose capability check rejects
     the request is recorded as skipped, not failed — a tree engine
-    asked for periodic boundaries is not a bug.
+    asked for periodic boundaries is not a bug.  ``b`` turns every run
+    into a two-dataset cross-set query; engines whose capabilities
+    exclude weighted or cross workloads are skipped the same way.
 
     When the request leaves ``kernel="auto"`` and an engine advertises
     more than one usable kernel tier, the engine runs once per tier
@@ -143,6 +146,7 @@ def run_engines(
     request = request.normalize()
     names = engines if engines is not None else exact_engines()
     usable = available_kernel_tiers()
+    weighted = particles.weighted or (b is not None and b.weighted)
     outcomes: list[EngineOutcome] = []
     for name in names:
         engine = get_engine(name)
@@ -166,12 +170,14 @@ def run_engines(
             variants = [(name, run_request)]
         for label, variant in variants:
             try:
-                engine.check(variant)
+                engine.check(
+                    variant, weighted=weighted, cross=b is not None
+                )
             except ReproError as exc:
                 outcomes.append(EngineOutcome(label, skipped=str(exc)))
                 continue
             try:
-                hist = compute_sdh(particles, variant)
+                hist = compute_sdh(particles, variant, b=b)
             except ReproError as exc:
                 outcomes.append(
                     EngineOutcome(label, error=type(exc).__name__)
@@ -188,15 +194,18 @@ def compare_engines(
     workers: int = 2,
     case: str = "",
     seed: int | None = None,
+    b: ParticleSet | None = None,
 ) -> tuple[list[EngineOutcome], list[Discrepancy]]:
     """Differential check: all capable engines must agree bit-for-bit.
 
     Agreement means identical bucket specs and ``np.array_equal``
     counts when engines answer, or the identical error *type* when the
     request is rejected (a malformed request must fail the same way no
-    matter which engine sees it).
+    matter which engine sees it).  Weighted histograms are held to the
+    same bit-identity bar — the exact fixed-point accumulator makes
+    every engine's rounding identical by construction.
     """
-    outcomes = run_engines(particles, request, engines, workers)
+    outcomes = run_engines(particles, request, engines, workers, b=b)
     ran = [o for o in outcomes if o.ran]
     discrepancies: list[Discrepancy] = []
     if len(ran) < 2:
@@ -283,6 +292,7 @@ def check_planner_neutrality(
     workers: int = 2,
     case: str = "",
     seed: int | None = None,
+    b: ParticleSet | None = None,
 ) -> list[Discrepancy]:
     """Planner-routed execution must match every forced-engine run.
 
@@ -301,15 +311,17 @@ def check_planner_neutrality(
         engine="auto", workers=None, planner="auto", latency_budget_ms=None
     )
     try:
-        plan = plan_request(auto, particles)
+        plan = plan_request(auto, particles, b=b)
         planned = EngineOutcome(
             f"planner[{plan.engine}]",
-            histogram=compute_sdh(particles, plan.request),
+            histogram=compute_sdh(particles, plan.request, b=b),
         )
     except ReproError as exc:
         planned = EngineOutcome("planner", error=type(exc).__name__)
     forced = [
-        o for o in run_engines(particles, request, engines, workers) if o.ran
+        o
+        for o in run_engines(particles, request, engines, workers, b=b)
+        if o.ran
     ]
     discrepancies: list[Discrepancy] = []
     for outcome in forced:

@@ -12,7 +12,18 @@ code breaks silently:
   spaced at multiples of half the bucket width — resolve/bin ties);
 * degenerate 1-, 2-, 3-particle sets;
 * extreme aspect-ratio boxes (a thin slab inside a wide box);
+* per-particle weights spanning adversarial regimes — magnitudes near
+  10^±140, exact zeros, negative masses, and mixtures of all three
+  (the spots where a floating-point accumulator silently loses mass);
+* two-dataset cross-set pairs, both overlapping (interleaved in one
+  region) and disjoint (separated halves of a shared box), optionally
+  weighted on either side;
 * plus plain uniform / Zipf-clustered control groups.
+
+The family for a seed is chosen round-robin (``seed % len(FAMILIES)``),
+so any contiguous block of ``len(FAMILIES)`` seeds covers every family
+— which is what lets CI assert from the ``--json`` report that the
+weighted and cross families actually ran.
 
 Coordinates are snapped to the dyadic grid of
 :mod:`repro.verify.invariants` so the rigid-motion invariants are
@@ -40,7 +51,12 @@ from .differential import (
     check_planner_neutrality,
     compare_engines,
 )
-from .invariants import DYADIC_BITS, run_invariants, snap_dyadic
+from .invariants import (
+    DYADIC_BITS,
+    run_cross_invariants,
+    run_invariants,
+    snap_dyadic,
+)
 
 __all__ = [
     "FuzzCase",
@@ -62,12 +78,23 @@ MAX_SHRINK_EVALS = 160
 
 @dataclass(frozen=True)
 class FuzzCase:
-    """One self-contained verify case: a dataset plus a request."""
+    """One self-contained verify case: dataset(s) plus a request.
+
+    ``particles_b`` turns the case into a two-dataset cross-set query
+    (evaluated as ``compute_sdh(particles, request, b=particles_b)``
+    on every engine); either set may carry per-particle weights.
+    """
 
     name: str
     seed: int
     particles: ParticleSet
     request: SDHRequest
+    particles_b: ParticleSet | None = None
+
+    @property
+    def cross(self) -> bool:
+        """Whether this is a two-dataset cross-set case."""
+        return self.particles_b is not None
 
     @property
     def plain(self) -> bool:
@@ -75,55 +102,100 @@ class FuzzCase:
         return not (self.request.restricted or self.request.approximate)
 
     def with_particles(self, particles: ParticleSet) -> "FuzzCase":
-        return FuzzCase(self.name, self.seed, particles, self.request)
+        return FuzzCase(
+            self.name, self.seed, particles, self.request,
+            self.particles_b,
+        )
+
+    def with_particles_b(
+        self, particles_b: ParticleSet | None
+    ) -> "FuzzCase":
+        return FuzzCase(
+            self.name, self.seed, self.particles, self.request,
+            particles_b,
+        )
 
     def with_request(self, request: SDHRequest) -> "FuzzCase":
-        return FuzzCase(self.name, self.seed, self.particles, request)
+        return FuzzCase(
+            self.name, self.seed, self.particles, request,
+            self.particles_b,
+        )
 
     # ------------------------------------------------------------------
     # Corpus serialization (see repro.verify.corpus)
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        particles = self.particles
         body = {
-            "version": 1,
+            # Version 2 adds optional "weights" (on either set) and
+            # "particles_b"; version-1 readers never see those keys on
+            # old files, and this reader accepts both versions.
+            "version": 2 if (self.cross or self._any_weighted()) else 1,
             "name": self.name,
             "seed": self.seed,
-            "positions": particles.positions.tolist(),
-            "box": {
-                "lo": list(particles.box.lo),
-                "hi": list(particles.box.hi),
-            },
             "request": self.request.to_dict(),
+            **_particles_to_dict(self.particles),
         }
-        if particles.types is not None:
-            body["types"] = particles.types.tolist()
-            if particles.type_names:
-                body["type_names"] = {
-                    str(code): name
-                    for code, name in particles.type_names.items()
-                }
+        if self.particles_b is not None:
+            body["particles_b"] = _particles_to_dict(self.particles_b)
         return body
+
+    def _any_weighted(self) -> bool:
+        return self.particles.weighted or (
+            self.particles_b is not None and self.particles_b.weighted
+        )
 
     @classmethod
     def from_dict(cls, body: dict) -> "FuzzCase":
-        box = body.get("box")
-        types = body.get("types")
-        type_names = body.get("type_names")
-        particles = ParticleSet(
-            np.asarray(body["positions"], dtype=float),
-            AABB.from_arrays(box["lo"], box["hi"]) if box else None,
-            None if types is None else np.asarray(types, dtype=np.int32),
-            None
-            if type_names is None
-            else {int(code): name for code, name in type_names.items()},
-        )
+        second = body.get("particles_b")
         return cls(
             name=str(body.get("name", "corpus")),
             seed=int(body.get("seed", -1)),
-            particles=particles,
+            particles=_particles_from_dict(body),
             request=SDHRequest.from_dict(body["request"]),
+            particles_b=(
+                None if second is None else _particles_from_dict(second)
+            ),
         )
+
+
+def _particles_to_dict(particles: ParticleSet) -> dict:
+    body: dict = {
+        "positions": particles.positions.tolist(),
+        "box": {
+            "lo": list(particles.box.lo),
+            "hi": list(particles.box.hi),
+        },
+    }
+    if particles.types is not None:
+        body["types"] = particles.types.tolist()
+        if particles.type_names:
+            body["type_names"] = {
+                str(code): name
+                for code, name in particles.type_names.items()
+            }
+    if particles.weighted:
+        # JSON floats round-trip exactly through repr, so the corpus
+        # preserves weights bit-for-bit.
+        body["weights"] = particles.weights.tolist()
+    return body
+
+
+def _particles_from_dict(body: dict) -> ParticleSet:
+    box = body.get("box")
+    types = body.get("types")
+    type_names = body.get("type_names")
+    weights = body.get("weights")
+    return ParticleSet(
+        np.asarray(body["positions"], dtype=float),
+        AABB.from_arrays(box["lo"], box["hi"]) if box else None,
+        None if types is None else np.asarray(types, dtype=np.int32),
+        None
+        if type_names is None
+        else {int(code): name for code, name in type_names.items()},
+        weights=(
+            None if weights is None else np.asarray(weights, dtype=float)
+        ),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -200,6 +272,78 @@ def _family_aspect(rng: np.random.Generator, dim: int) -> ParticleSet:
     return ParticleSet(positions, box)
 
 
+#: Extreme weight magnitudes stay within 10^±140 so that pair products
+#: (10^280), bucket sums, and the weight-scaling invariant's 2^(2k)
+#: blow-up all stay comfortably inside float64 range.
+_WEIGHT_EXTREME_EXP = 140
+
+
+def _draw_weights(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Adversarial per-particle weights: one regime per draw."""
+    regime = int(rng.integers(4))
+    if regime == 0:  # extreme magnitudes, mixed signs
+        exponents = rng.integers(
+            -_WEIGHT_EXTREME_EXP, _WEIGHT_EXTREME_EXP, n
+        )
+        signs = rng.choice([-1.0, 1.0], size=n)
+        weights = signs * 10.0 ** exponents.astype(float)
+    elif regime == 1:  # many exact zeros among ordinary masses
+        weights = rng.uniform(0.25, 4.0, n)
+        weights[rng.random(n) < 0.4] = 0.0
+    elif regime == 2:  # negative masses (signed densities / deltas)
+        weights = rng.normal(0.0, 1.0, n)
+    else:  # mixture of all three
+        weights = rng.normal(0.0, 1.0, n)
+        weights[rng.random(n) < 0.2] = 0.0
+        wild = rng.random(n) < 0.2
+        weights[wild] *= 10.0 ** rng.integers(
+            -_WEIGHT_EXTREME_EXP // 2, _WEIGHT_EXTREME_EXP // 2,
+            int(wild.sum()),
+        ).astype(float)
+    return weights
+
+
+def _family_weights(rng: np.random.Generator, dim: int) -> ParticleSet:
+    """Ordinary geometry, adversarial per-particle weights."""
+    n = int(rng.integers(10, MAX_FUZZ_PARTICLES // 2))
+    base = (
+        uniform(n, dim=dim, rng=rng)
+        if rng.random() < 0.5
+        else zipf_clustered(n, dim=dim, rng=rng)
+    )
+    return base.with_weights(_draw_weights(rng, base.size))
+
+
+def _family_cross(
+    rng: np.random.Generator, dim: int
+) -> tuple[ParticleSet, ParticleSet]:
+    """Two sets in one shared box: overlapping or disjoint geometry.
+
+    Overlapping pairs interleave in the same region (every cell of the
+    combined pyramid holds both sides); disjoint pairs occupy opposite
+    halves of the box (whole subtrees hold a single side, so cross-pair
+    resolution must prune them without tripping overflow policies).
+    Either side may independently carry adversarial weights.
+    """
+    na = int(rng.integers(5, MAX_FUZZ_PARTICLES // 2))
+    nb = int(rng.integers(5, MAX_FUZZ_PARTICLES // 2))
+    scale = float(1 << DYADIC_BITS)
+    pos_a = rng.uniform(0.0, 1.0, (na, dim))
+    pos_b = rng.uniform(0.0, 1.0, (nb, dim))
+    if rng.random() < 0.5:  # disjoint: separated halves along axis 0
+        pos_a[:, 0] *= 0.4
+        pos_b[:, 0] = 0.6 + 0.4 * pos_b[:, 0]
+    pos_a = np.round(pos_a * scale) / scale
+    pos_b = np.round(pos_b * scale) / scale
+    box = AABB.from_arrays(np.zeros(dim), np.ones(dim))
+    wa = _draw_weights(rng, na) if rng.random() < 0.6 else None
+    wb = _draw_weights(rng, nb) if rng.random() < 0.6 else None
+    return (
+        ParticleSet(pos_a, box, weights=wa),
+        ParticleSet(pos_b, box, weights=wb),
+    )
+
+
 FAMILIES: tuple[tuple[str, Callable], ...] = (
     ("uniform", _family_uniform),
     ("clustered", _family_clustered),
@@ -208,6 +352,8 @@ FAMILIES: tuple[tuple[str, Callable], ...] = (
     ("boundary", _family_boundary),
     ("tiny", _family_tiny),
     ("aspect", _family_aspect),
+    ("weights", _family_weights),
+    ("cross", _family_cross),
 )
 
 
@@ -255,11 +401,35 @@ def _draw_request(
 
 
 def generate_case(seed: int) -> FuzzCase:
-    """The deterministic fuzz case for ``seed``."""
+    """The deterministic fuzz case for ``seed``.
+
+    The family is the seed taken round-robin (every block of
+    ``len(FAMILIES)`` consecutive seeds covers all families); all other
+    draws come from ``default_rng(seed)``, so the case remains a pure
+    function of its seed.
+    """
     rng = np.random.default_rng(seed)
-    name, family = FAMILIES[int(rng.integers(len(FAMILIES)))]
+    name, family = FAMILIES[seed % len(FAMILIES)]
+    rng.integers(len(FAMILIES))  # keep the historical draw order
     dim = int(rng.choice([2, 3]))
-    particles = snap_dyadic(family(rng, dim))
+    made = family(rng, dim)
+    if isinstance(made, tuple):  # cross family: (A, B) share a box
+        particles, particles_b = made
+        # Restrictions and approximation are rejected for cross-set
+        # queries; draw only bucketing and periodicity.
+        if rng.random() < 0.7:
+            buckets: dict = {
+                "num_buckets": int(rng.choice([1, 2, 3, 7, 16]))
+            }
+        else:
+            buckets = {
+                "bucket_width": float(2 ** -int(rng.integers(0, 5)))
+            }
+        request = SDHRequest(
+            periodic=bool(rng.random() < 0.2), **buckets
+        ).normalize()
+        return FuzzCase(name, seed, particles, request, particles_b)
+    particles = snap_dyadic(made)
     request, particles = _draw_request(rng, particles)
     return FuzzCase(name, seed, particles, request)
 
@@ -282,6 +452,7 @@ def evaluate_case(
         workers=workers,
         case=case.name,
         seed=case.seed,
+        b=case.particles_b,
     )
     if planner:
         discrepancies.extend(
@@ -292,18 +463,31 @@ def evaluate_case(
                 workers=workers,
                 case=case.name,
                 seed=case.seed,
+                b=case.particles_b,
             )
         )
     if invariants and case.plain:
-        discrepancies.extend(
-            run_invariants(
-                case.particles,
-                case.request,
-                rng=np.random.default_rng(case.seed),
-                case=case.name,
-                seed=case.seed,
+        if case.cross:
+            discrepancies.extend(
+                run_cross_invariants(
+                    case.particles,
+                    case.particles_b,
+                    case.request,
+                    rng=np.random.default_rng(case.seed),
+                    case=case.name,
+                    seed=case.seed,
+                )
             )
-        )
+        else:
+            discrepancies.extend(
+                run_invariants(
+                    case.particles,
+                    case.request,
+                    rng=np.random.default_rng(case.seed),
+                    case=case.name,
+                    seed=case.seed,
+                )
+            )
     return discrepancies
 
 
@@ -350,29 +534,66 @@ def shrink_case(
     if not still_fails(case):
         return case
 
+    def shrink_side(case: FuzzCase, side: str) -> FuzzCase:
+        """Drop particle blocks on one operand, halving block size."""
+
+        def current(case: FuzzCase) -> ParticleSet:
+            return getattr(case, side)
+
+        def rebuilt(case: FuzzCase, particles: ParticleSet) -> FuzzCase:
+            if side == "particles":
+                return case.with_particles(particles)
+            return case.with_particles_b(particles)
+
+        changed = True
+        while changed and current(case).size > 1 and budget[0] > 0:
+            changed = False
+            n = current(case).size
+            block = max(n // 2, 1)
+            while block >= 1 and budget[0] > 0:
+                start = 0
+                while start < current(case).size and budget[0] > 0:
+                    n = current(case).size
+                    if n - min(block, n - start) < 1:
+                        break
+                    keep = np.ones(n, dtype=bool)
+                    keep[start:start + block] = False
+                    candidate = rebuilt(case, current(case).select(keep))
+                    if still_fails(candidate):
+                        case = candidate
+                        changed = True
+                    else:
+                        start += block
+                block //= 2
+        return case
+
     # Pass 1: drop particle blocks, halving the block size each round.
-    changed = True
-    while changed and case.particles.size > 1 and budget[0] > 0:
-        changed = False
-        n = case.particles.size
-        block = max(n // 2, 1)
-        while block >= 1 and budget[0] > 0:
-            start = 0
-            while start < case.particles.size and budget[0] > 0:
-                n = case.particles.size
-                if n - min(block, n - start) < 1:
-                    break
-                keep = np.ones(n, dtype=bool)
-                keep[start:start + block] = False
-                candidate = case.with_particles(
-                    case.particles.select(keep)
-                )
-                if still_fails(candidate):
-                    case = candidate
-                    changed = True
-                else:
-                    start += block
-            block //= 2
+    case = shrink_side(case, "particles")
+    if case.particles_b is not None:
+        case = shrink_side(case, "particles_b")
+
+    # Pass 1b: simplify the operands — a failure that survives without
+    # the second set, or without the weights, is a simpler reproducer.
+    if case.particles_b is not None and budget[0] > 0:
+        candidate = case.with_particles_b(None)
+        if still_fails(candidate):
+            case = candidate
+    if case.particles.weighted and budget[0] > 0:
+        candidate = case.with_particles(
+            case.particles.with_weights(None)
+        )
+        if still_fails(candidate):
+            case = candidate
+    if (
+        case.particles_b is not None
+        and case.particles_b.weighted
+        and budget[0] > 0
+    ):
+        candidate = case.with_particles_b(
+            case.particles_b.with_weights(None)
+        )
+        if still_fails(candidate):
+            case = candidate
 
     # Pass 2: simplify the request.
     request = case.request
@@ -412,6 +633,9 @@ class VerifyReport:
     corpus_replayed: int = 0
     adm_checked: bool = False
     planner_checked: bool = False
+    families_run: list[str] = field(default_factory=list)
+    weighted_cases: int = 0
+    cross_cases: int = 0
     discrepancies: list[Discrepancy] = field(default_factory=list)
     corpus_written: list[str] = field(default_factory=list)
     duration_seconds: float = 0.0
@@ -419,6 +643,18 @@ class VerifyReport:
     @property
     def ok(self) -> bool:
         return not self.discrepancies
+
+    def record_case(self, case: FuzzCase) -> None:
+        """Account one evaluated fuzz case in the family tallies."""
+        if case.name not in self.families_run:
+            self.families_run.append(case.name)
+            self.families_run.sort()
+        if case.particles.weighted or (
+            case.particles_b is not None and case.particles_b.weighted
+        ):
+            self.weighted_cases += 1
+        if case.cross:
+            self.cross_cases += 1
 
     def to_dict(self) -> dict:
         return {
@@ -430,6 +666,9 @@ class VerifyReport:
             "engines": list(self.engines),
             "kernel": self.kernel,
             "seeds": self.seeds,
+            "families_run": list(self.families_run),
+            "weighted_cases": self.weighted_cases,
+            "cross_cases": self.cross_cases,
             "discrepancies": [d.to_dict() for d in self.discrepancies],
             "corpus_written": self.corpus_written,
             "duration_seconds": round(self.duration_seconds, 3),
@@ -499,6 +738,7 @@ def run_verification(
         for seed in range(seed_start, seed_start + seeds):
             report.seeds.append(seed)
             case = generate_case(seed)
+            report.record_case(case)
             if kernel != "auto":
                 case = case.with_request(
                     case.request.replace(kernel=kernel)

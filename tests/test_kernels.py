@@ -8,6 +8,8 @@ equality against it.  Engine-integration parity pins ``kernel=`` through
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import (
     CustomBuckets,
@@ -29,6 +31,7 @@ from repro.kernels import (
     get_backend,
     resolve_kernel,
 )
+from repro.kernels import exact
 
 NBINS = 12
 
@@ -312,6 +315,177 @@ class TestEngineIntegration:
         else:
             with pytest.raises(QueryError, match="kernel tier"):
                 compute_sdh(data, request)
+
+
+# ----------------------------------------------------------------------
+# Weighted variants.  The weighted kernels return exact fixed-point limb
+# arrays; `exact.limbs_to_ints` recovers exact product-scale integers,
+# so equality below is bit-exact by construction — any drift is a bug in
+# a backend's op sequence, not floating-point noise.
+# ----------------------------------------------------------------------
+_wcoord = st.integers(min_value=0, max_value=64).map(lambda k: k / 64.0)
+_weight = st.one_of(
+    st.just(0.0),
+    st.floats(
+        min_value=-4.0, max_value=4.0,
+        allow_nan=False, allow_infinity=False,
+    ),
+    st.sampled_from([1e-140, -1e140, 1e100, -2.5e-100, 1e-300]),
+)
+
+
+@st.composite
+def _weighted_cloud(draw, min_size=2, max_size=18):
+    dim = draw(st.sampled_from([2, 3]))
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    points = draw(
+        st.lists(
+            st.tuples(*[_wcoord] * dim), min_size=n, max_size=n
+        )
+    )
+    weights = draw(st.lists(_weight, min_size=n, max_size=n))
+    return (
+        np.asarray(points, dtype=np.float64),
+        np.asarray(weights, dtype=np.float64),
+    )
+
+
+def _finalized(limbs):
+    return exact.finalize(exact.limbs_to_ints(limbs))
+
+
+class TestWeightedKernelProperties:
+    """Metamorphic properties of the numpy weighted reference."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(_weighted_cloud())
+    def test_unit_weights_match_unweighted_counts(self, cloud):
+        positions, _ = cloud
+        backend = get_backend("numpy")
+        ones = np.ones(positions.shape[0])
+        limbs, n_w = backend.bin_dense_self_weighted(
+            positions, ones, 0.25, NBINS, chunk=5
+        )
+        hist, n_u = backend.bin_dense_self(positions, 0.25, NBINS)
+        np.testing.assert_array_equal(
+            _finalized(limbs), hist.astype(np.float64)
+        )
+        assert n_w == n_u
+
+    @settings(max_examples=30, deadline=None)
+    @given(_weighted_cloud(), st.integers(min_value=1, max_value=20))
+    def test_power_of_two_scaling_is_exact(self, cloud, exponent):
+        # Bilinearity on an exactly-representable scalar: scaling the
+        # weights by 2^j scales every bucket by 2^(2j), bit for bit.
+        positions, weights = cloud
+        factor = float(2.0**exponent)
+        backend = get_backend("numpy")
+        base, _ = backend.bin_dense_self_weighted(
+            positions, weights, 0.25, NBINS
+        )
+        scaled, _ = backend.bin_dense_self_weighted(
+            positions, weights * factor, 0.25, NBINS
+        )
+        np.testing.assert_array_equal(
+            _finalized(scaled), _finalized(base) * factor * factor
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(_weighted_cloud(min_size=4))
+    def test_self_cross_decomposition_is_exact(self, cloud):
+        # self(A ++ B) == self(A) + self(B) + cross(A, B) at the exact
+        # integer layer — chunk boundaries and pair order cannot move it.
+        positions, weights = cloud
+        cut = positions.shape[0] // 2
+        backend = get_backend("numpy")
+        whole, _ = backend.bin_dense_self_weighted(
+            positions, weights, 0.25, NBINS, chunk=3
+        )
+        ha, _ = backend.bin_dense_self_weighted(
+            positions[:cut], weights[:cut], 0.25, NBINS
+        )
+        hb, _ = backend.bin_dense_self_weighted(
+            positions[cut:], weights[cut:], 0.25, NBINS
+        )
+        hab, _ = backend.bin_dense_cross_weighted(
+            positions[:cut], positions[cut:],
+            weights[:cut], weights[cut:], 0.25, NBINS,
+        )
+        np.testing.assert_array_equal(
+            exact.limbs_to_ints(whole),
+            exact.limbs_to_ints(ha)
+            + exact.limbs_to_ints(hb)
+            + exact.limbs_to_ints(hab),
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(_weighted_cloud())
+    def test_gathered_pairs_match_dense_self(self, cloud):
+        positions, weights = cloud
+        backend = get_backend("numpy")
+        idx_a, idx_b = np.triu_indices(positions.shape[0], k=1)
+        gathered, _ = backend.bin_gathered_pairs_weighted(
+            positions, weights, idx_a, idx_b, 0.25, NBINS, chunk=4
+        )
+        dense, _ = backend.bin_dense_self_weighted(
+            positions, weights, 0.25, NBINS
+        )
+        np.testing.assert_array_equal(
+            exact.limbs_to_ints(gathered), exact.limbs_to_ints(dense)
+        )
+
+
+@numba_only
+class TestNumbaWeightedParity:
+    """Compiled weighted kernels must match numpy limb-for-limb."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(_weighted_cloud())
+    def test_dense_self_identical(self, cloud):
+        positions, weights = cloud
+        ref, n_ref = get_backend("numpy").bin_dense_self_weighted(
+            positions, weights, 0.25, NBINS
+        )
+        limbs, total = get_backend("numba").bin_dense_self_weighted(
+            positions, weights, 0.25, NBINS
+        )
+        np.testing.assert_array_equal(
+            exact.limbs_to_ints(limbs), exact.limbs_to_ints(ref)
+        )
+        assert total == n_ref
+
+    @settings(max_examples=25, deadline=None)
+    @given(_weighted_cloud(min_size=4))
+    def test_dense_cross_identical(self, cloud):
+        positions, weights = cloud
+        cut = positions.shape[0] // 2
+        args = (
+            positions[:cut], positions[cut:],
+            weights[:cut], weights[cut:], 0.25, NBINS,
+        )
+        ref, n_ref = get_backend("numpy").bin_dense_cross_weighted(*args)
+        limbs, total = get_backend("numba").bin_dense_cross_weighted(*args)
+        np.testing.assert_array_equal(
+            exact.limbs_to_ints(limbs), exact.limbs_to_ints(ref)
+        )
+        assert total == n_ref
+
+    @settings(max_examples=25, deadline=None)
+    @given(_weighted_cloud())
+    def test_gathered_pairs_identical_periodic(self, cloud):
+        positions, weights = cloud
+        idx_a, idx_b = np.triu_indices(positions.shape[0], k=1)
+        lengths = np.ones(positions.shape[1])
+        args = (positions, weights, idx_a, idx_b, 0.25, NBINS)
+        ref, _ = get_backend("numpy").bin_gathered_pairs_weighted(
+            *args, box_lengths=lengths
+        )
+        limbs, _ = get_backend("numba").bin_gathered_pairs_weighted(
+            *args, box_lengths=lengths
+        )
+        np.testing.assert_array_equal(
+            exact.limbs_to_ints(limbs), exact.limbs_to_ints(ref)
+        )
 
 
 class TestCapabilityMatrix:

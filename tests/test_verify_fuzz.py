@@ -44,6 +44,14 @@ class TestGeneration:
             scaled = generate_case(seed).particles.positions * scale
             assert np.array_equal(scaled, np.round(scaled))
 
+    def test_weights_and_cross_families_reachable(self):
+        cases = [generate_case(seed) for seed in range(len(FAMILIES))]
+        by_name = {case.name: case for case in cases}
+        assert by_name["weights"].particles.weighted
+        cross = by_name["cross"]
+        assert cross.particles_b is not None
+        assert cross.particles.box == cross.particles_b.box
+
     def test_case_roundtrips_through_json(self):
         for seed in (2, 9, 31):
             case = generate_case(seed)
@@ -64,6 +72,33 @@ class TestGeneration:
                     back.particles.types, case.particles.types
                 )
             assert back.request == case.request
+
+    def test_weighted_and_cross_cases_roundtrip_exactly(self):
+        cases = [generate_case(seed) for seed in range(len(FAMILIES))]
+        picked = [c for c in cases if c.particles.weighted or c.cross]
+        assert picked  # the new families must appear in one round-robin lap
+        for case in picked:
+            back = FuzzCase.from_dict(json.loads(json.dumps(case.to_dict())))
+            assert _same_particles(back.particles, case.particles)
+            if case.cross:
+                assert _same_particles(back.particles_b, case.particles_b)
+            else:
+                assert back.particles_b is None
+            assert back.request == case.request
+
+
+def _same_particles(got, want) -> bool:
+    # Bit-exact: repr-based JSON floats must round-trip every double,
+    # including 1e-140-scale weights.
+    if not np.array_equal(got.positions, want.positions):
+        return False
+    if (got.weights is None) != (want.weights is None):
+        return False
+    if got.weights is not None and not np.array_equal(
+        got.weights, want.weights
+    ):
+        return False
+    return got.box == want.box
 
 
 class TestEvaluation:
@@ -145,6 +180,22 @@ class TestCorpus:
         assert replayed >= 1
         assert found == [], [d.to_dict() for d in found]
 
+    def test_committed_corpus_covers_weighted_and_cross(self):
+        # Guards the reproducers shipped for the weighted / cross-set
+        # work: replay must keep exercising both code paths.
+        from pathlib import Path
+
+        cases = [
+            case
+            for _, case in Corpus(Path(__file__).parent / "corpus").cases()
+        ]
+        assert any(case.particles.weighted for case in cases)
+        assert any(case.cross for case in cases)
+        assert any(
+            case.particles.weighted and case.request.type_pair is not None
+            for case in cases
+        )
+
 
 class TestRunVerification:
     def test_clean_run_reports_ok(self):
@@ -167,6 +218,17 @@ class TestRunVerification:
         run_verification(seeds=3, adm=False)
         after = _counter_total(registry, "verify_cases_total")
         assert after - before == 3
+
+    def test_families_run_reported(self):
+        # One full round-robin lap touches every family, so the JSON
+        # report CI checks can assert the new families actually ran.
+        report = run_verification(seeds=len(FAMILIES), adm=False)
+        assert report.families_run == sorted(name for name, _ in FAMILIES)
+        assert report.weighted_cases >= 1
+        assert report.cross_cases >= 1
+        body = report.to_dict()
+        assert "weights" in body["families_run"]
+        assert "cross" in body["families_run"]
 
     def test_corpus_replay_included(self, tmp_path):
         corpus = Corpus(tmp_path)
